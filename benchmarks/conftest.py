@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module reproduces one table or figure of the paper: it
+assembles the experiment (outside the timed region), times the
+prediction step with pytest-benchmark, prints the paper-style rows
+live, and archives them under ``benchmarks/results/``.
+
+Scale knobs: ``REPRO_SCALE`` (default 0.1) and ``REPRO_QUERIES``
+(default 200) -- see ``repro.experiments.config``.  EXPERIMENTS.md
+records the paper-vs-measured comparison for the default configuration.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(capsys, request):
+    """Print a table live (past pytest's capture) and archive it."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{text}\n")
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out = RESULTS_DIR / f"{request.node.name}.txt"
+        out.write_text(text + "\n")
+
+    return _report

@@ -1,0 +1,127 @@
+"""Extension experiment: range-query prediction.
+
+Section 1 of the paper: "our work can also be applied to range queries
+and other indexing schemes" -- but the evaluation only covers k-NN.
+This extension runs the claim: density-biased box queries across a
+selectivity sweep, predicted by the mini-index and the two phased
+methods against the measured layout.
+
+Expected shape: measured accesses grow monotonically with the query
+side length; the sampling predictors track the measurement closely
+wherever queries touch more than a handful of pages (in the tiny-box
+regime the count is boundary-dominated -- a one-page absolute error is
+a large relative one); the cutoff method underestimates, as for k-NN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.counting import range_accesses_per_query
+from repro.experiments import (
+    experiment_queries,
+    experiment_scale,
+    format_signed_percent,
+    format_table,
+    get_setup,
+)
+from repro.rtree.tree import RTree
+from repro.workload.queries import density_biased_range_workload
+
+SIDES = (0.05, 0.1, 0.2, 0.4)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return get_setup("TEXTURE60", scale=experiment_scale(),
+                     n_queries=experiment_queries())
+
+
+def test_ext_range_query_prediction(setup, report, benchmark):
+    points = setup.points
+    predictor = setup.predictor
+    from repro.core.predictor import IndexCostPredictor
+
+    dense_predictor = IndexCostPredictor(
+        dim=points.shape[1],
+        memory=max(2_000, points.shape[0] // 14),
+        c_data=predictor.c_data,
+        c_dir=predictor.c_dir,
+    )
+    tree = RTree.bulk_load(points, predictor.c_data, predictor.c_dir)
+    lower, upper = tree.leaf_corners
+
+    rows = []
+    measured_series = []
+    errors = {"mini": [], "resampled": [], "cutoff": []}
+    for side in SIDES:
+        workload = density_biased_range_workload(
+            points, min(100, experiment_queries()), side,
+            np.random.default_rng(41),
+        )
+        measured = float(
+            np.mean(range_accesses_per_query(lower, upper, workload))
+        )
+        measured_series.append(measured)
+        predictions = {
+            "mini": predictor.predict(
+                points, workload, method="mini", sampling_fraction=0.3,
+                seed=42,
+            ),
+            "resampled": dense_predictor.predict(
+                points, workload, method="resampled", seed=42
+            ),
+            "cutoff": dense_predictor.predict(
+                points, workload, method="cutoff", seed=42
+            ),
+        }
+        row = [f"{side:.2f}", f"{measured:.1f}"]
+        for name in ("mini", "resampled", "cutoff"):
+            error = predictions[name].relative_error(measured)
+            errors[name].append(error)
+            row.extend(
+                [f"{predictions[name].mean_accesses:.1f}",
+                 format_signed_percent(error)]
+            )
+        rows.append(row)
+    report(
+        format_table(
+            ["side", "measured", "mini", "err", "resampled", "err",
+             "cutoff", "err"],
+            rows,
+            title=(
+                f"Extension -- range-query prediction "
+                f"(TEXTURE60 analogue, N={points.shape[0]:,}, "
+                f"density-biased box queries)"
+            ),
+        )
+    )
+
+    # Accesses grow with the query box.
+    assert all(a < b for a, b in zip(measured_series, measured_series[1:]))
+    # The sampling predictors track the measurement: relative accuracy
+    # once the count is volume-dominated, absolute accuracy (a few
+    # pages) in the boundary-dominated tiny-box regime.
+    for name in ("mini", "resampled"):
+        for measured, error in zip(measured_series, errors[name]):
+            if measured >= 30:
+                assert abs(error) < 0.20, (name, measured, error)
+            else:
+                # Boundary-dominated regime: magnitude is noise-bound,
+                # but the bias direction (underestimation from shrunken
+                # sample pages) is systematic.
+                assert error < 0.10, (name, measured, error)
+    # The cutoff method underestimates, as it does for k-NN.
+    assert all(e < 0.05 for e in errors["cutoff"])
+
+    side_workload = density_biased_range_workload(
+        points, 50, 0.2, np.random.default_rng(41)
+    )
+    benchmark.pedantic(
+        lambda: dense_predictor.predict(
+            points, side_workload, method="resampled", seed=42
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,88 @@
+"""Figure 2: relative prediction error vs. sample size (COLOR64).
+
+The paper runs 500 21-NN queries on COLOR64 and compares actual page
+accesses with the mini-index prediction across sampling fractions,
+with and without the Theorem 1 compensation.  Expected shape: both
+curves are accurate for large samples, the error explodes below a ~10%
+sampling fraction (pages degenerate once they expect ~1 point), and
+compensation never hurts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.minindex import MiniIndexModel
+from repro.experiments import (
+    experiment_queries,
+    experiment_scale,
+    format_signed_percent,
+    format_table,
+    get_setup,
+)
+
+FRACTIONS = (0.02, 0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.00)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return get_setup("COLOR64", scale=experiment_scale(),
+                     n_queries=experiment_queries())
+
+
+def _predict(setup, fraction: float, compensate: bool):
+    model = MiniIndexModel(
+        setup.predictor.c_data, setup.predictor.c_dir, compensate=compensate
+    )
+    return model.predict(
+        setup.points, setup.workload, fraction, np.random.default_rng(17)
+    )
+
+
+def test_fig02_sample_size_error_curve(setup, report, benchmark):
+    measured = setup.measured_mean
+    rows = []
+    errors = {}
+    for fraction in FRACTIONS:
+        with_comp = _predict(setup, fraction, True)
+        without = _predict(setup, fraction, False)
+        errors[fraction] = (
+            with_comp.relative_error(measured),
+            without.relative_error(measured),
+        )
+        rows.append(
+            [
+                f"{fraction:.0%}",
+                f"{with_comp.mean_accesses:.1f}",
+                format_signed_percent(errors[fraction][0]),
+                f"{without.mean_accesses:.1f}",
+                format_signed_percent(errors[fraction][1]),
+            ]
+        )
+    report(
+        format_table(
+            ["sample", "pred (comp)", "err (comp)", "pred (raw)", "err (raw)"],
+            rows,
+            title=(
+                f"Figure 2 -- relative error vs. sample size "
+                f"(COLOR64 analogue, N={setup.points.shape[0]}, "
+                f"{setup.workload.n_queries} x 21-NN, measured mean "
+                f"{measured:.1f})"
+            ),
+        )
+    )
+
+    # Shape assertions (the paper's qualitative claims):
+    # (1) accurate at large samples,
+    assert abs(errors[0.50][0]) < 0.10
+    # (2) compensation never hurts materially,
+    for fraction in FRACTIONS:
+        assert errors[fraction][0] >= errors[fraction][1] - 0.02
+    # (3) the error collapses below ~10% sampling (Section 3.3).
+    assert errors[0.02][1] < errors[0.35][1] - 0.10
+
+    # Timed region: one compensated prediction at a mid fraction.
+    benchmark.pedantic(
+        lambda: _predict(setup, 0.2, True), rounds=3, iterations=1
+    )

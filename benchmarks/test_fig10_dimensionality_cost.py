@@ -1,0 +1,105 @@
+"""Figure 10: analytical I/O cost vs. data dimensionality (plus the
+Section 4.6 dataset-size sweep).
+
+One million points, memory M = 600,000 / d (points in memory scale
+inversely with the dimensionality; M = 10,000 at d = 60).  Expected
+shape: roughly linear growth with d for all approaches, the cutoff
+approach about two orders of magnitude below on-disk throughout, the
+resampled approach in between with h_upper-choice jumps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costmodel import AnalyticalCostModel
+from repro.experiments import format_table
+
+N_POINTS = 1_000_000
+DIMENSIONS = (20, 30, 40, 60, 80, 100, 120)
+DATASET_SIZES = (200_000, 500_000, 1_000_000, 2_000_000)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AnalyticalCostModel()
+
+
+def test_fig10_dimensionality_sweep(model, report, benchmark):
+    rows = []
+    series = {"ondisk": [], "resampled": [], "cutoff": []}
+    for dim in DIMENSIONS:
+        memory = 600_000 // dim
+        ondisk = model.seconds(model.ondisk(N_POINTS, dim, memory))
+        resampled = model.seconds(model.resampled(N_POINTS, dim, memory))
+        cutoff = model.seconds(model.cutoff(N_POINTS, dim, memory))
+        series["ondisk"].append(ondisk)
+        series["resampled"].append(resampled)
+        series["cutoff"].append(cutoff)
+        rows.append(
+            [
+                dim,
+                f"{memory:,}",
+                f"{ondisk:,.1f}",
+                f"{resampled:,.1f}",
+                f"{cutoff:,.1f}",
+                f"{ondisk / cutoff:.0f}x",
+            ]
+        )
+    report(
+        format_table(
+            ["d", "M", "on-disk (s)", "resampled (s)", "cutoff (s)",
+             "on-disk/cutoff"],
+            rows,
+            title=(
+                f"Figure 10 -- analytical I/O cost vs. dimensionality "
+                f"(N={N_POINTS:,}, M=600,000/d)"
+            ),
+        )
+    )
+
+    # On-disk and cutoff grow with d; cutoff keeps a 1-2 order gap.
+    assert series["ondisk"][-1] > series["ondisk"][0]
+    assert series["cutoff"][-1] > series["cutoff"][0]
+    for ondisk, cutoff in zip(series["ondisk"], series["cutoff"]):
+        assert ondisk / cutoff > 10
+
+    benchmark.pedantic(
+        lambda: model.ondisk(N_POINTS, 60, 10_000), rounds=5, iterations=1
+    )
+
+
+def test_fig10b_dataset_size_sweep(model, report, benchmark):
+    """Section 4.6 text: the same comparison across dataset sizes --
+    'instead of hours, the new approaches take minutes or seconds'."""
+    dim = 60
+    rows = []
+    for n in DATASET_SIZES:
+        # Table 3's memory ratio (M = 10,000 at N = 275,465), so the
+        # error-optimal h_upper stays in its efficient regime.
+        memory = max(2_000, round(n * 10_000 / 275_465))
+        ondisk = model.seconds(model.ondisk(n, dim, memory))
+        resampled = model.seconds(model.resampled(n, dim, memory))
+        cutoff = model.seconds(model.cutoff(n, dim, memory))
+        rows.append(
+            [
+                f"{n:,}",
+                f"{memory:,}",
+                f"{ondisk:,.1f}",
+                f"{resampled:,.1f}",
+                f"{cutoff:,.1f}",
+            ]
+        )
+        assert cutoff < resampled < ondisk
+        assert ondisk / cutoff > 10
+    report(
+        format_table(
+            ["N", "M", "on-disk (s)", "resampled (s)", "cutoff (s)"],
+            rows,
+            title="Section 4.6 -- analytical I/O cost vs. dataset size (d=60)",
+        )
+    )
+
+    benchmark.pedantic(
+        lambda: model.resampled(500_000, 60, 5_000), rounds=5, iterations=1
+    )

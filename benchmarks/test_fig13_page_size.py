@@ -1,0 +1,88 @@
+"""Figure 13: determining the optimal page size (LANDSAT/TEXTURE60).
+
+The paper sweeps index page sizes, predicts the per-query I/O cost with
+the sampling model, and compares with the measured cost of a fully
+built index: the model tracks the measured curve closely and both
+identify the same interior optimum (64 KB for the paper's disk and
+data).  Expected shape here: accesses fall with page size, cost is
+U-shaped (seek-bound on the left, transfer-bound on the right), and the
+predicted optimum equals the measured one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.pagesize import sweep_page_sizes
+from repro.experiments import (
+    experiment_queries,
+    experiment_scale,
+    format_table,
+    get_setup,
+)
+
+PAGE_SIZES = (4096, 8192, 16384, 32768, 65536, 131072, 262144, 524288, 1048576)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return get_setup("TEXTURE60", scale=experiment_scale(),
+                     n_queries=experiment_queries())
+
+
+def test_fig13_optimal_page_size(setup, report, benchmark):
+    sweep = sweep_page_sizes(
+        setup.points,
+        setup.workload,
+        memory=setup.predictor.memory,
+        page_sizes=PAGE_SIZES,
+        measure=True,
+        seed=13,
+    )
+    rows = [
+        [
+            f"{p.page_bytes // 1024} KB",
+            f"{p.predicted_accesses:.1f}",
+            f"{p.predicted_seconds * 1000:.1f}",
+            f"{p.measured_accesses:.1f}",
+            f"{p.measured_seconds * 1000:.1f}",
+        ]
+        for p in sweep.points
+    ]
+    report(
+        format_table(
+            ["page size", "pred accesses", "pred ms/query",
+             "meas accesses", "meas ms/query"],
+            rows,
+            title=(
+                f"Figure 13 -- optimal page size (TEXTURE60 analogue, "
+                f"N={setup.points.shape[0]:,}; predicted optimum "
+                f"{sweep.predicted_optimum.page_bytes // 1024} KB, measured "
+                f"optimum {sweep.measured_optimum.page_bytes // 1024} KB)"
+            ),
+        )
+    )
+
+    # Accesses decrease monotonically with page size (both curves).
+    predicted = [p.predicted_accesses for p in sweep.points]
+    measured = [p.measured_accesses for p in sweep.points]
+    assert all(a >= b for a, b in zip(predicted, predicted[1:]))
+    assert all(a >= b * 0.95 for a, b in zip(measured, measured[1:]))
+    # The model's optimum matches the measured optimum (the headline).
+    assert sweep.predicted_optimum.page_bytes == sweep.measured_optimum.page_bytes
+    # The optimum is interior: neither the smallest nor the largest size.
+    assert PAGE_SIZES[0] < sweep.measured_optimum.page_bytes < PAGE_SIZES[-1]
+    # The model tracks the measured curve closely throughout.
+    for p in sweep.points:
+        if p.measured_accesses >= 2:
+            assert abs(p.predicted_accesses - p.measured_accesses) \
+                / p.measured_accesses < 0.3
+
+    benchmark.pedantic(
+        lambda: sweep_page_sizes(
+            setup.points, setup.workload, memory=setup.predictor.memory,
+            page_sizes=(8192,), seed=13,
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,88 @@
+"""Figure 14: index page accesses vs. number of indexed dimensions.
+
+The multi-step NN setting of Section 6.2: the index stores only the
+first m (KLT-sorted) dimensions, the object server holds full vectors.
+Expected shape: index page accesses *increase* with m (points get
+bigger, page capacity drops, more pages intersect the filter sphere),
+and the prediction tracks the measurement closely across the sweep.
+The companion object-server series (candidates passing the lower-bound
+filter) decreases with m.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.dimensions import sweep_index_dimensions
+from repro.experiments import (
+    experiment_queries,
+    experiment_scale,
+    format_table,
+    get_setup,
+)
+
+DIMENSION_PREFIXES = (5, 10, 15, 20, 30, 45, 60)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return get_setup("TEXTURE60", scale=experiment_scale(),
+                     n_queries=experiment_queries())
+
+
+def test_fig14_indexed_dimensions(setup, report, benchmark):
+    sweep = sweep_index_dimensions(
+        setup.points,
+        setup.workload,
+        DIMENSION_PREFIXES,
+        memory=setup.predictor.memory,
+        measure=True,
+        candidates=True,
+        seed=14,
+    )
+    rows = [
+        [
+            p.n_dimensions,
+            p.c_data,
+            f"{p.predicted_accesses:.1f}",
+            f"{p.measured_accesses:.1f}",
+            f"{p.predicted_candidates:.0f}",
+            f"{p.measured_candidates:.0f}",
+        ]
+        for p in sweep.points
+    ]
+    report(
+        format_table(
+            ["dims", "C_data", "pred accesses", "meas accesses",
+             "pred candidates", "meas candidates"],
+            rows,
+            title=(
+                f"Figure 14 -- index page accesses vs. indexed dimensions "
+                f"(TEXTURE60 analogue, N={setup.points.shape[0]:,}, "
+                f"{setup.workload.n_queries} x 21-NN)"
+            ),
+        )
+    )
+
+    measured = [p.measured_accesses for p in sweep.points]
+    predicted = [p.predicted_accesses for p in sweep.points]
+    # Accesses increase with the number of indexed dimensions.
+    assert measured[-1] > measured[0]
+    assert predicted[-1] > predicted[0]
+    # The prediction resembles the measurement closely (paper's claim).
+    for p in sweep.points:
+        if p.measured_accesses >= 2:
+            assert abs(p.predicted_accesses - p.measured_accesses) \
+                / p.measured_accesses < 0.3
+    # Object-server candidates shrink as the filter gains dimensions.
+    candidates = [p.measured_candidates for p in sweep.points]
+    assert candidates[-1] < candidates[0]
+
+    benchmark.pedantic(
+        lambda: sweep_index_dimensions(
+            setup.points, setup.workload, (30,),
+            memory=setup.predictor.memory, seed=14,
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,136 @@
+"""Table 3: relative error and measured I/O cost per method (TEXTURE60).
+
+The paper's central table: the on-disk ground truth (build + query
+I/O), the resampled predictor at h_upper in {2, 3, 4}, and the cutoff
+predictor at the same heights, with signed relative errors and counted
+seeks/transfers.  Expected shape: the resampled method underestimates
+for small h_upper, lands within a few percent once sigma_lower reaches
+1, and overestimates beyond; the cutoff method underestimates
+throughout at a fraction of the I/O; both predictors are one to two-plus
+orders of magnitude faster than the on-disk approach.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    experiment_queries,
+    experiment_scale,
+    format_signed_percent,
+    format_table,
+    get_setup,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return get_setup("TEXTURE60", scale=experiment_scale(),
+                     n_queries=experiment_queries())
+
+
+def test_tab3_methods_table(setup, report, benchmark):
+    predictor = setup.predictor
+    topology = predictor.topology(setup.points.shape[0])
+    measured = setup.measured_mean
+    heights = [h for h in (2, 3, 4) if h <= topology.height - 1]
+    assert heights, "scaled dataset too small; raise REPRO_SCALE"
+
+    ondisk_cost = setup.ondisk_total_cost
+    rows = [
+        [
+            "On-disk",
+            "0%",
+            f"{setup.build_cost.seeks:,} + {setup.measurement.io_cost.seeks:,}",
+            f"{setup.build_cost.transfers:,} + "
+            f"{setup.measurement.io_cost.transfers:,}",
+            f"{ondisk_cost.seconds():,.3f}",
+            "",
+        ]
+    ]
+
+    results = {}
+    for method in ("resampled", "cutoff"):
+        for h_upper in heights:
+            estimate = predictor.predict(
+                setup.points, setup.workload, method=method, h_upper=h_upper
+            )
+            results[(method, h_upper)] = estimate
+            label = (
+                f"{method.capitalize()} (h={h_upper}, "
+                f"su={estimate.detail['sigma_upper']:.4f}"
+                + (
+                    f", sl={estimate.detail['sigma_lower']:.4f})"
+                    if method == "resampled"
+                    else ")"
+                )
+            )
+            rows.append(
+                [
+                    label,
+                    format_signed_percent(estimate.relative_error(measured)),
+                    f"{estimate.io_cost.seeks:,}",
+                    f"{estimate.io_cost.transfers:,}",
+                    f"{estimate.io_cost.seconds():,.3f}",
+                    f"{ondisk_cost.seconds() / estimate.io_cost.seconds():.0f}x",
+                ]
+            )
+
+    report(
+        format_table(
+            ["Method", "Rel. error", "Page seeks", "Page transfers",
+             "I/O cost (s)", "Speedup"],
+            rows,
+            title=(
+                f"Table 3 -- TEXTURE60 analogue "
+                f"(N={setup.points.shape[0]:,}, M={predictor.memory:,}, "
+                f"{setup.workload.n_queries} x 21-NN, height="
+                f"{topology.height}, measured mean {measured:.1f} of "
+                f"{topology.n_leaves:,} leaves)"
+            ),
+        )
+    )
+
+    # --- Shape assertions -------------------------------------------------
+    best_h = topology.best_h_upper(predictor.memory)
+    best = results[("resampled", min(best_h, max(heights)))]
+    # Resampled at the heuristic h_upper: within a few percent (paper: +3%).
+    assert abs(best.relative_error(measured)) < 0.15
+    # Section 4.5.2's regimes: strong subsampling (sigma_lower well
+    # below 1) must not OVERestimate, and every resampled row stays in a
+    # usable band.  (The paper's strict under->over monotone trend needs
+    # its M=10,000 per-upper-leaf sample density; at reduced scale the
+    # upper-tree noise can locally reorder adjacent h values.)
+    for h in heights:
+        error = results[("resampled", h)].relative_error(measured)
+        assert abs(error) < 0.35, (h, error)
+        if results[("resampled", h)].detail["sigma_lower"] < 0.3:
+            assert error < 0.05, (h, error)
+    # Cutoff underestimates on clustered data (paper: -64% .. -16%).
+    for h_upper in heights:
+        assert results[("cutoff", h_upper)].relative_error(measured) < 0.05
+    # Speedups: cutoff 1-2+ orders, resampled well above 10x (paper:
+    # 525-548x and 25-318x respectively).
+    for h_upper in heights:
+        cutoff_speedup = ondisk_cost.seconds() / results[
+            ("cutoff", h_upper)
+        ].io_cost.seconds()
+        resampled_speedup = ondisk_cost.seconds() / results[
+            ("resampled", h_upper)
+        ].io_cost.seconds()
+        assert cutoff_speedup > 40
+        # The resampled speedup grows with N (paper: 25-318x at full
+        # scale); at reduced scale the seek-bound resampling floor
+        # compresses it.
+        assert resampled_speedup > 5
+    # On-disk queries: nearly all page accesses random (seek/xfer ~ 1).
+    query_io = setup.measurement.io_cost
+    assert query_io.seeks / query_io.transfers > 0.7
+
+    benchmark.pedantic(
+        lambda: predictor.predict(
+            setup.points, setup.workload, method="resampled"
+        ),
+        rounds=3,
+        iterations=1,
+    )

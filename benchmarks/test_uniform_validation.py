@@ -1,0 +1,79 @@
+"""Section 5.2's uniform-data validation.
+
+100,000 uniformly distributed points in 8 dimensions (index height 3);
+the paper reports relative errors between -0.5% and -3% for both the
+resampled and cutoff approaches -- confirming that the model's
+within-page uniformity assumptions are exact on uniform data.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import IndexCostPredictor
+from repro.data import generators
+from repro.experiments import (
+    experiment_queries,
+    format_signed_percent,
+    format_table,
+)
+from repro.ondisk.measure import measure_knn
+
+
+@pytest.fixture(scope="module")
+def uniform_setup():
+    # 8-d data is cheap: always run the paper's full N = 100,000 so the
+    # tree has the paper's height 3 (scaled-down N collapses to 2).
+    n = 100_000
+    points = generators.uniform(n, 8, np.random.default_rng(21))
+    predictor = IndexCostPredictor(dim=8, memory=max(2_000, n // 25))
+    workload = predictor.make_workload(
+        points, experiment_queries(), 21, seed=6
+    )
+    index = predictor.build_ondisk(points)
+    measurement = measure_knn(index, workload)
+    return points, predictor, workload, measurement
+
+
+def test_uniform_8d_validation(uniform_setup, report, benchmark):
+    points, predictor, workload, measurement = uniform_setup
+    measured = measurement.mean_accesses
+    topology = predictor.topology(points.shape[0])
+
+    assert topology.height == 3  # as in the paper's Section 5.2 run
+    rows = []
+    errors = {}
+    for method in ("resampled", "cutoff"):
+        estimate = predictor.predict(points, workload, method=method)
+        errors[method] = estimate.relative_error(measured)
+        rows.append(
+            [
+                method,
+                f"{estimate.mean_accesses:.1f}",
+                format_signed_percent(errors[method]),
+            ]
+        )
+    rows.append(["measured", f"{measured:.1f}", "0%"])
+    report(
+        format_table(
+            ["Method", "Pages accessed", "Rel. error"],
+            rows,
+            title=(
+                f"Section 5.2 -- uniform 8-d validation "
+                f"(N={points.shape[0]:,}, height={topology.height}; paper "
+                f"reports -0.5% .. -3%)"
+            ),
+        )
+    )
+
+    # On uniform data both methods must be accurate to a few percent.
+    assert abs(errors["resampled"]) < 0.06
+    assert abs(errors["cutoff"]) < 0.08
+
+    benchmark.pedantic(
+        lambda: predictor.predict(points, workload, method="cutoff"),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,75 @@
+"""Compare cost-prediction models on high-dimensional clustered data.
+
+Reproduces the Section 5.3 comparison: the uniform model (Weber et
+al.), the fractal-dimensionality model (Korn et al.), and the paper's
+sampling-based resampled model, all predicting the leaf-page accesses
+of 21-NN queries on a texture-feature-like dataset -- against the
+measured truth.  On real (clustered, KLT-transformed) high-dimensional
+data the first two overestimate by an order of magnitude; sampling is
+the only one that works.
+
+Run:  python examples/compare_models.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    FractalCostModel,
+    FractalEstimationError,
+    IndexCostPredictor,
+    UniformCostModel,
+)
+from repro.data import datasets
+
+
+def main() -> None:
+    points = datasets.texture60(scale=0.08, seed=11)
+    n, dim = points.shape
+    print(f"dataset: {n:,} x {dim}-d (clustered, KLT-transformed)")
+
+    predictor = IndexCostPredictor(dim=dim, memory=2_000)
+    topology = predictor.topology(n)
+    workload = predictor.make_workload(points, 100, 21, seed=2)
+    measurement = predictor.measure(points, workload)
+    measured = measurement.mean_accesses
+    print(
+        f"measured: {measured:.1f} of {topology.n_leaves:,} leaf pages "
+        f"accessed per query\n"
+    )
+
+    def show(name: str, value: float | None, note: str = "") -> None:
+        if value is None:
+            print(f"  {name:>10}: not applicable  {note}")
+        else:
+            error = (value - measured) / measured
+            print(f"  {name:>10}: {value:8.1f} pages  ({error:+8.0%})  {note}")
+
+    uniform = UniformCostModel(n, dim, topology.c_eff_data)
+    show("uniform", uniform.predict_knn_accesses(workload.k),
+         f"[{uniform.n_split_dimensions} split dims, "
+         f"r={uniform.expected_knn_radius(workload.k):.2f}]")
+
+    try:
+        fractal = FractalCostModel.from_points(
+            points, topology.c_eff_data, np.random.default_rng(9)
+        )
+        show("fractal", fractal.predict_knn_accesses(workload.k),
+             f"[D0={fractal.d0:.4f}, D2={fractal.d2:.4f}]")
+    except FractalEstimationError as error:
+        show("fractal", None, f"[{error}]")
+
+    resampled = predictor.predict(points, workload, method="resampled")
+    show("resampled", resampled.mean_accesses,
+         f"[h_upper={resampled.detail['h_upper']}, "
+         f"sigma_lower={resampled.detail['sigma_lower']:.2f}]")
+
+    print(
+        "\nBoth parametric baselines predict (nearly) every page is read;"
+        "\nonly the sampling-based model tracks the real index behavior."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Index anatomy: why layouts differ, in numbers.
+
+Builds the same dataset into four index structures -- bulk-loaded
+VAMSplit R-tree, dynamic R*-tree, SS-tree, and k-d-B-tree -- and puts
+their page statistics (utilization, volume, overlap) next to their
+measured query cost, then streams neighbors incrementally from the
+best one.  The statistics explain the access counts: packed pages +
+low overlap = few accesses.
+
+Run:  python examples/index_anatomy.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dynamic import measure_dynamic_index
+from repro.core.topology import page_capacities
+from repro.data import datasets
+from repro.rtree.kdb import KDBTree
+from repro.rtree.search import incremental_nn
+from repro.rtree.sstree import SSTree
+from repro.rtree.stats import leaf_statistics
+from repro.rtree.tree import RTree
+from repro.workload import density_biased_knn_workload
+
+
+def box_stats(index, capacity):
+    lower, upper = (
+        index.leaf_corners() if callable(getattr(index, "leaf_corners"))
+        else index.leaf_corners
+    )
+    occupancies = np.array(
+        [l.n_points for l in index.leaves if l.mbr is not None]
+    )
+    return leaf_statistics(lower, upper, occupancies, capacity)
+
+
+def main() -> None:
+    points = datasets.texture60(scale=0.03, seed=21)
+    n, dim = points.shape
+    c_data, c_dir = page_capacities(8192, dim)
+    workload = density_biased_knn_workload(
+        points, 60, 21, np.random.default_rng(9)
+    )
+    print(f"dataset: {n:,} x {dim}-d; page capacity {c_data}\n")
+
+    bulk = RTree.bulk_load(points, c_data, c_dir)
+    dynamic = measure_dynamic_index(points, c_data, c_dir)
+    spheres = SSTree.bulk_load(points, c_data, c_dir)
+    kdb = KDBTree.bulk_load(points, c_data)
+
+    def accesses(index):
+        return index.leaf_accesses_for_radius(
+            workload.queries, workload.radii
+        ).mean()
+
+    print(f"{'structure':>16} {'accesses':>9} {'leaves':>7} {'fill':>6} "
+          f"{'overlap pairs':>14}")
+    for name, index in (("bulk R-tree", bulk), ("dynamic R*", dynamic),
+                        ("k-d-B-tree", kdb)):
+        stats = box_stats(index, c_data)
+        print(
+            f"{name:>16} {accesses(index):>9.1f} {stats.n_leaves:>7,} "
+            f"{stats.utilization:>6.0%} {stats.overlap_pairs:>14,}"
+        )
+    # Sphere pages have no box stats; report accesses only.
+    print(f"{'SS-tree':>16} {accesses(spheres):>9.1f} "
+          f"{spheres.n_leaves:>7,} {'':>6} {'(sphere pages)':>14}")
+
+    print(
+        "\npacked pages (high fill) and few overlaps are exactly what "
+        "keep access\ncounts low -- the statistics explain the ranking."
+    )
+
+    # Stream the first few neighbors incrementally from the best index.
+    query = points[0]
+    stream = incremental_nn(bulk.points, bulk.root, query)
+    print("\nincremental neighbors of point 0 (bulk R-tree):")
+    for rank, (pid, dist) in enumerate(stream, start=1):
+        print(f"  #{rank}: point {pid} at distance {dist:.4f}")
+        if rank == 5:
+            break
+
+
+if __name__ == "__main__":
+    main()

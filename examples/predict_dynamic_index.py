@@ -1,0 +1,88 @@
+"""Predicting an insertion-built (dynamic) R*-tree.
+
+The paper evaluates bulk-loaded VAMSplit trees, but its technique
+applies to any fixed-capacity-page index (Section 4.7).  This example
+exercises that generality end to end: build a tuple-at-a-time R*-tree
+(ChooseSubtree / forced reinsertion / R*-split), then predict its query
+cost from a sample by running the *same insertion algorithm* with the
+page capacity scaled down by the sampling fraction -- the paper's
+original Section 3 recipe -- plus Theorem 1 compensation.
+
+Run:  python examples/predict_dynamic_index.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import DynamicMiniIndexModel
+
+from repro.core.dynamic import measure_dynamic_index
+from repro.core.topology import page_capacities
+from repro.data import datasets
+from repro.rtree.tree import RTree
+from repro.workload import density_biased_knn_workload
+
+
+def main() -> None:
+    points = datasets.texture60(scale=0.03, seed=9)
+    n, dim = points.shape
+    c_data, c_dir = page_capacities(8192, dim)
+    print(f"dataset: {n:,} x {dim}-d; pages hold {c_data} points")
+
+    workload = density_biased_knn_workload(
+        points, 60, 21, np.random.default_rng(6)
+    )
+
+    # Ground truth: the full dynamic index, built tuple at a time.
+    start = time.perf_counter()
+    full = measure_dynamic_index(points, c_data, c_dir)
+    build_seconds = time.perf_counter() - start
+    measured = full.leaf_accesses_for_radius(
+        workload.queries, workload.radii
+    ).mean()
+    print(
+        f"full R*-tree: {full.n_leaves:,} leaves "
+        f"(~{n / full.n_leaves / c_data:.0%} fill), built in "
+        f"{build_seconds:.1f} s wall; measured {measured:.1f} accesses/query"
+    )
+
+    # Bulk-loaded comparison: why packing matters.
+    bulk = RTree.bulk_load(points, c_data, c_dir)
+    bulk_measured = bulk.leaf_accesses_for_radius(
+        workload.queries, workload.radii
+    ).mean()
+    print(
+        f"bulk-loaded tree: {bulk.n_leaves:,} leaves; measured "
+        f"{bulk_measured:.1f} accesses/query "
+        f"({measured / bulk_measured:.1f}x fewer than the dynamic layout)"
+    )
+
+    # Sampling prediction of the dynamic index at several fractions.
+    model = DynamicMiniIndexModel(c_data, c_dir)
+    print("\nsampling prediction of the dynamic index:")
+    for fraction in (0.2, 0.35, 0.5):
+        start = time.perf_counter()
+        estimate = model.predict(
+            points, workload, fraction, np.random.default_rng(12)
+        )
+        wall = time.perf_counter() - start
+        error = (estimate.mean_accesses - measured) / measured
+        print(
+            f"  {fraction:>4.0%} sample (mini pages hold "
+            f"{estimate.detail['c_mini']:>2}): "
+            f"{estimate.mean_accesses:7.1f} accesses ({error:+.0%}), "
+            f"{wall:.1f} s wall"
+        )
+
+    print(
+        "\nthe mini R*-tree reproduces the dynamic index's page layout "
+        "statistics,\nso the prediction tracks an index the analytical "
+        "models cannot describe."
+    )
+
+
+if __name__ == "__main__":
+    main()

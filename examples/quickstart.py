@@ -1,0 +1,69 @@
+"""Quickstart: predict index query cost without building the index.
+
+Generates a clustered high-dimensional dataset, builds a density-biased
+21-NN workload, predicts the average number of index leaf-page accesses
+with the sampling-based model under a memory budget, and verifies the
+prediction against the measured ground truth (the actually built
+on-disk index).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+
+from repro import IndexCostPredictor
+from repro.data import datasets
+
+
+def main() -> None:
+    # A synthetic analogue of the paper's TEXTURE60 dataset (scaled for
+    # a quick run; scale=1.0 gives the paper's 275,465 points).
+    points = datasets.texture60(scale=0.05, seed=7)
+    n, dim = points.shape
+    print(f"dataset: {n:,} points in {dim} dimensions")
+
+    # The predictor derives page capacities from the disk geometry
+    # (8 KB pages -> C_data=34, C_dir=16 at 60 dimensions) and holds at
+    # most `memory` points in RAM.
+    predictor = IndexCostPredictor(dim=dim, memory=2_000)
+    print(
+        f"index: C_data={predictor.c_data}, C_dir={predictor.c_dir}, "
+        f"height={predictor.topology(n).height}, "
+        f"~{predictor.topology(n).n_leaves:,} leaf pages"
+    )
+
+    # The paper's workload: query points drawn from the data itself,
+    # exact 21-NN sphere radii from one full scan.
+    workload = predictor.make_workload(points, n_queries=100, k=21, seed=1)
+
+    # Predict with each method.  `io_cost` is the I/O the *prediction*
+    # itself needed on the simulated disk.
+    for method in ("mini", "cutoff", "resampled"):
+        estimate = predictor.predict(points, workload, method=method)
+        print(
+            f"  {method:>9}: {estimate.mean_accesses:7.1f} leaf accesses "
+            f"per query, prediction I/O = {estimate.io_cost.seconds():6.2f} s"
+        )
+
+    # Ground truth: bulk load the index on the simulated disk and run
+    # the queries for real.
+    index = predictor.build_ondisk(points)
+    measurement = predictor.measure(points, workload, index=index)
+    total = (index.build_cost + measurement.io_cost).seconds()
+    print(
+        f"   measured: {measurement.mean_accesses:7.1f} leaf accesses per "
+        f"query, on-disk build + query I/O = {total:6.2f} s"
+    )
+
+    estimate = predictor.predict(points, workload, method="resampled")
+    error = estimate.relative_error(measurement.mean_accesses)
+    speedup = total / estimate.io_cost.seconds()
+    print(
+        f"\nresampled prediction error: {error:+.1%}; "
+        f"{speedup:.0f}x cheaper than building and probing the index"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Restricted memory: the accuracy / I/O trade-off of phased prediction.
+
+Walks the Section 4 machinery explicitly: for every feasible upper-tree
+height h_upper, run both the cutoff and the resampled predictor,
+showing sampling ratios, prediction error, and the I/O each prediction
+itself cost -- the under-to-overestimation sweep of Section 4.5.2 and
+the I/O growth of Section 4.5.3, side by side with the analytical
+formulas (Eqs. 3 and 5).
+
+Run:  python examples/restricted_memory_prediction.py
+"""
+
+from __future__ import annotations
+
+from repro import IndexCostPredictor
+from repro.core.costmodel import AnalyticalCostModel
+from repro.data import datasets
+
+
+def main() -> None:
+    points = datasets.texture60(scale=0.08, seed=5)
+    n, dim = points.shape
+    memory = 2_000
+    predictor = IndexCostPredictor(dim=dim, memory=memory)
+    topology = predictor.topology(n)
+    print(
+        f"dataset: {n:,} x {dim}-d; M = {memory:,} points in memory; "
+        f"tree height {topology.height}"
+    )
+    h_min, h_max = topology.h_upper_bounds(memory)
+    print(f"feasible h_upper: [{h_min}, {h_max}] "
+          f"(heuristic choice: {topology.best_h_upper(memory)})\n")
+
+    workload = predictor.make_workload(points, 100, 21, seed=8)
+    index = predictor.build_ondisk(points)
+    measurement = predictor.measure(points, workload, index=index)
+    measured = measurement.mean_accesses
+    ondisk_seconds = (index.build_cost + measurement.io_cost).seconds()
+    print(f"measured: {measured:.1f} accesses/query; on-disk build+query "
+          f"I/O {ondisk_seconds:.1f} s (ground truth)\n")
+
+    analytical = AnalyticalCostModel(n_queries=workload.n_queries)
+    print(f"{'method':>10} {'h':>2} {'sigma_l':>8} {'error':>7} "
+          f"{'I/O (s)':>8} {'Eq. (s)':>8} {'speedup':>8}")
+    for h_upper in range(h_min, h_max + 1):
+        for method in ("cutoff", "resampled"):
+            estimate = predictor.predict(
+                points, workload, method=method, h_upper=h_upper
+            )
+            if method == "cutoff":
+                formula = analytical.cutoff(n, dim, memory)
+                sigma = ""
+            else:
+                formula = analytical.resampled(n, dim, memory, h_upper=h_upper)
+                sigma = f"{estimate.detail['sigma_lower']:.3f}"
+            print(
+                f"{method:>10} {h_upper:>2} {sigma:>8} "
+                f"{estimate.relative_error(measured):>+6.0%} "
+                f"{estimate.io_cost.seconds():>8.2f} "
+                f"{formula.seconds():>8.2f} "
+                f"{ondisk_seconds / estimate.io_cost.seconds():>7.0f}x"
+            )
+
+    print(
+        "\ncutoff: constant (scan-only) I/O, always an underestimate;"
+        "\nresampled: I/O grows with h_upper, error crosses zero near "
+        "sigma_lower = 1 -- the paper's recommended operating point."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Index tuning: find the optimal page size in seconds, not hours.
+
+Reproduces the Section 6.1 application on a Landsat-texture-like
+dataset: sweep candidate page sizes, predict the per-query I/O cost of
+each with the sampling model, and (optionally) verify against fully
+built indexes.  Building one real index per page size is exactly the
+expensive workflow the prediction model replaces.
+
+Run:  python examples/tune_page_size.py [--verify]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.apps import sweep_page_sizes
+from repro.data import datasets
+from repro.workload import density_biased_knn_workload
+
+PAGE_SIZES = (4096, 8192, 16384, 32768, 65536, 131072, 262144)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="also build the full index per page size (slow) to compare",
+    )
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="dataset scale (1.0 = paper size)")
+    args = parser.parse_args()
+
+    points = datasets.texture60(scale=args.scale, seed=3)
+    print(f"dataset: {points.shape[0]:,} x {points.shape[1]}-d")
+    workload = density_biased_knn_workload(
+        points, 100, 21, np.random.default_rng(5)
+    )
+
+    sweep = sweep_page_sizes(
+        points,
+        workload,
+        memory=2_000,
+        page_sizes=PAGE_SIZES,
+        measure=args.verify,
+    )
+
+    header = f"{'page':>8} {'pred accesses':>14} {'pred ms/query':>14}"
+    if args.verify:
+        header += f" {'meas accesses':>14} {'meas ms/query':>14}"
+    print(header)
+    for point in sweep.points:
+        line = (
+            f"{point.page_bytes // 1024:>6} KB "
+            f"{point.predicted_accesses:>14.1f} "
+            f"{point.predicted_seconds * 1000:>14.1f}"
+        )
+        if args.verify:
+            line += (
+                f" {point.measured_accesses:>14.1f}"
+                f" {point.measured_seconds * 1000:>14.1f}"
+            )
+        print(line)
+
+    best = sweep.predicted_optimum
+    print(
+        f"\npredicted optimal page size: {best.page_bytes // 1024} KB "
+        f"({best.predicted_seconds * 1000:.1f} ms/query)"
+    )
+    if args.verify and sweep.measured_optimum is not None:
+        print(
+            f"measured  optimal page size: "
+            f"{sweep.measured_optimum.page_bytes // 1024} KB"
+        )
+
+
+if __name__ == "__main__":
+    main()

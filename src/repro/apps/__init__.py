@@ -1,0 +1,13 @@
+"""Index-tuning applications built on the prediction model."""
+
+from .dimensions import DimensionPoint, DimensionSweep, sweep_index_dimensions
+from .pagesize import PageSizePoint, PageSizeSweep, sweep_page_sizes
+
+__all__ = [
+    "DimensionPoint",
+    "DimensionSweep",
+    "sweep_index_dimensions",
+    "PageSizePoint",
+    "PageSizeSweep",
+    "sweep_page_sizes",
+]

@@ -1,0 +1,17 @@
+"""Comparison baselines: uniform and fractal cost models."""
+
+from .fractal import (
+    FractalCostModel,
+    FractalEstimationError,
+    box_counting_dimension,
+    correlation_dimension,
+)
+from .uniform_model import UniformCostModel
+
+__all__ = [
+    "FractalCostModel",
+    "FractalEstimationError",
+    "box_counting_dimension",
+    "correlation_dimension",
+    "UniformCostModel",
+]

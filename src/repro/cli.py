@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin wrappers over the library for the workflows the paper motivates:
+
+``predict``        estimate leaf accesses for a workload without
+                   building the index (mini / cutoff / resampled)
+``measure``        build the on-disk index on the simulated disk and
+                   run the workload for real (the ground truth)
+``compare``        the Table 4 shoot-out: uniform vs. fractal vs.
+                   resampled vs. measured
+``tune-pagesize``  the Section 6.1 application: sweep page sizes
+``costs``          evaluate the analytical Eqs. 1-5 for a dataset shape
+
+Data comes from a named synthetic analogue (``--dataset TEXTURE60
+--scale 0.1``) or any ``.npy`` file holding an ``(n, d)`` float matrix
+(``--input features.npy``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .apps.pagesize import sweep_page_sizes
+from .baselines.fractal import FractalCostModel, FractalEstimationError
+from .baselines.uniform_model import UniformCostModel
+from .core.costmodel import AnalyticalCostModel
+from .core.predictor import IndexCostPredictor
+from .data import datasets
+from .experiments.tables import format_signed_percent, format_table
+
+__all__ = ["main"]
+
+
+def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--dataset", default="TEXTURE60",
+        help=f"synthetic analogue name ({', '.join(sorted(datasets.DATASETS))})",
+    )
+    source.add_argument("--input", help="path to an (n, d) .npy file")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="analogue scale in (0, 1] (default 0.05)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--queries", type=int, default=100,
+                        help="number of density-biased queries")
+    parser.add_argument("--k", type=int, default=21, help="k for k-NN")
+    parser.add_argument("--memory", type=int, default=2_000,
+                        help="memory budget M in points")
+
+
+def _load_points(args: argparse.Namespace) -> np.ndarray:
+    if args.input:
+        points = np.load(args.input)
+        if points.ndim != 2:
+            raise SystemExit(f"{args.input}: expected an (n, d) array, "
+                             f"got shape {points.shape}")
+        return np.asarray(points, dtype=np.float64)
+    return datasets.load(args.dataset, scale=args.scale, seed=args.seed)
+
+
+def _context(args: argparse.Namespace):
+    points = _load_points(args)
+    predictor = IndexCostPredictor(dim=points.shape[1], memory=args.memory)
+    workload = predictor.make_workload(points, args.queries, args.k,
+                                       seed=args.seed)
+    return points, predictor, workload
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    points, predictor, workload = _context(args)
+    result = predictor.predict(
+        points, workload, method=args.method, h_upper=args.h_upper,
+        sampling_fraction=args.fraction, seed=args.seed,
+    )
+    print(f"dataset: {points.shape[0]:,} x {points.shape[1]}-d, "
+          f"C_data={predictor.c_data}, C_dir={predictor.c_dir}")
+    print(f"method: {args.method}  detail: {result.detail}")
+    print(f"predicted leaf accesses per query: {result.mean_accesses:.2f}")
+    print(f"prediction I/O: {result.io_cost.seeks:,} seeks, "
+          f"{result.io_cost.transfers:,} transfers "
+          f"({result.io_cost.seconds():.3f} s)")
+    return 0
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    points, predictor, workload = _context(args)
+    index = predictor.build_ondisk(points)
+    measurement = predictor.measure(points, workload, index=index)
+    total = index.build_cost + measurement.io_cost
+    print(f"dataset: {points.shape[0]:,} x {points.shape[1]}-d; tree height "
+          f"{index.tree.height}, {index.tree.n_leaves:,} leaves")
+    print(f"measured leaf accesses per query: {measurement.mean_accesses:.2f}")
+    print(f"build I/O: {index.build_cost.seconds():.3f} s; query I/O: "
+          f"{measurement.io_cost.seconds():.3f} s; total {total.seconds():.3f} s")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    points, predictor, workload = _context(args)
+    topology = predictor.topology(points.shape[0])
+    measurement = predictor.measure(points, workload)
+    measured = measurement.mean_accesses
+
+    rows = []
+    uniform = UniformCostModel(
+        points.shape[0], points.shape[1], topology.c_eff_data
+    ).predict_knn_accesses(workload.k)
+    rows.append(["uniform", f"{uniform:.1f}",
+                 format_signed_percent((uniform - measured) / measured)])
+    try:
+        fractal = FractalCostModel.from_points(
+            points, topology.c_eff_data, np.random.default_rng(args.seed)
+        ).predict_knn_accesses(workload.k)
+        rows.append(["fractal", f"{fractal:.1f}",
+                     format_signed_percent((fractal - measured) / measured)])
+    except FractalEstimationError as error:
+        rows.append(["fractal", "n/a", str(error)])
+    resampled = predictor.predict(points, workload, method="resampled",
+                                  seed=args.seed)
+    rows.append(["resampled", f"{resampled.mean_accesses:.1f}",
+                 format_signed_percent(resampled.relative_error(measured))])
+    rows.append(["measured", f"{measured:.1f}", "0%"])
+    print(format_table(["model", "pages", "rel. error"], rows))
+    return 0
+
+
+def _cmd_tune_pagesize(args: argparse.Namespace) -> int:
+    points, _, workload = _context(args)
+    sweep = sweep_page_sizes(
+        points, workload, memory=args.memory, measure=args.verify,
+        seed=args.seed,
+    )
+    rows = []
+    for p in sweep.points:
+        row = [f"{p.page_bytes // 1024} KB", f"{p.predicted_accesses:.1f}",
+               f"{p.predicted_seconds * 1000:.1f} ms"]
+        if args.verify:
+            row.extend([f"{p.measured_accesses:.1f}",
+                        f"{p.measured_seconds * 1000:.1f} ms"])
+        rows.append(row)
+    headers = ["page", "pred accesses", "pred cost"]
+    if args.verify:
+        headers.extend(["meas accesses", "meas cost"])
+    print(format_table(headers, rows))
+    print(f"predicted optimum: {sweep.predicted_optimum.page_bytes // 1024} KB")
+    if args.verify and sweep.measured_optimum is not None:
+        print(f"measured optimum:  "
+              f"{sweep.measured_optimum.page_bytes // 1024} KB")
+    return 0
+
+
+def _cmd_costs(args: argparse.Namespace) -> int:
+    model = AnalyticalCostModel(n_queries=args.queries)
+    ondisk = model.ondisk(args.n, args.dim, args.memory)
+    resampled = model.resampled(args.n, args.dim, args.memory)
+    cutoff = model.cutoff(args.n, args.dim, args.memory)
+    rows = [
+        ["on-disk build (Eq. 1)", f"{ondisk.seeks:,}",
+         f"{ondisk.transfers:,}", f"{model.seconds(ondisk):,.1f} s"],
+        ["resampled (Eq. 5)", f"{resampled.seeks:,}",
+         f"{resampled.transfers:,}", f"{model.seconds(resampled):,.1f} s"],
+        ["cutoff (Eq. 3)", f"{cutoff.seeks:,}",
+         f"{cutoff.transfers:,}", f"{model.seconds(cutoff):,.1f} s"],
+    ]
+    print(format_table(["approach", "seeks", "transfers", "cost"], rows,
+                       title=f"analytical I/O for N={args.n:,}, d={args.dim}, "
+                             f"M={args.memory:,}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sampling-based index cost prediction "
+                    "(Lang & Singh, SIGMOD 2001)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    predict = commands.add_parser("predict", help="predict leaf accesses")
+    _add_data_arguments(predict)
+    _add_workload_arguments(predict)
+    predict.add_argument("--method", default="resampled",
+                         choices=("mini", "cutoff", "resampled"))
+    predict.add_argument("--h-upper", type=int, default=None, dest="h_upper")
+    predict.add_argument("--fraction", type=float, default=None,
+                         help="sampling fraction for --method mini")
+    predict.set_defaults(run=_cmd_predict)
+
+    measure = commands.add_parser("measure", help="measured ground truth")
+    _add_data_arguments(measure)
+    _add_workload_arguments(measure)
+    measure.set_defaults(run=_cmd_measure)
+
+    compare = commands.add_parser("compare", help="baseline shoot-out")
+    _add_data_arguments(compare)
+    _add_workload_arguments(compare)
+    compare.set_defaults(run=_cmd_compare)
+
+    tune = commands.add_parser("tune-pagesize", help="optimal page size")
+    _add_data_arguments(tune)
+    _add_workload_arguments(tune)
+    tune.add_argument("--verify", action="store_true",
+                      help="also measure with fully built indexes")
+    tune.set_defaults(run=_cmd_tune_pagesize)
+
+    costs = commands.add_parser("costs", help="analytical Eqs. 1-5")
+    costs.add_argument("--n", type=int, default=1_000_000)
+    costs.add_argument("--dim", type=int, default=60)
+    costs.add_argument("--memory", type=int, default=10_000)
+    costs.add_argument("--queries", type=int, default=500)
+    costs.set_defaults(run=_cmd_costs)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""The paper's contribution: sampling-based index cost prediction."""
+
+from .compensation import (
+    compensation_side_factor,
+    compensation_volume_factor,
+    grow_corners,
+    volume_shrinkage,
+)
+from .costmodel import AnalyticalCostModel
+from .counting import PredictionResult
+from .cutoff import CutoffModel
+from .dynamic import DynamicMiniIndexModel, measure_dynamic_index
+from .kdb_model import KDBMiniIndexModel
+from .minindex import MiniIndexModel
+from .phases import UpperTree, build_upper_tree
+from .predictor import IndexCostPredictor
+from .resampled import ResampledModel
+from .spheres import SphereMiniIndexModel
+from .topology import Topology, page_capacities
+
+__all__ = [
+    "compensation_side_factor",
+    "compensation_volume_factor",
+    "grow_corners",
+    "volume_shrinkage",
+    "AnalyticalCostModel",
+    "PredictionResult",
+    "CutoffModel",
+    "DynamicMiniIndexModel",
+    "measure_dynamic_index",
+    "KDBMiniIndexModel",
+    "MiniIndexModel",
+    "UpperTree",
+    "build_upper_tree",
+    "IndexCostPredictor",
+    "ResampledModel",
+    "SphereMiniIndexModel",
+    "Topology",
+    "page_capacities",
+]

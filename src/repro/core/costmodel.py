@@ -1,0 +1,214 @@
+"""Analytical I/O cost model: Equations 1-5 of the paper.
+
+Closed-form (well, closed-recursion) seek/transfer counts for the three
+approaches, used to produce Figures 9 and 10 and to cross-check the
+measured costs of the simulated implementations:
+
+* ``cost_OnDisk`` (Eq. 1) -- bulk loading the full index on disk, under
+  the *best-case* assumption that every Hoare-find partition completes
+  in a single pass (the paper notes measured costs on real data are
+  5-10x higher, which our charged external builder reproduces);
+* ``cost_Cutoff`` (Eq. 3) -- query-point reads plus one dataset scan;
+* ``cost_Resampled`` (Eq. 5) -- the above plus the resampling pass
+  (Eq. 4) and the lower-tree loads.
+
+All functions return :class:`~repro.disk.accounting.IOCost`; price with
+``.seconds(DiskParameters(...))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..disk.accounting import DiskParameters, IOCost
+from .topology import (
+    Topology,
+    page_capacities,
+    split_child_counts,
+    subtree_capacity,
+)
+
+__all__ = [
+    "cost_read_query_points",
+    "cost_scan_dataset",
+    "cost_resampling",
+    "cost_build_lower_subtrees",
+    "cost_cutoff",
+    "cost_resampled",
+    "cost_ondisk_build",
+    "AnalyticalCostModel",
+]
+
+
+def cost_read_query_points(n_queries: int) -> IOCost:
+    """Eq. 2: each query point is one random page read."""
+    if n_queries < 0:
+        raise ValueError("n_queries must be non-negative")
+    return IOCost(seeks=n_queries, transfers=n_queries)
+
+
+def cost_scan_dataset(n_points: int, points_per_page: int) -> IOCost:
+    """One sequential pass: ``t_seek + ceil(N / B) * t_xfer``."""
+    return IOCost(seeks=1, transfers=math.ceil(n_points / points_per_page))
+
+
+def cost_resampling(
+    n_points: int,
+    memory: int,
+    points_per_page: int,
+    sigma_lower: float,
+    k: int,
+) -> IOCost:
+    """Eq. 4: chunked second sampling pass plus distribution writes."""
+    if sigma_lower <= 0:
+        raise ValueError("sigma_lower must be positive")
+    chunks = math.ceil(n_points * sigma_lower / memory)
+    read_pages = math.ceil(memory / (points_per_page * sigma_lower))
+    write_pages = math.ceil(memory / points_per_page)
+    per_chunk = IOCost(seeks=1 + k, transfers=read_pages + write_pages)
+    return per_chunk.scaled(chunks)
+
+
+def cost_build_lower_subtrees(memory: int, points_per_page: int, k: int) -> IOCost:
+    """Loading each of the ``k`` spill areas once: Section 4.4."""
+    per_area = IOCost(seeks=1, transfers=math.ceil(memory / points_per_page))
+    return per_area.scaled(k)
+
+
+def cost_cutoff(n_points: int, points_per_page: int, n_queries: int) -> IOCost:
+    """Eq. 3: ``cost_ReadQueryPoints + cost_ScanDataset``."""
+    return cost_read_query_points(n_queries) + cost_scan_dataset(
+        n_points, points_per_page
+    )
+
+
+def cost_resampled(
+    n_points: int,
+    memory: int,
+    points_per_page: int,
+    sigma_lower: float,
+    k: int,
+    n_queries: int,
+) -> IOCost:
+    """Eq. 5: the full resampled prediction pipeline."""
+    return (
+        cost_read_query_points(n_queries)
+        + cost_scan_dataset(n_points, points_per_page)
+        + cost_resampling(n_points, memory, points_per_page, sigma_lower, k)
+        + cost_build_lower_subtrees(memory, points_per_page, k)
+    )
+
+
+def cost_ondisk_build(
+    topology: Topology,
+    memory: int,
+    points_per_page: int,
+    *,
+    find_passes: float = 2.0,
+) -> IOCost:
+    """Eq. 1: the ``cost_BuildTreeLevel`` recursion for the external load.
+
+    A region that fits in memory is read once, its whole subtree is
+    built in memory, and it is written back once.  A larger region pays
+    ``find_passes`` read+write passes per binary split -- Hoare's find
+    streams the region through memory in ``ceil(m / M)`` chunks per
+    pass, and partitioning interleaves reads with writes, so each chunk
+    costs two seeks.  ``find_passes=1.0`` is the strict best case the
+    paper's Eq. 1 assumes; the default of 2.0 is the textbook expected
+    pass count of quickselect (each recursion halves the active region),
+    which is what the charged simulation and the paper's measurements
+    actually exhibit (Section 4.1 notes real data lands 5-10x above the
+    best case).
+    """
+    if memory < 1:
+        raise ValueError("memory must be positive")
+    if find_passes < 1.0:
+        raise ValueError("find_passes must be at least 1 (one full pass)")
+
+    def region_pass(n: int, passes: float) -> IOCost:
+        chunks = max(1, math.ceil(n / memory))
+        pages = math.ceil(n / points_per_page)
+        return IOCost(
+            seeks=math.ceil(2 * chunks * passes),
+            transfers=math.ceil(2 * pages * passes),
+        )
+
+    total = IOCost()
+    # Iterative traversal over (level, subtree point count).
+    stack = [(topology.height, topology.n_points)]
+    while stack:
+        level, n = stack.pop()
+        if n <= memory or level == 1:
+            total = total + region_pass(n, 1.0)
+            continue
+        child_cap = subtree_capacity(level - 1, topology.c_data, topology.c_dir)
+        fanout = max(1, math.ceil(n / child_cap))
+        splits: list[tuple[int, int]] = [(n, fanout)]
+        while splits:
+            m, f = splits.pop()
+            if f == 1:
+                stack.append((level - 1, m))
+                continue
+            total = total + region_pass(m, find_passes)
+            n_left, n_right = split_child_counts(m, f, child_cap)
+            f_left = f // 2
+            splits.append((n_left, f_left))
+            splits.append((n_right, f - f_left))
+    return total
+
+
+@dataclass(frozen=True)
+class AnalyticalCostModel:
+    """Convenience wrapper evaluating Eqs. 1-5 for a dataset shape.
+
+    Derives page capacities and ``B`` from the disk parameters and the
+    dimensionality, resolves ``h_upper`` with the Section 4.5.2
+    heuristic, and prices costs in seconds -- everything Figures 9 and
+    10 need.
+    """
+
+    disk: DiskParameters = field(default_factory=DiskParameters)
+    n_queries: int = 500
+    pointer_bytes: int = 4
+
+    def _shape(self, n_points: int, dim: int) -> tuple[Topology, int]:
+        c_data, c_dir = page_capacities(
+            self.disk.page_bytes,
+            dim,
+            bytes_per_value=self.disk.bytes_per_value,
+            pointer_bytes=self.pointer_bytes,
+        )
+        return _topology(n_points, c_data, c_dir), self.disk.points_per_page(dim)
+
+    def ondisk(
+        self, n_points: int, dim: int, memory: int, *, find_passes: float = 2.0
+    ) -> IOCost:
+        topology, b = self._shape(n_points, dim)
+        return cost_ondisk_build(topology, memory, b, find_passes=find_passes)
+
+    def cutoff(self, n_points: int, dim: int, memory: int) -> IOCost:
+        _, b = self._shape(n_points, dim)
+        return cost_cutoff(n_points, b, self.n_queries)
+
+    def resampled(
+        self, n_points: int, dim: int, memory: int, *, h_upper: int | None = None
+    ) -> IOCost:
+        topology, b = self._shape(n_points, dim)
+        if h_upper is None:
+            h_upper = topology.best_h_upper(memory)
+        sigma_lower = topology.sigma_lower(h_upper, memory)
+        k = topology.n_upper_leaves(h_upper)
+        return cost_resampled(
+            n_points, memory, b, sigma_lower, k, self.n_queries
+        )
+
+    def seconds(self, cost: IOCost) -> float:
+        return cost.seconds(self.disk)
+
+
+@lru_cache(maxsize=256)
+def _topology(n_points: int, c_data: int, c_dir: int) -> Topology:
+    """Topologies are immutable and expensive to enumerate; cache them."""
+    return Topology(n_points=n_points, c_data=c_data, c_dir=c_dir)

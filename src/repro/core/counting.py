@@ -1,0 +1,76 @@
+"""Page-access counting against a predicted leaf-page layout.
+
+Every prediction method in the paper ends the same way: given the
+(estimated, compensation-grown) leaf pages and the query workload,
+count for each query how many pages its region intersects and report
+the average (Figures 5 and 7, last steps).  This module is that shared
+final step, for both k-NN spheres and range boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..disk.accounting import IOCost
+from ..rtree.geometry import intersects_box, mindist_sq_point_to_boxes
+from ..workload.queries import KNNWorkload, RangeWorkload
+
+__all__ = ["PredictionResult", "knn_accesses_per_query", "range_accesses_per_query"]
+
+
+@dataclass(frozen=True)
+class PredictionResult:
+    """Outcome of one prediction run.
+
+    ``per_query`` holds the predicted leaf-page accesses of each query
+    (the paper's correlation diagrams plot these against measurements);
+    ``io_cost`` is the seek/transfer count the *prediction itself*
+    incurred on the simulated disk (zero for the unrestricted-memory
+    model).  ``detail`` carries method-specific diagnostics such as the
+    sampling ratios used.
+    """
+
+    per_query: np.ndarray
+    io_cost: IOCost = field(default_factory=IOCost)
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def mean_accesses(self) -> float:
+        """Average predicted leaf-page accesses per query."""
+        return float(np.mean(self.per_query))
+
+    def relative_error(self, measured_mean: float) -> float:
+        """Signed relative error vs. a measured mean (paper's metric:
+        negative = underestimation, positive = overestimation)."""
+        if measured_mean <= 0:
+            raise ValueError("measured mean must be positive")
+        return (self.mean_accesses - measured_mean) / measured_mean
+
+
+def knn_accesses_per_query(
+    lower: np.ndarray, upper: np.ndarray, workload: KNNWorkload
+) -> np.ndarray:
+    """Per-query count of leaf boxes intersecting each k-NN sphere."""
+    counts = np.zeros(workload.n_queries, dtype=np.int64)
+    if lower.shape[0] == 0:
+        return counts
+    radii_sq = workload.radii * workload.radii
+    for i, query in enumerate(workload.queries):
+        dists = mindist_sq_point_to_boxes(query, lower, upper)
+        counts[i] = int(np.count_nonzero(dists <= radii_sq[i]))
+    return counts
+
+
+def range_accesses_per_query(
+    lower: np.ndarray, upper: np.ndarray, workload: RangeWorkload
+) -> np.ndarray:
+    """Per-query count of leaf boxes intersecting each range box."""
+    counts = np.zeros(workload.n_queries, dtype=np.int64)
+    if lower.shape[0] == 0:
+        return counts
+    for i in range(workload.n_queries):
+        hits = intersects_box(lower, upper, workload.lower[i], workload.upper[i])
+        counts[i] = int(np.count_nonzero(hits))
+    return counts

@@ -1,0 +1,153 @@
+"""Phase splitting: the upper tree of the restricted-memory predictors.
+
+Under a memory budget of ``M`` points, the mini-index is built in
+phases (Section 4.2): a single *upper tree* on a sample of ``M`` points
+covering levels ``height .. height - h_upper + 1`` of the full index,
+and one *lower tree* per upper-tree leaf page, constructed afterwards by
+either the cutoff or the resampled method.  This module builds the
+upper tree, applies Theorem 1's compensation to its leaf pages, and
+exposes the per-leaf data (grown box, sample points, full-data point
+quota) the lower-tree constructions consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..rtree.bulkload import BulkLoadConfig, build_tree
+from ..rtree.node import LeafNode
+from .compensation import compensation_side_factor
+from .topology import Topology
+
+__all__ = ["UpperLeaf", "UpperTree", "build_upper_tree", "resolve_h_upper"]
+
+
+def resolve_h_upper(topology: Topology, h_upper: int | None, memory: int) -> int:
+    """The upper-tree height a phased predictor should use.
+
+    An explicit ``h_upper`` is validated against ``[2, height - 1]``
+    (the phased regime of Section 4.5).  Otherwise the Section 4.5.2
+    heuristic chooses it, degrading gracefully at the edges: a tree too
+    short to phase (height < 3) or a memory budget covering the whole
+    dataset collapses to ``h_upper == height`` -- the single-phase
+    mini-index of Section 3 -- and a budget too tight for the
+    feasibility bounds falls back to the shallowest phased tree.
+    """
+    if h_upper is not None:
+        if not 2 <= h_upper <= topology.height - 1:
+            raise ValueError(
+                f"h_upper {h_upper} outside [2, {topology.height - 1}]"
+            )
+        return h_upper
+    if topology.height < 3 or memory >= topology.n_points:
+        return topology.height
+    try:
+        return topology.best_h_upper(memory)
+    except ValueError:
+        return 2
+
+
+@dataclass
+class UpperLeaf:
+    """One leaf page of the upper tree, after compensation growth.
+
+    ``lower``/``upper`` are the grown corners; ``sample_ids`` index into
+    the upper-tree sample; ``virtual_n`` is the number of *full-dataset*
+    points the corresponding subtree of the on-disk index would hold.
+    Empty leaves (no sample point fell into their quota) have
+    ``lower is None``.
+    """
+
+    lower: np.ndarray | None
+    upper: np.ndarray | None
+    sample_ids: np.ndarray
+    virtual_n: int
+
+    @property
+    def is_empty(self) -> bool:
+        return self.lower is None
+
+
+@dataclass
+class UpperTree:
+    """The built upper tree: grown leaves plus the parameters used."""
+
+    leaves: list[UpperLeaf]
+    sample: np.ndarray
+    topology: Topology
+    h_upper: int
+    sigma_upper: float
+    growth_factor: float
+
+    @property
+    def leaf_level(self) -> int:
+        return self.topology.upper_leaf_level(self.h_upper)
+
+    @property
+    def k(self) -> int:
+        """Number of upper-tree leaf pages (the paper's ``k``)."""
+        return len(self.leaves)
+
+    def grown_corners(self) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked corners of the non-empty grown leaves."""
+        boxes = [(l.lower, l.upper) for l in self.leaves if not l.is_empty]
+        if not boxes:
+            d = self.sample.shape[1]
+            return np.empty((0, d)), np.empty((0, d))
+        return np.stack([b[0] for b in boxes]), np.stack([b[1] for b in boxes])
+
+
+def build_upper_tree(
+    sample: np.ndarray,
+    topology: Topology,
+    h_upper: int,
+    *,
+    config: BulkLoadConfig | None = None,
+) -> UpperTree:
+    """Build the upper tree on ``sample`` and grow its leaf pages.
+
+    The sample's size relative to ``topology.n_points`` defines
+    ``sigma_upper``; leaves are grown by
+    ``delta(pts(height - h_upper + 1), sigma_upper)`` as in Section 4.2.
+    """
+    sample = np.asarray(sample, dtype=np.float64)
+    if not 1 <= h_upper <= topology.height:
+        raise ValueError(f"h_upper {h_upper} outside [1, {topology.height}]")
+    sigma_upper = min(sample.shape[0] / topology.n_points, 1.0)
+    leaf_level = topology.upper_leaf_level(h_upper)
+    root = build_tree(sample, topology, config, stop_level=leaf_level)
+
+    page_points = topology.pts(leaf_level)
+    if sigma_upper >= 1.0:
+        factor = 1.0
+    else:
+        try:
+            factor = compensation_side_factor(page_points, sigma_upper)
+        except ValueError:
+            # Sampled pages expect <= 1 point: Theorem 1 is undefined
+            # below a 1/C sampling rate (Section 3.3); fall back to the
+            # raw sampled geometry rather than failing the prediction.
+            factor = 1.0
+
+    leaves: list[UpperLeaf] = []
+    for node in root.iter_leaves():
+        assert isinstance(node, LeafNode)
+        if node.mbr is None:
+            leaves.append(
+                UpperLeaf(None, None, node.point_ids, node.virtual_n)
+            )
+            continue
+        grown = node.mbr.grown(factor)
+        leaves.append(
+            UpperLeaf(grown.lower, grown.upper, node.point_ids, node.virtual_n)
+        )
+    return UpperTree(
+        leaves=leaves,
+        sample=sample,
+        topology=topology,
+        h_upper=h_upper,
+        sigma_upper=sigma_upper,
+        growth_factor=factor,
+    )

@@ -1,0 +1,150 @@
+"""High-level facade: one entry point for prediction and measurement.
+
+``IndexCostPredictor`` wires together the dataset file, the workload,
+the three prediction methods of the paper, and the measured on-disk
+ground truth, deriving page capacities from the disk geometry the way
+the paper does.  It is the API the examples and benchmarks use::
+
+    predictor = IndexCostPredictor(dim=60, memory=10_000)
+    workload = predictor.make_workload(points, n_queries=500, k=21, seed=1)
+    estimate = predictor.predict(points, workload, method="resampled")
+    truth = predictor.measure(points, workload)
+    error = estimate.relative_error(truth.mean_accesses)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..disk.accounting import DiskParameters
+from ..disk.device import SimulatedDisk
+from ..disk.pagefile import PointFile
+from ..ondisk.builder import OnDiskBuilder, OnDiskIndex
+from ..ondisk.measure import MeasurementResult, measure_knn
+from ..rtree.bulkload import BulkLoadConfig
+from ..workload.queries import (
+    KNNWorkload,
+    RangeWorkload,
+    density_biased_knn_workload,
+)
+from .counting import PredictionResult
+from .cutoff import CutoffModel
+from .minindex import MiniIndexModel
+from .resampled import ResampledModel
+from .topology import Topology, page_capacities
+
+__all__ = ["IndexCostPredictor"]
+
+_METHODS = ("mini", "cutoff", "resampled")
+
+
+@dataclass
+class IndexCostPredictor:
+    """Predicts leaf-page accesses of a VAMSplit R*-tree for a workload.
+
+    Page capacities default to what the disk geometry dictates for the
+    dimensionality (Section 5's configuration); pass ``c_data`` /
+    ``c_dir`` to override.  ``memory`` is the point budget ``M`` of the
+    restricted-memory methods.
+    """
+
+    dim: int
+    memory: int = 10_000
+    disk_parameters: DiskParameters = field(default_factory=DiskParameters)
+    c_data: int | None = None
+    c_dir: int | None = None
+    config: BulkLoadConfig | None = None
+
+    def __post_init__(self) -> None:
+        default_data, default_dir = page_capacities(
+            self.disk_parameters.page_bytes,
+            self.dim,
+            bytes_per_value=self.disk_parameters.bytes_per_value,
+        )
+        if self.c_data is None:
+            self.c_data = default_data
+        if self.c_dir is None:
+            self.c_dir = default_dir
+
+    # ------------------------------------------------------------------
+
+    def topology(self, n_points: int) -> Topology:
+        return Topology(n_points=n_points, c_data=self.c_data, c_dir=self.c_dir)
+
+    def make_workload(
+        self, points: np.ndarray, n_queries: int, k: int, seed: int = 0
+    ) -> KNNWorkload:
+        """The paper's density-biased k-NN workload, seeded."""
+        rng = np.random.default_rng(seed)
+        return density_biased_knn_workload(points, n_queries, k, rng)
+
+    def new_file(self, points: np.ndarray) -> PointFile:
+        """The dataset on a fresh simulated disk (I/O counters at zero)."""
+        disk = SimulatedDisk(self.disk_parameters)
+        return PointFile.from_points(disk, points)
+
+    # ------------------------------------------------------------------
+
+    def predict(
+        self,
+        points: np.ndarray,
+        workload: KNNWorkload | RangeWorkload,
+        *,
+        method: str = "resampled",
+        h_upper: int | None = None,
+        sampling_fraction: float | None = None,
+        seed: int = 0,
+    ) -> PredictionResult:
+        """Predict mean leaf accesses with the chosen method.
+
+        ``method`` is ``"mini"`` (Section 3, needs ``sampling_fraction``),
+        ``"cutoff"`` or ``"resampled"`` (Section 4, use ``memory`` and
+        optionally ``h_upper``).  The phased methods run against a fresh
+        simulated disk so ``result.io_cost`` is exactly their own I/O.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        rng = np.random.default_rng(seed)
+        if method == "mini":
+            fraction = sampling_fraction if sampling_fraction is not None else min(
+                1.0, self.memory / points.shape[0]
+            )
+            model = MiniIndexModel(self.c_data, self.c_dir, config=self.config)
+            return model.predict(points, workload, fraction, rng)
+        if method == "cutoff":
+            cutoff = CutoffModel(
+                self.c_data, self.c_dir, self.memory, h_upper=h_upper,
+                config=self.config,
+            )
+            return cutoff.predict(self.new_file(points), workload, rng)
+        if method == "resampled":
+            resampled = ResampledModel(
+                self.c_data, self.c_dir, self.memory, h_upper=h_upper,
+                config=self.config,
+            )
+            return resampled.predict(self.new_file(points), workload, rng)
+        raise ValueError(f"unknown method {method!r}; options: {_METHODS}")
+
+    # ------------------------------------------------------------------
+
+    def build_ondisk(self, points: np.ndarray) -> OnDiskIndex:
+        """Bulk load the real index on a fresh simulated disk."""
+        builder = OnDiskBuilder(
+            self.c_data, self.c_dir, self.memory, config=self.config
+        )
+        return builder.build(self.new_file(np.asarray(points, dtype=np.float64)))
+
+    def measure(
+        self,
+        points: np.ndarray,
+        workload: KNNWorkload,
+        *,
+        index: OnDiskIndex | None = None,
+    ) -> MeasurementResult:
+        """Measured ground truth: build (or reuse) the on-disk index and
+        run the workload's queries on it.  The returned ``io_cost``
+        covers the queries only; ``index.build_cost`` has the build."""
+        if index is None:
+            index = self.build_ondisk(points)
+        return measure_knn(index, workload)

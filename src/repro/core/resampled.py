@@ -1,0 +1,308 @@
+"""The resampled index tree predictor (Section 4.4).
+
+The most accurate restricted-memory method: after the upper tree is
+built on ``M`` sample points and its ``k`` leaf pages are grown, a
+second pass over the dataset draws ``k * M`` fresh sample points
+(``sigma_lower = min(k * M / N, 1)``) and distributes each to an upper
+leaf page -- into the page that contains it, else into the nearest page
+by Euclidean box distance, growing that page (Figure 6).  Points bound
+for the same page are spilled to one of ``k`` consecutive disk areas so
+each lower tree can later be built with the *whole* memory (Figure 8).
+Every lower tree is then bulk loaded in memory on its resampled points
+with the full index's subtree structure, and the query spheres are
+intersected with the resulting leaf pages.
+
+I/O charged on the simulated disk reproduces Eq. 5:
+``cost_ReadQueryPoints + cost_ScanDataset + cost_Resampling +
+cost_BuildLowerSubtrees``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..disk.pagefile import PointFile
+from ..rtree.bulkload import BulkLoadConfig, build_subtree
+from ..workload.queries import KNNWorkload, RangeWorkload
+from .compensation import compensation_side_factor, grow_corners
+from .counting import (
+    PredictionResult,
+    knn_accesses_per_query,
+    range_accesses_per_query,
+)
+from .phases import UpperTree, build_upper_tree, resolve_h_upper
+from .sampling_io import read_query_points, scan_and_sample
+from .topology import Topology
+
+__all__ = ["ResampledModel"]
+
+_ASSIGN_BLOCK = 4096  # points assigned to boxes per vectorized block
+
+
+@dataclass(frozen=True)
+class ResampledModel:
+    """Restricted-memory predictor that resamples per lower tree.
+
+    ``memory`` is ``M`` (points that fit in memory).  ``h_upper`` of
+    ``None`` selects the Section 4.5.2 heuristic: the tallest feasible
+    upper tree whose lower trees have an unsampled size closest to
+    ``M`` (equivalently, ``sigma_lower`` just reaching 1).
+    """
+
+    c_data: int
+    c_dir: int
+    memory: int
+    h_upper: int | None = None
+    config: BulkLoadConfig | None = None
+    overflow_policy: str = "reservoir"
+
+    def __post_init__(self) -> None:
+        if self.overflow_policy not in ("reservoir", "discard"):
+            raise ValueError(
+                f"unknown overflow_policy {self.overflow_policy!r}"
+            )
+
+    def predict(
+        self,
+        file: PointFile,
+        workload: KNNWorkload | RangeWorkload,
+        rng: np.random.Generator,
+    ) -> PredictionResult:
+        """Run Figure 7's algorithm against the paged dataset file."""
+        start_cost = file.disk.cost
+        n = file.n_points
+        topology = Topology(n, self.c_data, self.c_dir)
+        h_upper = self._resolve_h_upper(topology)
+
+        # Steps 2-3: query points, then one scan for spheres + sample.
+        if isinstance(workload, KNNWorkload):
+            read_query_points(file, workload.query_ids)
+        sample = scan_and_sample(file, min(self.memory, n), rng)
+
+        # Step 5: upper tree with grown leaf pages.
+        upper = build_upper_tree(sample, topology, h_upper, config=self.config)
+
+        if upper.leaf_level == 1:
+            # Degenerate single-phase case (tree too short to phase, or
+            # the whole dataset fits in memory): the upper-tree leaves
+            # already are the compensated data pages.
+            lower, upper_c = upper.grown_corners()
+            per_query = self._count(lower, upper_c, workload)
+            return PredictionResult(
+                per_query=per_query,
+                io_cost=file.disk.cost - start_cost,
+                detail={
+                    "h_upper": h_upper,
+                    "sigma_upper": upper.sigma_upper,
+                    "sigma_lower": 1.0,
+                    "k_upper_leaves": upper.k,
+                    "n_predicted_leaves": int(lower.shape[0]),
+                    "n_discarded_overflow": 0,
+                    "leaf_growth_factor": upper.growth_factor,
+                },
+            )
+
+        sigma_lower = topology.sigma_lower(h_upper, self.memory)
+
+        # Steps 6-7: resampling pass into k consecutive spill areas.
+        areas, boxes_lower, boxes_upper, area_of_leaf, n_discarded = (
+            self._resample_into_areas(file, upper, sigma_lower, rng)
+        )
+
+        # Steps 8-10: build each lower tree in memory on its area.
+        leaf_lower: list[np.ndarray] = []
+        leaf_upper: list[np.ndarray] = []
+        for leaf_idx, leaf in enumerate(upper.leaves):
+            area_idx = area_of_leaf[leaf_idx]
+            if area_idx is None:
+                continue
+            area = areas[area_idx]
+            if area.n_points == 0:
+                continue
+            points = area.read_all()
+            ids = np.arange(points.shape[0], dtype=np.int64)
+            root = build_subtree(
+                points, ids, upper.leaf_level, leaf.virtual_n, topology, self.config
+            )
+            for node in root.iter_leaves():
+                if node.mbr is not None:
+                    leaf_lower.append(node.mbr.lower)
+                    leaf_upper.append(node.mbr.upper)
+        file.disk.drop_head()
+
+        if leaf_lower:
+            lower = np.stack(leaf_lower)
+            upper_c = np.stack(leaf_upper)
+        else:
+            lower = np.empty((0, file.dim))
+            upper_c = np.empty((0, file.dim))
+
+        # Compensate the lower-tree leaves when they too were sampled.
+        page_points = topology.pts(1)
+        if sigma_lower < 1.0 and page_points * sigma_lower > 1.0:
+            lower, upper_c = grow_corners(lower, upper_c, page_points, sigma_lower)
+            leaf_growth = compensation_side_factor(page_points, sigma_lower)
+        else:
+            leaf_growth = 1.0
+
+        per_query = self._count(lower, upper_c, workload)
+        return PredictionResult(
+            per_query=per_query,
+            io_cost=file.disk.cost - start_cost,
+            detail={
+                "h_upper": h_upper,
+                "sigma_upper": upper.sigma_upper,
+                "sigma_lower": sigma_lower,
+                "k_upper_leaves": upper.k,
+                "n_predicted_leaves": int(lower.shape[0]),
+                "n_discarded_overflow": n_discarded,
+                "leaf_growth_factor": leaf_growth,
+            },
+        )
+
+    # ------------------------------------------------------------------
+
+    def _resolve_h_upper(self, topology: Topology) -> int:
+        return resolve_h_upper(topology, self.h_upper, self.memory)
+
+    @staticmethod
+    def _count(
+        lower: np.ndarray,
+        upper: np.ndarray,
+        workload: KNNWorkload | RangeWorkload,
+    ) -> np.ndarray:
+        if isinstance(workload, KNNWorkload):
+            return knn_accesses_per_query(lower, upper, workload)
+        return range_accesses_per_query(lower, upper, workload)
+
+    def _resample_into_areas(
+        self,
+        file: PointFile,
+        upper: UpperTree,
+        sigma_lower: float,
+        rng: np.random.Generator,
+    ) -> tuple[list[PointFile], np.ndarray, np.ndarray, list[int | None], int]:
+        """Second sampling pass: distribute new sample points to areas.
+
+        Returns the spill areas, the (mutable, possibly grown) box
+        corner arrays, the leaf-index -> area-index map (``None`` for
+        upper leaves that had no box), and the overflow-discard count.
+        """
+        n = file.n_points
+        dim = file.dim
+        # One spill area per non-empty upper leaf, allocated
+        # consecutively so each later read is one seek + a streak.
+        area_of_leaf: list[int | None] = []
+        boxes_lo: list[np.ndarray] = []
+        boxes_hi: list[np.ndarray] = []
+        for leaf in upper.leaves:
+            if leaf.is_empty:
+                area_of_leaf.append(None)
+            else:
+                area_of_leaf.append(len(boxes_lo))
+                boxes_lo.append(leaf.lower)
+                boxes_hi.append(leaf.upper)
+        n_boxes = len(boxes_lo)
+        if n_boxes == 0:
+            return [], np.empty((0, dim)), np.empty((0, dim)), area_of_leaf, 0
+        box_lower = np.stack(boxes_lo)
+        box_upper = np.stack(boxes_hi)
+        areas = [PointFile(file.disk, dim, self.memory) for _ in range(n_boxes)]
+
+        n_resample = min(n, round(n * sigma_lower))
+        chosen = np.sort(rng.choice(n, size=n_resample, replace=False))
+        seen_per_area = np.zeros(n_boxes, dtype=np.int64)
+        # Chunks sized so each holds about M sample points (Figure 8a).
+        chunk = min(n, math.ceil(self.memory / max(sigma_lower, 1e-12)))
+        for start, block in file.scan(chunk_points=chunk):
+            stop = start + block.shape[0]
+            in_block = chosen[(chosen >= start) & (chosen < stop)]
+            if in_block.size == 0:
+                continue
+            pts = block[in_block - start]
+            assignment = _assign_to_boxes(pts, box_lower, box_upper)
+            # Distribute groups (Figure 8b): one streak write per area.
+            for box_idx in np.unique(assignment):
+                group = pts[assignment == box_idx]
+                self._spill(areas[box_idx], group,
+                            int(seen_per_area[box_idx]), rng)
+                seen_per_area[box_idx] += group.shape[0]
+                # Grow the box to cover its new points (Figure 6b).
+                box_lower[box_idx] = np.minimum(
+                    box_lower[box_idx], group.min(axis=0)
+                )
+                box_upper[box_idx] = np.maximum(
+                    box_upper[box_idx], group.max(axis=0)
+                )
+            file.disk.drop_head()  # the next chunk read pays its seek
+        n_discarded = int(
+            np.maximum(seen_per_area - self.memory, 0).sum()
+        )
+        return areas, box_lower, box_upper, area_of_leaf, n_discarded
+
+    def _spill(
+        self,
+        area: PointFile,
+        group: np.ndarray,
+        seen_before: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """Write a group to its spill area, capping at capacity ``M``.
+
+        ``overflow_policy="discard"`` drops the excess, as the paper's
+        implementation does (footnote 5) -- which biases a full area
+        toward the file's scan order.  The default ``"reservoir"``
+        policy instead keeps a uniform sample of everything streamed to
+        the area (classic reservoir sampling): same space bound, no
+        order bias, markedly better lower trees for dense areas.
+        """
+        room = area.capacity - area.n_points
+        take = min(room, group.shape[0])
+        if take > 0:
+            area.append(group[:take])
+        rest = group[take:]
+        if rest.shape[0] == 0 or self.overflow_policy == "discard":
+            return
+        # Reservoir replacement: stream position s (0-based) is kept
+        # with probability capacity / (s + 1), overwriting a random slot.
+        positions = seen_before + take + np.arange(rest.shape[0])
+        slots = rng.integers(0, positions + 1)
+        accept = slots < area.capacity
+        if not np.any(accept):
+            return
+        kept_slots = slots[accept]
+        kept_points = rest[accept]
+        for slot, point in zip(kept_slots.tolist(), kept_points):
+            area.place(int(slot), point[np.newaxis, :])
+        # Replacements are in-place page writes within the area: one
+        # seek to the area plus the touched pages, batched per group.
+        pages = math.ceil(
+            kept_slots.shape[0] / area.points_per_page
+        )
+        area.disk.drop_head()
+        area.disk.write(area.start_page, min(pages, area.n_pages))
+
+
+def _assign_to_boxes(
+    points: np.ndarray, box_lower: np.ndarray, box_upper: np.ndarray
+) -> np.ndarray:
+    """Index of the containing box, else the nearest box, per point."""
+    n = points.shape[0]
+    assignment = np.empty(n, dtype=np.int64)
+    for start in range(0, n, _ASSIGN_BLOCK):
+        block = points[start : start + _ASSIGN_BLOCK]
+        best_dist = np.full(block.shape[0], np.inf)
+        best_idx = np.zeros(block.shape[0], dtype=np.int64)
+        for j in range(box_lower.shape[0]):
+            below = np.maximum(box_lower[j] - block, 0.0)
+            above = np.maximum(block - box_upper[j], 0.0)
+            gap = below + above
+            dist = np.einsum("nd,nd->n", gap, gap)
+            better = dist < best_dist
+            best_dist[better] = dist[better]
+            best_idx[better] = j
+        assignment[start : start + block.shape[0]] = best_idx
+    return assignment

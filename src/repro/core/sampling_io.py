@@ -1,0 +1,60 @@
+"""Charged I/O steps shared by the phased predictors.
+
+Both the cutoff and the resampled prediction algorithms (Figures 5
+and 7) start the same way: read ``q`` query points at random positions
+(Eq. 2), then scan the whole dataset once -- the scan simultaneously
+determines the query spheres and collects the upper-tree sample of
+``M`` points.  These helpers perform those steps against a
+:class:`~repro.disk.pagefile.PointFile` so the seeks and transfers land
+on the simulated disk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..disk.pagefile import PointFile
+
+__all__ = ["read_query_points", "scan_and_sample"]
+
+
+def read_query_points(file: PointFile, query_ids: np.ndarray) -> np.ndarray:
+    """Random single-point reads of the query points (Eq. 2).
+
+    Each read is one seek plus one page transfer -- the prediction
+    algorithm interleaves these reads with other work, so consecutive
+    query points never find the head in place, exactly as Eq. 2 prices
+    them: ``q * (t_seek + t_xfer)``.
+    """
+    rows = []
+    for qid in np.asarray(query_ids):
+        file.disk.drop_head()
+        rows.append(file.read_point(int(qid)))
+    file.disk.drop_head()
+    return np.stack(rows) if rows else np.empty((0, file.dim))
+
+
+def scan_and_sample(
+    file: PointFile,
+    n_sample: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One sequential pass over the file, returning a uniform sample.
+
+    Charges ``t_seek + ceil(N / B) * t_xfer`` (``cost_ScanDataset``).
+    The sample positions are drawn without replacement ahead of the scan
+    and gathered as their pages stream by, exactly as an implementation
+    over a real file would do.
+    """
+    n = file.n_points
+    if not 1 <= n_sample <= n:
+        raise ValueError(f"sample size {n_sample} outside [1, {n}]")
+    chosen = np.sort(rng.choice(n, size=n_sample, replace=False))
+    collected: list[np.ndarray] = []
+    for start, block in file.scan():
+        stop = start + block.shape[0]
+        in_block = chosen[(chosen >= start) & (chosen < stop)]
+        if in_block.size:
+            collected.append(block[in_block - start])
+    file.disk.drop_head()
+    return np.concatenate(collected) if collected else np.empty((0, file.dim))

@@ -1,0 +1,6 @@
+"""Datasets: generators, transforms, and the paper's analogues."""
+
+from . import datasets, generators, transforms
+from .datasets import DATASETS, DatasetSpec, load
+
+__all__ = ["datasets", "generators", "transforms", "DATASETS", "DatasetSpec", "load"]

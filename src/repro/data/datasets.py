@@ -1,0 +1,153 @@
+"""Synthetic analogues of the paper's experimental datasets (Table 1).
+
+The originals (color histograms from a commercial CD-ROM, Corel and
+Landsat texture features, ISOLET speech features, stock price series)
+are not redistributable; each analogue below matches the original's
+cardinality and dimensionality and reproduces the *properties the cost
+model is sensitive to* -- clustering, variance concentration after
+KLT/DFT, and the N << d regime of the two very-high-dimensional sets.
+See DESIGN.md Section 4 for the substitution rationale.
+
+All loaders are deterministic for a given ``seed`` and accept a
+``scale`` in ``(0, 1]`` that shrinks the cardinality proportionally
+(benchmarks use reduced scales to keep wall-clock time sane; the paper's
+full sizes are the defaults).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from . import generators, transforms
+
+__all__ = ["DatasetSpec", "DATASETS", "load", "color64", "texture48", "texture60", "isolet617", "stock360"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Cardinality/dimensionality of one Table 1 dataset and its builder."""
+
+    name: str
+    n_points: int
+    dim: int
+    description: str
+    build: Callable[[int, int, np.random.Generator], np.ndarray]
+
+    def generate(self, *, scale: float = 1.0, seed: int = 0) -> np.ndarray:
+        """The analogue point matrix, ``round(scale * n_points)`` rows."""
+        if not 0 < scale <= 1:
+            raise ValueError("scale must be in (0, 1]")
+        n = max(2, math.ceil(self.n_points * scale))
+        rng = np.random.default_rng(seed)
+        points = self.build(n, self.dim, rng)
+        if points.shape != (n, self.dim):
+            raise AssertionError(
+                f"builder for {self.name} returned {points.shape}, expected {(n, self.dim)}"
+            )
+        return points
+
+
+def _clustered_klt(n_clusters: int, cluster_std: float) -> Callable:
+    def build(n: int, dim: int, rng: np.random.Generator) -> np.ndarray:
+        raw = generators.gaussian_mixture(
+            n, dim, rng, n_clusters=n_clusters, cluster_std=cluster_std
+        )
+        return transforms.klt(raw)
+
+    return build
+
+
+def _isolet_like(n: int, dim: int, rng: np.random.Generator) -> np.ndarray:
+    # 52 letter classes, tight within-class spread, N << d regime.
+    raw = generators.gaussian_mixture(
+        n,
+        dim,
+        rng,
+        n_clusters=52,
+        cluster_std=0.03,
+        weights=np.full(52, 1.0 / 52),
+    )
+    return transforms.klt(raw)
+
+
+def _stock_like(n: int, dim: int, rng: np.random.Generator) -> np.ndarray:
+    series = generators.random_walk_series(n, dim, rng)
+    return transforms.dft_features(series)
+
+
+COLOR64 = DatasetSpec(
+    name="COLOR64",
+    n_points=112_361,
+    dim=64,
+    description="color-histogram analogue: 40-cluster KLT-rotated mixture",
+    build=_clustered_klt(n_clusters=40, cluster_std=0.04),
+)
+
+TEXTURE48 = DatasetSpec(
+    name="TEXTURE48",
+    n_points=26_697,
+    dim=48,
+    description="Corel texture analogue: 30-cluster KLT-rotated mixture",
+    build=_clustered_klt(n_clusters=30, cluster_std=0.05),
+)
+
+TEXTURE60 = DatasetSpec(
+    name="TEXTURE60",
+    n_points=275_465,
+    dim=60,
+    description="Landsat texture analogue: 35-cluster KLT-rotated mixture",
+    build=_clustered_klt(n_clusters=35, cluster_std=0.05),
+)
+
+ISOLET617 = DatasetSpec(
+    name="ISOLET617",
+    n_points=7_800,
+    dim=617,
+    description="spoken-letter analogue: 52 equal classes, N << d",
+    build=_isolet_like,
+)
+
+STOCK360 = DatasetSpec(
+    name="STOCK360",
+    n_points=6_500,
+    dim=360,
+    description="stock-series analogue: random walks, DFT-transformed",
+    build=_stock_like,
+)
+
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec for spec in (COLOR64, TEXTURE48, TEXTURE60, ISOLET617, STOCK360)
+}
+
+
+def load(name: str, *, scale: float = 1.0, seed: int = 0) -> np.ndarray:
+    """Generate the named analogue (see :data:`DATASETS` for names)."""
+    try:
+        spec = DATASETS[name.upper()]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; options: {sorted(DATASETS)}") from None
+    return spec.generate(scale=scale, seed=seed)
+
+
+def color64(*, scale: float = 1.0, seed: int = 0) -> np.ndarray:
+    return COLOR64.generate(scale=scale, seed=seed)
+
+
+def texture48(*, scale: float = 1.0, seed: int = 0) -> np.ndarray:
+    return TEXTURE48.generate(scale=scale, seed=seed)
+
+
+def texture60(*, scale: float = 1.0, seed: int = 0) -> np.ndarray:
+    return TEXTURE60.generate(scale=scale, seed=seed)
+
+
+def isolet617(*, scale: float = 1.0, seed: int = 0) -> np.ndarray:
+    return ISOLET617.generate(scale=scale, seed=seed)
+
+
+def stock360(*, scale: float = 1.0, seed: int = 0) -> np.ndarray:
+    return STOCK360.generate(scale=scale, seed=seed)

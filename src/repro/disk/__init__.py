@@ -1,0 +1,8 @@
+"""Simulated disk: seek/transfer accounting and paged point files."""
+
+from .accounting import DiskParameters, IOCost
+from .bufferpool import BufferedDisk
+from .device import SimulatedDisk
+from .pagefile import PointFile
+
+__all__ = ["DiskParameters", "IOCost", "BufferedDisk", "SimulatedDisk", "PointFile"]

@@ -1,0 +1,97 @@
+"""I/O cost accounting.
+
+The paper reports every experiment in *counted* disk operations: the
+number of page seeks (reads of a page not adjacent to the previously
+read page) and the number of 8 KByte page transfers, priced with
+``t_seek = 10 ms`` and ``t_xfer = 0.4 ms`` (20 MB/s).  This module holds
+the value types for those counts so the simulator, the analytical cost
+model (Eqs. 1-5), and the experiment tables all speak the same unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DiskParameters", "IOCost"]
+
+
+@dataclass(frozen=True)
+class DiskParameters:
+    """Physical disk characteristics (Table 2 / Section 4.6 defaults).
+
+    ``t_seek`` is the average seek-plus-rotational-latency time in
+    seconds; ``t_xfer`` the transfer time of one ``page_bytes`` page.
+    The defaults model the paper's disk: 10 ms seek, 20 MB/s bandwidth,
+    8 KB pages (8192 / 20e6 s = 0.4096 ms, rounded to 0.4 ms as in the
+    paper).
+    """
+
+    t_seek: float = 0.010
+    t_xfer: float = 0.0004
+    page_bytes: int = 8192
+    bytes_per_value: int = 4
+
+    def __post_init__(self) -> None:
+        if self.t_seek < 0 or self.t_xfer < 0:
+            raise ValueError("disk times must be non-negative")
+        if self.page_bytes < 1 or self.bytes_per_value < 1:
+            raise ValueError("page_bytes and bytes_per_value must be positive")
+
+    def points_per_page(self, dim: int) -> int:
+        """``B``: how many ``dim``-dimensional points fit in one page.
+
+        At least 1 even when a single point exceeds the page (a point is
+        then stored across multiple pages; the transfer count below is
+        adjusted by the caller via fractional pages where needed).
+        """
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        return max(1, self.page_bytes // (dim * self.bytes_per_value))
+
+    def with_page_bytes(self, page_bytes: int) -> "DiskParameters":
+        """A copy with a different page size, transfer time rescaled.
+
+        Used by the page-size tuning application (Section 6.1): seek
+        time is size-independent, transfer time scales linearly with the
+        page size.
+        """
+        scale = page_bytes / self.page_bytes
+        return DiskParameters(
+            t_seek=self.t_seek,
+            t_xfer=self.t_xfer * scale,
+            page_bytes=page_bytes,
+            bytes_per_value=self.bytes_per_value,
+        )
+
+
+@dataclass(frozen=True)
+class IOCost:
+    """A count of seeks and page transfers; supports + and scaling."""
+
+    seeks: int = 0
+    transfers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.seeks < 0 or self.transfers < 0:
+            raise ValueError("I/O counts must be non-negative")
+
+    def __add__(self, other: "IOCost") -> "IOCost":
+        return IOCost(self.seeks + other.seeks, self.transfers + other.transfers)
+
+    def __sub__(self, other: "IOCost") -> "IOCost":
+        return IOCost(self.seeks - other.seeks, self.transfers - other.transfers)
+
+    def scaled(self, factor: int) -> "IOCost":
+        """The cost of repeating this I/O pattern ``factor`` times."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return IOCost(self.seeks * factor, self.transfers * factor)
+
+    def seconds(self, disk: DiskParameters | None = None) -> float:
+        """Priced cost in seconds: ``seeks * t_seek + transfers * t_xfer``."""
+        disk = disk or DiskParameters()
+        return self.seeks * disk.t_seek + self.transfers * disk.t_xfer
+
+    @property
+    def is_zero(self) -> bool:
+        return self.seeks == 0 and self.transfers == 0

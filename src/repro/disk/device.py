@@ -1,0 +1,94 @@
+"""A simulated disk that counts seeks and page transfers.
+
+The device models what the paper measures: a linear address space of
+fixed-size pages, a head position, and two counters.  Reading or
+writing a run of pages costs one *seek* if the run does not start where
+the head currently is, plus one *transfer* per page.  This reproduces
+the paper's definition exactly ("page seeks [are] caused by reading a
+page not adjacent to the previously read page").
+
+The device stores no bytes -- data lives in the
+:class:`~repro.disk.pagefile.PointFile` layers above -- it is purely the
+accountant through which *all* simulated I/O must flow.
+"""
+
+from __future__ import annotations
+
+from .accounting import DiskParameters, IOCost
+
+__all__ = ["SimulatedDisk"]
+
+
+class SimulatedDisk:
+    """Page-addressed disk with adjacency-aware seek counting."""
+
+    def __init__(self, parameters: DiskParameters | None = None):
+        self.parameters = parameters or DiskParameters()
+        self._seeks = 0
+        self._transfers = 0
+        self._head: int | None = None  # page the head sits *after*
+        self._next_free_page = 0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def allocate(self, n_pages: int) -> int:
+        """Reserve ``n_pages`` consecutive pages; returns the start page."""
+        if n_pages < 0:
+            raise ValueError("cannot allocate a negative number of pages")
+        start = self._next_free_page
+        self._next_free_page += n_pages
+        return start
+
+    @property
+    def allocated_pages(self) -> int:
+        return self._next_free_page
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def access(self, start_page: int, n_pages: int) -> IOCost:
+        """Read or write ``n_pages`` consecutive pages starting at
+        ``start_page``; returns the incremental cost charged."""
+        if start_page < 0 or n_pages < 0:
+            raise ValueError("page addresses and counts must be non-negative")
+        if n_pages == 0:
+            return IOCost()
+        seeks = 0 if self._head == start_page else 1
+        self._seeks += seeks
+        self._transfers += n_pages
+        self._head = start_page + n_pages
+        return IOCost(seeks=seeks, transfers=n_pages)
+
+    read = access
+    write = access
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def cost(self) -> IOCost:
+        """Total cost charged since construction (or the last reset)."""
+        return IOCost(seeks=self._seeks, transfers=self._transfers)
+
+    def seconds(self) -> float:
+        return self.cost.seconds(self.parameters)
+
+    def reset_counters(self) -> IOCost:
+        """Zero the counters; returns the counts accumulated so far.
+
+        The head position and the allocation pointer are preserved --
+        resetting the ledger must not create a phantom free seek.
+        """
+        total = self.cost
+        self._seeks = 0
+        self._transfers = 0
+        return total
+
+    def drop_head(self) -> None:
+        """Forget the head position (e.g. another process used the disk),
+        so the next access pays a seek."""
+        self._head = None

@@ -1,0 +1,188 @@
+"""A paged file of points on the simulated disk.
+
+``PointFile`` stores an ``(n, d)`` point matrix row-major in ``B``-point
+pages (``B`` derived from the disk's page size and the dimensionality,
+Table 2's ``B``).  Every read and write is charged to the owning
+:class:`~repro.disk.device.SimulatedDisk` at page granularity, so the
+on-disk index builder, the dataset scans of the predictors, and the
+resampling spill areas all produce the seek/transfer counts the paper
+tabulates.
+
+The actual floats live in an in-process numpy buffer -- the simulation
+is about *cost*, not persistence -- but the access API is strictly
+file-like: sequential scans, range reads, and appends.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from .device import SimulatedDisk
+
+__all__ = ["PointFile"]
+
+
+class PointFile:
+    """Fixed-capacity file of ``dim``-dimensional points on a disk."""
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        dim: int,
+        capacity: int,
+        *,
+        points_per_page: int | None = None,
+    ):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.disk = disk
+        self.dim = dim
+        self.capacity = capacity
+        self.points_per_page = points_per_page or disk.parameters.points_per_page(dim)
+        if self.points_per_page < 1:
+            raise ValueError("a page must hold at least one point")
+        self.start_page = disk.allocate(self._pages_for(capacity))
+        # The in-process buffer grows on demand: a file's *capacity*
+        # reserves disk pages (address arithmetic), not host memory --
+        # spill areas are sized for the worst case but usually stay
+        # far smaller.
+        self._buffer = np.empty((0, dim), dtype=np.float64)
+        self.n_points = 0
+
+    def _ensure_rows(self, rows: int) -> None:
+        if rows <= self._buffer.shape[0]:
+            return
+        new_rows = min(self.capacity, max(rows, 2 * self._buffer.shape[0], 256))
+        grown = np.empty((new_rows, self.dim), dtype=np.float64)
+        grown[: self.n_points] = self._buffer[: self.n_points]
+        self._buffer = grown
+
+    @classmethod
+    def from_points(
+        cls,
+        disk: SimulatedDisk,
+        points: np.ndarray,
+        *,
+        charge_write: bool = False,
+        points_per_page: int | None = None,
+    ) -> "PointFile":
+        """Create a file holding ``points``.
+
+        By default the initial load is free (the dataset already exists
+        on disk before any experiment starts); pass ``charge_write=True``
+        to account for materializing it.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(f"points must be (n, d), got {points.shape}")
+        pf = cls(disk, points.shape[1], points.shape[0], points_per_page=points_per_page)
+        pf._ensure_rows(points.shape[0])
+        pf._buffer[: points.shape[0]] = points
+        pf.n_points = points.shape[0]
+        if charge_write:
+            disk.write(pf.start_page, pf._pages_for(pf.n_points))
+        return pf
+
+    # ------------------------------------------------------------------
+    # Geometry of the layout
+    # ------------------------------------------------------------------
+
+    def _pages_for(self, n_points: int) -> int:
+        return math.ceil(n_points / self.points_per_page)
+
+    def page_of(self, index: int) -> int:
+        """Absolute disk page holding point ``index``."""
+        if not 0 <= index < self.n_points:
+            raise IndexError(f"point {index} outside [0, {self.n_points})")
+        return self.start_page + index // self.points_per_page
+
+    def page_span(self, start: int, stop: int) -> tuple[int, int]:
+        """(first absolute page, page count) covering points [start, stop)."""
+        if not 0 <= start <= stop <= self.capacity:
+            raise IndexError(f"range [{start}, {stop}) outside [0, {self.capacity}]")
+        if start == stop:
+            return self.start_page + start // self.points_per_page, 0
+        first = start // self.points_per_page
+        last = (stop - 1) // self.points_per_page
+        return self.start_page + first, last - first + 1
+
+    @property
+    def n_pages(self) -> int:
+        return self._pages_for(self.n_points)
+
+    # ------------------------------------------------------------------
+    # Charged access
+    # ------------------------------------------------------------------
+
+    def read_range(self, start: int, stop: int) -> np.ndarray:
+        """Read points ``[start, stop)``; charges the covering pages."""
+        if stop > self.n_points:
+            raise IndexError(f"read past end: [{start}, {stop}) > {self.n_points}")
+        first, count = self.page_span(start, stop)
+        self.disk.read(first, count)
+        return self._buffer[start:stop].copy()
+
+    def read_all(self) -> np.ndarray:
+        return self.read_range(0, self.n_points)
+
+    def read_point(self, index: int) -> np.ndarray:
+        """Random single-point read (one page)."""
+        self.disk.read(self.page_of(index), 1)
+        return self._buffer[index].copy()
+
+    def write_range(self, start: int, points: np.ndarray) -> None:
+        """Overwrite points starting at ``start``; charges covering pages."""
+        points = np.asarray(points, dtype=np.float64)
+        stop = start + points.shape[0]
+        if stop > self.capacity:
+            raise IndexError(f"write past capacity: [{start}, {stop})")
+        first, count = self.page_span(start, stop)
+        self.disk.write(first, count)
+        self._ensure_rows(stop)
+        self._buffer[start:stop] = points
+        self.n_points = max(self.n_points, stop)
+
+    def append(self, points: np.ndarray) -> int:
+        """Append a block at the end; returns the index of its first point.
+
+        Appending to a partially filled trailing page re-touches that
+        page, exactly as a real buffered writer would.
+        """
+        start = self.n_points
+        self.write_range(start, points)
+        return start
+
+    def scan(self, chunk_points: int | None = None) -> Iterator[tuple[int, np.ndarray]]:
+        """Sequential full scan: yields ``(start_index, block)`` chunks.
+
+        Charges one seek for the whole scan plus one transfer per page:
+        chunks are aligned to page boundaries, so each chunk after the
+        first continues exactly where the head already is.
+        """
+        chunk = chunk_points or max(self.points_per_page, 4096)
+        chunk = max(1, math.ceil(chunk / self.points_per_page)) * self.points_per_page
+        for start in range(0, self.n_points, chunk):
+            stop = min(start + chunk, self.n_points)
+            yield start, self.read_range(start, stop)
+
+    # ------------------------------------------------------------------
+    # Uncharged access (bookkeeping that a real system would do in RAM)
+    # ------------------------------------------------------------------
+
+    def peek(self, start: int, stop: int) -> np.ndarray:
+        """Read without charging -- for assertions and verification only."""
+        return self._buffer[start:stop]
+
+    def place(self, start: int, points: np.ndarray) -> None:
+        """Write without charging -- used by builders that charge their
+        I/O at a coarser, algorithm-level granularity."""
+        points = np.asarray(points, dtype=np.float64)
+        stop = start + points.shape[0]
+        if stop > self.capacity:
+            raise IndexError(f"write past capacity: [{start}, {stop})")
+        self._ensure_rows(stop)
+        self._buffer[start:stop] = points
+        self.n_points = max(self.n_points, stop)

@@ -1,0 +1,16 @@
+"""Experiment harness shared by the benchmark suite."""
+
+from .config import experiment_queries, experiment_scale
+from .runner import ExperimentSetup, get_setup, pearson_correlation
+from .tables import format_seconds, format_signed_percent, format_table
+
+__all__ = [
+    "experiment_queries",
+    "experiment_scale",
+    "ExperimentSetup",
+    "get_setup",
+    "pearson_correlation",
+    "format_seconds",
+    "format_signed_percent",
+    "format_table",
+]

@@ -1,0 +1,45 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmarks print the same rows the paper's tables and figure series
+report; this module keeps that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_seconds", "format_signed_percent"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    n_cols = max(len(row) for row in cells)
+    widths = [0] * n_cols
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(c.ljust(w) for c, w in zip(cells[0], widths)).rstrip()
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scale duration: '4,460.193 s' style, as in Table 3."""
+    return f"{seconds:,.3f} s"
+
+
+def format_signed_percent(fraction: float) -> str:
+    """Signed relative error: '-32%' / '+3%', as in Table 3."""
+    return f"{fraction * 100:+.0f}%"

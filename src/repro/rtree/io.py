@@ -1,0 +1,136 @@
+"""Saving and loading built indexes and workloads (``.npz``).
+
+Building a large index -- or the exact k-NN radii of a 500-query
+workload over hundreds of thousands of points -- is the expensive part
+of an experiment; both are deterministic given their inputs, so a
+production workflow snapshots them.  The format is a plain ``numpy``
+archive: portable, mmap-able, and free of pickle's code-execution
+hazards.
+
+Tree encoding: nodes are flattened in preorder; each node row stores
+``(level, n_children, leaf_start, leaf_count)`` where leaf rows index
+into a concatenated point-id array.  Region boxes are re-derived from
+the points on load (they are minimal bounding boxes by construction),
+so the archive stays small and cannot go stale.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..core.topology import Topology
+from ..workload.queries import KNNWorkload
+from .geometry import MBR
+from .node import InternalNode, LeafNode, Node
+from .tree import RTree
+
+__all__ = ["save_tree", "load_tree", "save_workload", "load_workload"]
+
+_FORMAT_VERSION = 1
+
+
+def save_tree(tree: RTree, path: str | Path) -> None:
+    """Serialize a bulk-loaded tree (points + structure) to ``path``."""
+    rows: list[tuple[int, int, int, int]] = []
+    leaf_ids: list[np.ndarray] = []
+    cursor = 0
+
+    def walk(node: Node) -> None:
+        nonlocal cursor
+        if node.is_leaf:
+            rows.append((node.level, 0, cursor, node.n_points))
+            leaf_ids.append(np.asarray(node.point_ids, dtype=np.int64))
+            cursor += node.n_points
+        else:
+            rows.append((node.level, len(node.children), 0, 0))
+            for child in node.children:
+                walk(child)
+
+    walk(tree.root)
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        points=tree.points,
+        nodes=np.asarray(rows, dtype=np.int64),
+        leaf_point_ids=(
+            np.concatenate(leaf_ids) if leaf_ids else np.empty(0, np.int64)
+        ),
+        topology=np.asarray(
+            [tree.topology.n_points, tree.topology.c_data, tree.topology.c_dir],
+            dtype=np.int64,
+        ),
+    )
+
+
+def load_tree(path: str | Path) -> RTree:
+    """Rebuild a tree saved with :func:`save_tree`."""
+    with np.load(path) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index format version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        points = archive["points"]
+        nodes = archive["nodes"]
+        leaf_point_ids = archive["leaf_point_ids"]
+        n_points, c_data, c_dir = (int(v) for v in archive["topology"])
+
+    position = 0
+
+    def rebuild() -> Node:
+        nonlocal position
+        level, n_children, leaf_start, leaf_count = nodes[position]
+        position += 1
+        if n_children == 0:
+            ids = leaf_point_ids[leaf_start : leaf_start + leaf_count]
+            mbr = MBR.of_points(points[ids]) if leaf_count else None
+            return LeafNode(point_ids=ids, mbr=mbr, level=int(level))
+        children = [rebuild() for _ in range(n_children)]
+        mbr = None
+        for child in children:
+            if child.mbr is not None:
+                mbr = child.mbr if mbr is None else mbr.union(child.mbr)
+        return InternalNode(
+            children=children,
+            mbr=mbr,
+            level=int(level),
+            n_points=sum(c.n_points for c in children),
+        )
+
+    root = rebuild()
+    if position != nodes.shape[0]:
+        raise ValueError("corrupt index archive: trailing node rows")
+    topology = Topology(n_points=n_points, c_data=c_data, c_dir=c_dir)
+    return RTree(points, root, topology)
+
+
+def save_workload(workload: KNNWorkload, path: str | Path) -> None:
+    """Serialize a k-NN workload (queries, exact radii) to ``path``."""
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        k=np.int64(workload.k),
+        query_ids=workload.query_ids,
+        queries=workload.queries,
+        radii=workload.radii,
+    )
+
+
+def load_workload(path: str | Path) -> KNNWorkload:
+    """Rebuild a workload saved with :func:`save_workload`."""
+    with np.load(path) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported workload format version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        return KNNWorkload(
+            k=int(archive["k"]),
+            query_ids=archive["query_ids"],
+            queries=archive["queries"],
+            radii=archive["radii"],
+        )

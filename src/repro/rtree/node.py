@@ -1,0 +1,73 @@
+"""Node types of the bulk-loaded R-tree.
+
+The tree is a plain object graph: internal nodes hold children, leaves
+hold the ids of the points they store (indices into the tree's point
+matrix).  Nodes may be *empty* (no points below them) when a mini-index
+is built on a sparse sample while keeping the full index's topology; an
+empty node has ``mbr is None`` and is skipped by searches and by
+intersection counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+from .geometry import MBR
+
+__all__ = ["LeafNode", "InternalNode", "Node"]
+
+
+@dataclass
+class LeafNode:
+    """A data page: the ids of its points and their bounding box.
+
+    When the bulk loader is stopped early (``stop_level > 1``, the
+    *upper tree* of Section 4.2), leaves sit at that level and
+    ``virtual_n`` records how many full-dataset points the subtree
+    rooted here would hold -- the quantity the phased predictors need
+    for compensation and resampling quotas.
+    """
+
+    point_ids: np.ndarray
+    mbr: Optional[MBR]
+    level: int = 1
+    virtual_n: int = 0
+
+    @property
+    def n_points(self) -> int:
+        return int(self.point_ids.shape[0])
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    def iter_leaves(self) -> Iterator["LeafNode"]:
+        yield self
+
+
+@dataclass
+class InternalNode:
+    """A directory page: children one level down and their union MBR."""
+
+    children: list["Node"]
+    mbr: Optional[MBR]
+    level: int
+    n_points: int = field(default=0)
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    @property
+    def fanout(self) -> int:
+        return len(self.children)
+
+    def iter_leaves(self) -> Iterator[LeafNode]:
+        for child in self.children:
+            yield from child.iter_leaves()
+
+
+Node = Union[LeafNode, InternalNode]

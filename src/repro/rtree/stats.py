@@ -1,0 +1,117 @@
+"""Index quality statistics.
+
+The quantities index papers (and index tuners) argue with: page
+utilization, page volume and extent distributions, the pairwise
+overlap among leaf pages, and dead space.  The paper's narrative --
+bulk-loaded VAMSplit layouts beat insertion-built ones, sphere pages
+overlap more than boxes in high dimensions -- becomes measurable here,
+and the examples use these numbers to explain *why* the access counts
+differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .geometry import volume
+
+__all__ = ["LeafStatistics", "leaf_statistics", "pairwise_overlap_count"]
+
+
+@dataclass(frozen=True)
+class LeafStatistics:
+    """Aggregate statistics over an index's leaf pages."""
+
+    n_leaves: int
+    n_points: int
+    capacity: int
+    mean_occupancy: float
+    min_occupancy: int
+    max_occupancy: int
+    utilization: float
+    total_volume: float
+    mean_volume: float
+    mean_extent: float
+    overlap_pairs: int
+    overlap_fraction: float
+
+    def summary(self) -> str:
+        """A short human-readable report."""
+        return (
+            f"{self.n_leaves:,} leaves, {self.mean_occupancy:.1f} points "
+            f"each ({self.utilization:.0%} of capacity {self.capacity}); "
+            f"mean volume {self.mean_volume:.3g}, mean extent/side "
+            f"{self.mean_extent:.3g}; {self.overlap_pairs:,} overlapping "
+            f"pairs ({self.overlap_fraction:.2%} of all pairs)"
+        )
+
+
+def pairwise_overlap_count(lower: np.ndarray, upper: np.ndarray) -> int:
+    """Number of distinct leaf pairs whose boxes overlap (positive
+    intersection volume in every dimension).
+
+    Computed blockwise so the ``n^2`` mask never exceeds a few MB.
+    """
+    n = lower.shape[0]
+    if n < 2:
+        return 0
+    count = 0
+    block = max(1, 2**22 // max(1, n))
+    for start in range(0, n, block):
+        a_lo = lower[start : start + block]
+        a_hi = upper[start : start + block]
+        strictly = np.logical_and(
+            np.all(a_lo[:, None, :] < upper[None, :, :], axis=2),
+            np.all(lower[None, :, :] < a_hi[:, None, :], axis=2),
+        )
+        count += int(strictly.sum())
+        # Remove self-pairs counted inside this block.
+        for i in range(a_lo.shape[0]):
+            if strictly[i, start + i]:
+                count -= 1
+    return count // 2
+
+
+def leaf_statistics(
+    lower: np.ndarray,
+    upper: np.ndarray,
+    occupancies: np.ndarray,
+    capacity: int,
+) -> LeafStatistics:
+    """Build :class:`LeafStatistics` from stacked leaf corners.
+
+    ``occupancies`` holds the point count of each leaf in the same
+    order as the corner rows.
+    """
+    lower = np.asarray(lower, dtype=np.float64)
+    upper = np.asarray(upper, dtype=np.float64)
+    occupancies = np.asarray(occupancies, dtype=np.int64)
+    if lower.shape != upper.shape or lower.ndim != 2:
+        raise ValueError("lower/upper must be matching (n, d) arrays")
+    if occupancies.shape[0] != lower.shape[0]:
+        raise ValueError("occupancies must match the number of leaves")
+    if capacity < 1:
+        raise ValueError("capacity must be positive")
+    n = lower.shape[0]
+    if n == 0:
+        raise ValueError("no leaves to summarize")
+    volumes = volume(lower, upper)
+    extents = upper - lower
+    pairs = pairwise_overlap_count(lower, upper)
+    all_pairs = n * (n - 1) // 2
+    return LeafStatistics(
+        n_leaves=n,
+        n_points=int(occupancies.sum()),
+        capacity=capacity,
+        mean_occupancy=float(occupancies.mean()),
+        min_occupancy=int(occupancies.min()),
+        max_occupancy=int(occupancies.max()),
+        utilization=float(occupancies.mean() / capacity),
+        total_volume=float(volumes.sum()),
+        mean_volume=float(volumes.mean()),
+        mean_extent=float(extents.mean()),
+        overlap_pairs=pairs,
+        overlap_fraction=pairs / all_pairs if all_pairs else 0.0,
+    )

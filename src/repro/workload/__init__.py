@@ -1,0 +1,17 @@
+"""Query workloads: density-biased k-NN spheres and range boxes."""
+
+from .queries import (
+    KNNWorkload,
+    RangeWorkload,
+    density_biased_knn_workload,
+    density_biased_range_workload,
+    exact_knn_radii,
+)
+
+__all__ = [
+    "KNNWorkload",
+    "RangeWorkload",
+    "density_biased_knn_workload",
+    "density_biased_range_workload",
+    "exact_knn_radii",
+]

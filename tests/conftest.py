@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite.
+
+Datasets here are intentionally small: the suite exercises behavior and
+invariants, not paper-scale numbers (the benchmark harness does that).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import generators
+from repro.data.transforms import klt
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def clustered_points() -> np.ndarray:
+    """A small clustered 16-d cloud, the suite's workhorse dataset."""
+    gen = np.random.default_rng(7)
+    return klt(generators.gaussian_mixture(4000, 16, gen, n_clusters=8,
+                                           cluster_std=0.05))
+
+
+@pytest.fixture(scope="session")
+def uniform_points() -> np.ndarray:
+    """A small uniform 6-d cloud for uniformity-assumption checks."""
+    gen = np.random.default_rng(11)
+    return generators.uniform(5000, 6, gen)
+
+
+@pytest.fixture(scope="session")
+def tiny_points() -> np.ndarray:
+    """A minimal 2-d point set for hand-checkable cases."""
+    gen = np.random.default_rng(3)
+    return gen.random((64, 2))

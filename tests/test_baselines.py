@@ -1,0 +1,166 @@
+"""Tests for the uniform and fractal baseline cost models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.fractal import (
+    FractalCostModel,
+    FractalEstimationError,
+    LogLogFit,
+    box_counting_dimension,
+    correlation_dimension,
+)
+from repro.baselines.uniform_model import UniformCostModel
+
+
+class TestUniformModel:
+    def test_page_count(self):
+        model = UniformCostModel(n_points=1000, dim=4, c_eff=32.0)
+        assert model.n_pages == 32
+
+    def test_page_extents_tile_volume(self):
+        model = UniformCostModel(n_points=32 * 32, dim=8, c_eff=32.0)
+        extents = model.page_extents()
+        # midpoint splits: product of extents = 1 / n_pages
+        assert np.prod(extents) == pytest.approx(1.0 / model.n_pages)
+        assert all(e in (0.5, 1.0, 0.25) for e in extents)
+
+    def test_split_dimensions_capped_by_d(self):
+        model = UniformCostModel(n_points=10**6, dim=3, c_eff=10.0)
+        assert model.n_split_dimensions == 3
+
+    def test_radius_grows_with_dimension(self):
+        radii = [
+            UniformCostModel(100_000, d, 32.0).expected_knn_radius(21)
+            for d in (2, 8, 32, 64)
+        ]
+        assert all(a < b for a, b in zip(radii, radii[1:]))
+
+    def test_radius_shrinks_with_n(self):
+        small = UniformCostModel(1_000, 8, 32.0).expected_knn_radius(1)
+        large = UniformCostModel(1_000_000, 8, 32.0).expected_knn_radius(1)
+        assert large < small
+
+    def test_very_high_dim_works(self):
+        # Gamma overflows ~d > 300 unless computed in log space.
+        radius = UniformCostModel(7_800, 617, 3.0).expected_knn_radius(21)
+        assert np.isfinite(radius) and radius > 1.0
+
+    def test_access_probability_bounds(self):
+        model = UniformCostModel(100_000, 16, 32.0)
+        assert model.access_probability(0.0) <= 1.0
+        assert model.access_probability(10.0) == 1.0
+
+    def test_high_dimensional_collapse(self):
+        """Section 5.3: in high-d the model predicts ALL pages accessed."""
+        model = UniformCostModel(275_465, 60, 31.9)
+        assert model.predict_knn_accesses(21) == pytest.approx(model.n_pages)
+
+    def test_low_dimensional_selectivity(self):
+        """In low-d with many points, only a fraction is accessed."""
+        model = UniformCostModel(1_000_000, 2, 32.0)
+        assert model.predict_knn_accesses(1) < 0.05 * model.n_pages
+
+    def test_range_query(self):
+        model = UniformCostModel(100_000, 4, 32.0)
+        small = model.predict_range_accesses(0.01)
+        large = model.predict_range_accesses(0.5)
+        assert small < large <= model.n_pages
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformCostModel(1, 4, 32.0)
+        with pytest.raises(ValueError):
+            UniformCostModel(100, 4, 1.0)
+        model = UniformCostModel(100, 4, 32.0)
+        with pytest.raises(ValueError):
+            model.expected_knn_radius(0)
+        with pytest.raises(ValueError):
+            model.access_probability(-1.0)
+
+
+class TestFractalEstimators:
+    def test_uniform_2d_box_dimension(self, rng):
+        points = rng.random((20_000, 2))
+        fit = box_counting_dimension(points)
+        assert fit.slope == pytest.approx(2.0, abs=0.35)
+
+    def test_line_box_dimension(self, rng):
+        t = rng.random(20_000)
+        points = np.column_stack([t, t])
+        fit = box_counting_dimension(points)
+        assert fit.slope == pytest.approx(1.0, abs=0.25)
+
+    def test_uniform_2d_correlation_dimension(self, rng):
+        points = rng.random((5_000, 2))
+        fit = correlation_dimension(points, rng)
+        assert fit.slope == pytest.approx(2.0, abs=0.5)
+
+    def test_line_correlation_dimension(self, rng):
+        t = rng.random(5_000)
+        points = np.column_stack([t, 2 * t])
+        fit = correlation_dimension(points, rng)
+        assert fit.slope == pytest.approx(1.0, abs=0.3)
+
+    def test_clustered_dimension_below_embedding(self, rng):
+        from repro.data.generators import gaussian_mixture
+
+        points = gaussian_mixture(10_000, 8, rng, n_clusters=5,
+                                  cluster_std=0.01)
+        fit = box_counting_dimension(points)
+        assert fit.slope < 4.0  # far below the embedding dimension 8
+
+    def test_loglog_fit_inversion(self):
+        fit = LogLogFit(slope=2.0, intercept=1.0)
+        assert fit.invert_to_log_x(fit.predict_log_y(3.7)) == pytest.approx(3.7)
+        with pytest.raises(FractalEstimationError):
+            LogLogFit(slope=0.0, intercept=1.0).invert_to_log_x(1.0)
+
+    def test_degenerate_data_raises(self):
+        constant = np.zeros((500, 3))
+        with pytest.raises(FractalEstimationError):
+            box_counting_dimension(constant)
+
+
+class TestFractalCostModel:
+    def test_not_applicable_when_n_small_vs_d(self, rng):
+        points = rng.random((7_800, 617))
+        with pytest.raises(FractalEstimationError):
+            FractalCostModel.from_points(points, 3.0, rng)
+
+    def test_applicable_low_dim(self, rng):
+        points = rng.random((20_000, 2))
+        model = FractalCostModel.from_points(points, 32.0, rng)
+        prediction = model.predict_knn_accesses(5)
+        assert 0 < prediction <= model.n_pages
+
+    def test_uniform_low_dim_reasonable(self, rng):
+        """On genuinely uniform 2-d data the fractal model reduces to the
+        uniform model's regime and predicts a small page fraction."""
+        points = rng.random((50_000, 2))
+        model = FractalCostModel.from_points(points, 32.0, rng)
+        assert model.predict_knn_accesses(1) < 0.2 * model.n_pages
+
+    def test_high_dim_clustered_overestimates(self):
+        """Table 4: on high-d clustered (KLT) data the near-zero D0
+        flattens the Minkowski term and nearly all pages are predicted."""
+        from repro.data import datasets
+
+        points = datasets.texture60(scale=0.03, seed=1)
+        rng = np.random.default_rng(0)
+        model = FractalCostModel.from_points(points, 32.0, rng)
+        assert model.d0 < 0.5
+        assert model.predict_knn_accesses(21) > 0.5 * model.n_pages
+
+    def test_radius_clamped_to_dataspace(self, rng):
+        points = rng.random((20_000, 2))
+        model = FractalCostModel.from_points(points, 32.0, rng)
+        assert 0 < model.expected_knn_radius(21) <= 1.0
+
+    def test_invalid_k(self, rng):
+        points = rng.random((20_000, 2))
+        model = FractalCostModel.from_points(points, 32.0, rng)
+        with pytest.raises(ValueError):
+            model.expected_knn_radius(0)

@@ -1,0 +1,86 @@
+"""Tests for the LRU buffer pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disk.accounting import IOCost
+from repro.disk.bufferpool import BufferedDisk
+from repro.disk.device import SimulatedDisk
+
+
+@pytest.fixture
+def pool():
+    return BufferedDisk(SimulatedDisk(), capacity_pages=4)
+
+
+class TestCaching:
+    def test_first_read_misses(self, pool):
+        cost = pool.read(0, 2)
+        assert cost == IOCost(seeks=1, transfers=2)
+        assert pool.misses == 2 and pool.hits == 0
+
+    def test_repeat_read_hits(self, pool):
+        pool.read(0, 2)
+        cost = pool.read(0, 2)
+        assert cost.is_zero
+        assert pool.hits == 2
+
+    def test_lru_eviction(self, pool):
+        pool.read(0, 4)   # fills the pool with pages 0-3
+        pool.read(10, 1)  # evicts page 0
+        cost = pool.read(0, 1)
+        assert cost.transfers == 1  # page 0 was evicted
+        cost = pool.read(3, 1)
+        assert cost.is_zero  # page 3 survived
+
+    def test_recency_refresh(self, pool):
+        pool.read(0, 4)
+        pool.read(0, 1)   # refresh page 0
+        pool.read(10, 1)  # evicts page 1 (now the oldest), not 0
+        assert pool.read(0, 1).is_zero
+        assert pool.read(1, 1).transfers == 1
+
+    def test_partial_run_coalescing(self, pool):
+        pool.read(1, 1)  # cache page 1
+        cost = pool.read(0, 3)  # miss 0, hit 1, miss 2 -> two runs
+        assert cost.transfers == 2
+        assert cost.seeks == 2
+
+    def test_zero_capacity_never_caches(self):
+        pool = BufferedDisk(SimulatedDisk(), capacity_pages=0)
+        pool.read(0, 2)
+        cost = pool.read(0, 2)
+        assert cost.transfers == 2
+        assert pool.hit_rate == 0.0
+
+    def test_write_through_populates(self, pool):
+        write_cost = pool.write(5, 2)
+        assert write_cost.transfers == 2
+        assert pool.read(5, 2).is_zero
+
+    def test_hit_rate(self, pool):
+        pool.read(0, 2)
+        pool.read(0, 2)
+        assert pool.hit_rate == pytest.approx(0.5)
+
+    def test_clear(self, pool):
+        pool.read(0, 2)
+        pool.clear()
+        assert pool.hits == 0 and pool.misses == 0
+        assert pool.read(0, 1).transfers == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BufferedDisk(SimulatedDisk(), capacity_pages=-1)
+        pool = BufferedDisk(SimulatedDisk(), capacity_pages=2)
+        with pytest.raises(ValueError):
+            pool.read(-1, 1)
+        with pytest.raises(ValueError):
+            pool.write(0, -1)
+
+    def test_underlying_ledger_matches(self, pool):
+        pool.read(0, 3)
+        pool.read(0, 3)
+        pool.read(8, 1)
+        assert pool.disk.cost.transfers == pool.misses

@@ -1,0 +1,170 @@
+"""Tests for the top-down bulk loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.topology import Topology
+from repro.rtree.bulkload import BulkLoadConfig, build_subtree, build_tree
+from repro.rtree.split import max_extent_dimension
+from repro.rtree.tree import RTree
+
+
+class TestFullBuild:
+    def test_validates_on_clustered_data(self, clustered_points):
+        tree = RTree.bulk_load(clustered_points, c_data=32, c_dir=16)
+        tree.validate()
+
+    def test_validates_on_uniform_data(self, uniform_points):
+        tree = RTree.bulk_load(uniform_points, c_data=20, c_dir=8)
+        tree.validate()
+
+    def test_single_leaf_tree(self, tiny_points):
+        tree = RTree.bulk_load(tiny_points, c_data=64, c_dir=16)
+        assert tree.height == 1
+        assert tree.n_leaves == 1
+        tree.validate()
+
+    def test_single_point(self):
+        tree = RTree.bulk_load(np.array([[0.5, 0.5]]), c_data=4, c_dir=4)
+        assert tree.height == 1
+        assert tree.root.n_points == 1
+        tree.validate()
+
+    def test_leaf_order_partitions_split_dimension(self, rng):
+        # With strongly 1-d data, consecutive leaves should occupy
+        # consecutive intervals (VAMSplit cuts the dominant dimension).
+        points = np.sort(rng.random(1024))[:, None] * np.array([[1.0, 0.001]])
+        tree = RTree.bulk_load(points, c_data=32, c_dir=4)
+        tree.validate()
+        maxes = [tree.points[l.point_ids, 0].max() for l in tree.leaves]
+        mins = [tree.points[l.point_ids, 0].min() for l in tree.leaves]
+        for i in range(len(maxes) - 1):
+            assert maxes[i] <= mins[i + 1] + 1e-12
+
+    def test_midpoint_mode_still_partitions(self, clustered_points):
+        config = BulkLoadConfig(rank_mode="midpoint")
+        tree = RTree.bulk_load(clustered_points, c_data=32, c_dir=16,
+                               config=config)
+        # Midpoint splits may violate the exact VAMSplit node counts but
+        # must still cover every point exactly once within capacities.
+        ids = np.sort(np.concatenate([l.point_ids for l in tree.leaves]))
+        assert np.array_equal(ids, np.arange(clustered_points.shape[0]))
+        assert all(l.n_points <= 32 for l in tree.leaves)
+
+    def test_max_extent_rule(self, clustered_points):
+        config = BulkLoadConfig(dimension_rule=max_extent_dimension)
+        tree = RTree.bulk_load(clustered_points, c_data=32, c_dir=16,
+                               config=config)
+        tree.validate()
+
+    def test_invalid_rank_mode(self):
+        with pytest.raises(ValueError):
+            BulkLoadConfig(rank_mode="bogus")
+
+    def test_non_2d_points_rejected(self):
+        topo = Topology(10, 4, 4)
+        with pytest.raises(ValueError):
+            build_tree(np.zeros(10), topo)
+
+    def test_more_points_than_virtual_rejected(self, tiny_points):
+        topo = Topology(10, 4, 4)
+        with pytest.raises(ValueError):
+            build_tree(tiny_points, topo)
+
+
+class TestMiniIndexBuild:
+    def test_topology_imposed_exactly(self, clustered_points, rng):
+        n = clustered_points.shape[0]
+        sample = clustered_points[rng.choice(n, n // 10, replace=False)]
+        mini = RTree.bulk_load(sample, c_data=32, c_dir=16, virtual_n=n)
+        full_topo = Topology(n, 32, 16)
+        assert mini.height == full_topo.height
+        for level in range(1, mini.height + 1):
+            assert len(mini.nodes_at_level(level)) == full_topo.nodes_at_level(level)
+
+    def test_mini_validate(self, clustered_points, rng):
+        n = clustered_points.shape[0]
+        sample = clustered_points[rng.choice(n, n // 5, replace=False)]
+        mini = RTree.bulk_load(sample, c_data=32, c_dir=16, virtual_n=n)
+        mini.validate()
+
+    def test_tiny_sample_allows_empty_leaves(self, clustered_points, rng):
+        n = clustered_points.shape[0]
+        sample = clustered_points[rng.choice(n, 20, replace=False)]
+        mini = RTree.bulk_load(sample, c_data=32, c_dir=16, virtual_n=n)
+        mini.validate()  # empty leaves are legal in a mini-index
+        total = sum(l.n_points for l in mini.leaves)
+        assert total == 20
+
+    def test_sample_points_partitioned(self, clustered_points, rng):
+        n = clustered_points.shape[0]
+        m = n // 8
+        sample = clustered_points[rng.choice(n, m, replace=False)]
+        mini = RTree.bulk_load(sample, c_data=32, c_dir=16, virtual_n=n)
+        ids = np.sort(np.concatenate([l.point_ids for l in mini.leaves]))
+        assert np.array_equal(ids, np.arange(m))
+
+
+class TestStopLevel:
+    def test_upper_tree_leaf_level(self, clustered_points):
+        topo = Topology(clustered_points.shape[0], 32, 16)
+        assert topo.height >= 3
+        root = build_tree(clustered_points, topo, stop_level=2)
+        leaves = list(root.iter_leaves())
+        assert all(l.level == 2 for l in leaves)
+        assert len(leaves) == topo.nodes_at_level(2)
+
+    def test_virtual_counts_sum_to_total(self, clustered_points):
+        topo = Topology(clustered_points.shape[0], 32, 16)
+        root = build_tree(clustered_points, topo, stop_level=2)
+        assert sum(l.virtual_n for l in root.iter_leaves()) == topo.n_points
+
+    def test_stop_at_root(self, clustered_points):
+        topo = Topology(clustered_points.shape[0], 32, 16)
+        root = build_tree(clustered_points, topo, stop_level=topo.height)
+        assert root.is_leaf
+        assert root.n_points == clustered_points.shape[0]
+
+    def test_invalid_stop_level(self, clustered_points):
+        topo = Topology(clustered_points.shape[0], 32, 16)
+        with pytest.raises(ValueError):
+            build_tree(clustered_points, topo, stop_level=0)
+        with pytest.raises(ValueError):
+            build_tree(clustered_points, topo, stop_level=topo.height + 1)
+
+
+class TestBuildSubtree:
+    def test_subtree_matches_partition_counts(self, clustered_points):
+        topo = Topology(clustered_points.shape[0], 32, 16)
+        n = 400
+        ids = np.arange(n, dtype=np.int64)
+        root = build_subtree(clustered_points[:n], ids, 2, n, topo)
+        assert root.level == 2
+        assert root.n_points == n
+        leaf_sizes = [l.n_points for l in root.iter_leaves()]
+        assert sum(leaf_sizes) == n
+        assert all(size <= 32 for size in leaf_sizes)
+
+
+class TestBuildProperties:
+    @given(st.integers(2, 800), st.integers(2, 5), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_any_shape_validates(self, n, d, seed):
+        gen = np.random.default_rng(seed)
+        points = gen.random((n, d))
+        tree = RTree.bulk_load(points, c_data=8, c_dir=4)
+        tree.validate()
+
+    @given(st.integers(50, 500), st.floats(0.05, 0.9), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_any_sample_rate_validates(self, n, rate, seed):
+        gen = np.random.default_rng(seed)
+        points = gen.random((n, 3))
+        m = max(1, int(n * rate))
+        sample = points[gen.choice(n, m, replace=False)]
+        mini = RTree.bulk_load(sample, c_data=8, c_dir=4, virtual_n=n)
+        mini.validate()

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--dataset", "TEXTURE48", "--scale", "0.05", "--queries", "10",
+        "--memory", "500"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_dataset_and_input_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["predict", "--dataset", "A", "--input", "b.npy"]
+            )
+
+
+class TestPredict:
+    def test_default_method(self, capsys):
+        assert main(["predict", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "predicted leaf accesses per query" in out
+        assert "resampled" in out or "sigma_lower" in out
+
+    @pytest.mark.parametrize("method", ["mini", "cutoff", "resampled"])
+    def test_all_methods(self, method, capsys):
+        assert main(["predict", *FAST, "--method", method]) == 0
+        assert "predicted leaf accesses" in capsys.readouterr().out
+
+    def test_mini_with_fraction(self, capsys):
+        assert main(
+            ["predict", *FAST, "--method", "mini", "--fraction", "0.5"]
+        ) == 0
+        assert "'zeta': 0.5" in capsys.readouterr().out
+
+    def test_npy_input(self, tmp_path, capsys):
+        points = np.random.default_rng(0).random((500, 8))
+        path = tmp_path / "pts.npy"
+        np.save(path, points)
+        assert main(
+            ["predict", "--input", str(path), "--queries", "5",
+             "--memory", "200"]
+        ) == 0
+        assert "500 x 8-d" in capsys.readouterr().out
+
+    def test_bad_npy_shape(self, tmp_path):
+        path = tmp_path / "bad.npy"
+        np.save(path, np.zeros(10))
+        with pytest.raises(SystemExit):
+            main(["predict", "--input", str(path)])
+
+
+class TestOtherCommands:
+    def test_measure(self, capsys):
+        assert main(["measure", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "measured leaf accesses per query" in out
+        assert "build I/O" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "uniform" in out and "resampled" in out and "measured" in out
+
+    def test_tune_pagesize(self, capsys):
+        assert main(["tune-pagesize", *FAST]) == 0
+        assert "predicted optimum" in capsys.readouterr().out
+
+    def test_costs(self, capsys):
+        assert main(
+            ["costs", "--n", "100000", "--dim", "32", "--memory", "5000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "on-disk build" in out and "cutoff" in out

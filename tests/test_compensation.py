@@ -1,0 +1,117 @@
+"""Tests for Theorem 1's compensation factor, including a Monte-Carlo
+validation of the theorem itself."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compensation import (
+    compensation_side_factor,
+    compensation_volume_factor,
+    grow_corners,
+    volume_shrinkage,
+)
+
+
+class TestFormula:
+    def test_matches_printed_theorem(self):
+        # delta^-1 = (((C z - 1)(C + 1)) / ((C z + 1)(C - 1)))^d
+        c, z, d = 40.0, 0.25, 6
+        expected_inverse = (((c * z - 1) * (c + 1)) / ((c * z + 1) * (c - 1))) ** d
+        assert volume_shrinkage(c, z, d) == pytest.approx(expected_inverse)
+        assert compensation_volume_factor(c, z, d) == pytest.approx(
+            1.0 / expected_inverse
+        )
+
+    def test_no_sampling_is_identity(self):
+        assert compensation_side_factor(32, 1.0) == pytest.approx(1.0)
+        assert compensation_volume_factor(32, 1.0, 10) == pytest.approx(1.0)
+
+    def test_side_factor_always_grows(self):
+        for zeta in (0.1, 0.3, 0.7, 0.99):
+            assert compensation_side_factor(32, zeta) > 1.0
+
+    def test_monotone_in_zeta(self):
+        factors = [compensation_side_factor(32, z) for z in (0.1, 0.2, 0.5, 0.9)]
+        assert all(a > b for a, b in zip(factors, factors[1:]))
+
+    def test_volume_is_side_to_the_d(self):
+        side = compensation_side_factor(50, 0.2)
+        assert compensation_volume_factor(50, 0.2, 7) == pytest.approx(side**7)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            compensation_side_factor(1.0, 0.5)  # capacity must exceed 1
+        with pytest.raises(ValueError):
+            compensation_side_factor(32, 0.0)
+        with pytest.raises(ValueError):
+            compensation_side_factor(32, 1.5)
+        with pytest.raises(ValueError):
+            compensation_side_factor(32, 1 / 32)  # C * zeta <= 1
+        with pytest.raises(ValueError):
+            compensation_volume_factor(32, 0.5, 0)
+
+    @given(st.floats(2.5, 500.0), st.floats(0.01, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_side_factor_at_least_one(self, capacity, zeta):
+        if capacity * zeta <= 1.5:
+            return
+        assert compensation_side_factor(capacity, zeta) >= 1.0 - 1e-12
+
+
+class TestTheoremMonteCarlo:
+    """Empirically verify Theorem 1: sample C uniform points, keep a
+    zeta fraction, compare the measured extent ratio with the formula's
+    per-side prediction."""
+
+    @pytest.mark.parametrize("capacity,zeta", [(64, 0.5), (100, 0.25), (200, 0.1)])
+    def test_expected_extent_ratio(self, capacity, zeta):
+        gen = np.random.default_rng(42)
+        trials = 3000
+        full = gen.random((trials, capacity))
+        kept = full[:, : max(2, round(capacity * zeta))]
+        full_extent = np.mean(full.max(axis=1) - full.min(axis=1))
+        kept_extent = np.mean(kept.max(axis=1) - kept.min(axis=1))
+        measured_growth = full_extent / kept_extent
+        predicted_growth = compensation_side_factor(capacity, zeta)
+        assert measured_growth == pytest.approx(predicted_growth, rel=0.02)
+
+    def test_expected_extent_formula(self):
+        # E[extent of n uniform points in [0,1]] = (n-1)/(n+1), the
+        # identity Theorem 1 is built on.
+        gen = np.random.default_rng(7)
+        for n in (3, 10, 50):
+            samples = gen.random((5000, n))
+            measured = np.mean(samples.max(axis=1) - samples.min(axis=1))
+            assert measured == pytest.approx((n - 1) / (n + 1), rel=0.02)
+
+
+class TestGrowCorners:
+    def test_centers_preserved(self, rng):
+        lower = rng.random((10, 4))
+        upper = lower + rng.random((10, 4))
+        grown_lower, grown_upper = grow_corners(lower, upper, 32, 0.25)
+        assert np.allclose((grown_lower + grown_upper) / 2, (lower + upper) / 2)
+
+    def test_extents_scaled_by_side_factor(self, rng):
+        lower = rng.random((5, 3))
+        upper = lower + rng.random((5, 3))
+        grown_lower, grown_upper = grow_corners(lower, upper, 32, 0.25)
+        factor = compensation_side_factor(32, 0.25)
+        assert np.allclose(grown_upper - grown_lower, (upper - lower) * factor)
+
+    def test_degenerate_boxes_stay_degenerate(self):
+        point = np.array([[1.0, 2.0]])
+        grown_lower, grown_upper = grow_corners(point, point, 32, 0.5)
+        assert np.allclose(grown_lower, point)
+        assert np.allclose(grown_upper, point)
+
+    def test_volume_scaled_by_delta(self, rng):
+        lower = np.zeros((1, 5))
+        upper = np.ones((1, 5))
+        grown_lower, grown_upper = grow_corners(lower, upper, 40, 0.3)
+        volume = np.prod(grown_upper - grown_lower)
+        assert volume == pytest.approx(compensation_volume_factor(40, 0.3, 5))

@@ -1,0 +1,167 @@
+"""Tests for the analytical I/O cost model (Eqs. 1-5)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.costmodel import (
+    AnalyticalCostModel,
+    cost_build_lower_subtrees,
+    cost_cutoff,
+    cost_ondisk_build,
+    cost_read_query_points,
+    cost_resampled,
+    cost_resampling,
+    cost_scan_dataset,
+)
+from repro.core.cutoff import CutoffModel
+from repro.core.topology import Topology
+from repro.disk.accounting import DiskParameters, IOCost
+from repro.disk.device import SimulatedDisk
+from repro.disk.pagefile import PointFile
+from repro.workload.queries import density_biased_knn_workload
+
+
+class TestComponentFormulas:
+    def test_read_query_points(self):
+        assert cost_read_query_points(500) == IOCost(seeks=500, transfers=500)
+        with pytest.raises(ValueError):
+            cost_read_query_points(-1)
+
+    def test_scan_dataset(self):
+        assert cost_scan_dataset(275_465, 34) == IOCost(
+            seeks=1, transfers=math.ceil(275_465 / 34)
+        )
+
+    def test_cutoff_is_sum(self):
+        combined = cost_cutoff(100_000, 34, 500)
+        assert combined == cost_read_query_points(500) + cost_scan_dataset(
+            100_000, 34
+        )
+
+    def test_resampling_paper_structure(self):
+        # Eq 4 with sigma_lower = 1: chunks = ceil(N/M); per chunk
+        # (1 + k) seeks and 2 * ceil(M/B) transfers.
+        n, m, b, k = 275_465, 10_000, 34, 34
+        cost = cost_resampling(n, m, b, 1.0, k)
+        chunks = math.ceil(n / m)
+        assert cost.seeks == chunks * (1 + k)
+        assert cost.transfers == chunks * 2 * math.ceil(m / b)
+
+    def test_resampling_partial_sigma_scans_everything(self):
+        n, m, b = 100_000, 5_000, 34
+        cost = cost_resampling(n, m, b, 0.25, 5)
+        # Read transfers cover the whole file: chunks * M/(B*sigma) ~ N/B.
+        assert cost.transfers >= math.ceil(n / b)
+
+    def test_resampling_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            cost_resampling(1000, 100, 34, 0.0, 5)
+
+    def test_build_lower_subtrees(self):
+        cost = cost_build_lower_subtrees(10_000, 34, 34)
+        assert cost == IOCost(seeks=34, transfers=34 * math.ceil(10_000 / 34))
+
+    def test_resampled_is_sum_of_parts(self):
+        total = cost_resampled(100_000, 5_000, 34, 1.0, 20, 500)
+        parts = (
+            cost_read_query_points(500)
+            + cost_scan_dataset(100_000, 34)
+            + cost_resampling(100_000, 5_000, 34, 1.0, 20)
+            + cost_build_lower_subtrees(5_000, 34, 20)
+        )
+        assert total == parts
+
+
+class TestOnDiskBuildFormula:
+    def test_tiny_tree_single_pass(self):
+        topo = Topology(100, 32, 16)
+        cost = cost_ondisk_build(topo, memory=1000, points_per_page=10)
+        # Everything fits in memory: one read + one write pass.
+        assert cost == IOCost(seeks=2, transfers=2 * 10)
+
+    def test_larger_memory_never_costs_more(self):
+        topo = Topology(200_000, 34, 16)
+        costs = [
+            cost_ondisk_build(topo, memory=m, points_per_page=34).seconds()
+            for m in (1_000, 10_000, 100_000)
+        ]
+        assert costs[0] >= costs[1] >= costs[2]
+
+    def test_best_case_cheaper_than_expected_case(self):
+        topo = Topology(200_000, 34, 16)
+        best = cost_ondisk_build(topo, 10_000, 34, find_passes=1.0)
+        expected = cost_ondisk_build(topo, 10_000, 34, find_passes=2.0)
+        assert best.seconds() < expected.seconds()
+
+    def test_invalid_inputs(self):
+        topo = Topology(1000, 32, 16)
+        with pytest.raises(ValueError):
+            cost_ondisk_build(topo, 0, 34)
+        with pytest.raises(ValueError):
+            cost_ondisk_build(topo, 100, 34, find_passes=0.5)
+
+
+class TestAnalyticalCostModel:
+    model = AnalyticalCostModel()
+
+    def test_figure9_ordering(self):
+        """Figure 9: cutoff < resampled < on-disk across memory sizes."""
+        for memory in (1_000, 10_000, 100_000):
+            ondisk = self.model.seconds(self.model.ondisk(1_000_000, 60, memory))
+            resampled = self.model.seconds(
+                self.model.resampled(1_000_000, 60, memory)
+            )
+            cutoff = self.model.seconds(self.model.cutoff(1_000_000, 60, memory))
+            assert cutoff < resampled < ondisk
+
+    def test_figure9_monotone_in_memory(self):
+        costs = [
+            self.model.seconds(self.model.ondisk(1_000_000, 60, m))
+            for m in (1_000, 5_000, 20_000, 100_000)
+        ]
+        assert all(a >= b for a, b in zip(costs, costs[1:]))
+
+    def test_figure9_cutoff_order_of_magnitude(self):
+        ondisk = self.model.seconds(self.model.ondisk(1_000_000, 60, 10_000))
+        cutoff = self.model.seconds(self.model.cutoff(1_000_000, 60, 10_000))
+        assert ondisk / cutoff > 10
+
+    def test_figure10_linear_in_dimensionality(self):
+        """Figure 10: the cutoff scan cost is linear in d."""
+        query_term = self.model.seconds(cost_read_query_points(500))
+        costs = [
+            self.model.seconds(self.model.cutoff(1_000_000, d, 600_000 // d))
+            - query_term
+            for d in (20, 40, 80)
+        ]
+        # Doubling d roughly doubles the scan (transfer) cost.
+        assert costs[1] / costs[0] == pytest.approx(2.0, rel=0.2)
+        assert costs[2] / costs[1] == pytest.approx(2.0, rel=0.2)
+
+    def test_explicit_h_upper(self):
+        a = self.model.resampled(1_000_000, 60, 10_000, h_upper=2)
+        b = self.model.resampled(1_000_000, 60, 10_000, h_upper=3)
+        assert a != b
+
+    def test_matches_simulated_cutoff_exactly(self, clustered_points):
+        """The analytical Eq. 3 must equal the charged simulation."""
+        workload = density_biased_knn_workload(
+            clustered_points, 25, 5, np.random.default_rng(1)
+        )
+        disk = SimulatedDisk()
+        file = PointFile.from_points(disk, clustered_points)
+        result = CutoffModel(32, 16, memory=400, h_upper=2).predict(
+            file, workload, np.random.default_rng(0)
+        )
+        analytical = cost_cutoff(
+            clustered_points.shape[0], file.points_per_page, 25
+        )
+        assert result.io_cost == analytical
+
+    def test_seconds_pricing(self):
+        model = AnalyticalCostModel(disk=DiskParameters(t_seek=1.0, t_xfer=0.0))
+        assert model.seconds(IOCost(seeks=7, transfers=99)) == pytest.approx(7.0)

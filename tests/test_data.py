@@ -1,0 +1,193 @@
+"""Tests for generators, transforms, and dataset analogues."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import datasets, generators, transforms
+
+
+class TestGenerators:
+    def test_uniform_bounds(self, rng):
+        points = generators.uniform(1000, 4, rng)
+        assert points.shape == (1000, 4)
+        assert points.min() >= 0.0 and points.max() <= 1.0
+
+    def test_gaussian_mixture_shape(self, rng):
+        points = generators.gaussian_mixture(500, 8, rng, n_clusters=5)
+        assert points.shape == (500, 8)
+
+    def test_gaussian_mixture_is_clustered(self, rng):
+        points = generators.gaussian_mixture(
+            2000, 4, rng, n_clusters=3, cluster_std=0.01
+        )
+        # Clustered data: mean nearest-neighbor distance far below the
+        # data extent.
+        sample = points[:200]
+        dists = np.linalg.norm(sample[:, None] - sample[None, :], axis=2)
+        np.fill_diagonal(dists, np.inf)
+        assert dists.min(axis=1).mean() < 0.1 * np.ptp(points)
+
+    def test_gaussian_mixture_weights(self, rng):
+        weights = np.array([1.0, 0.0, 0.0])
+        points = generators.gaussian_mixture(
+            300, 2, rng, n_clusters=3, cluster_std=0.001, weights=weights
+        )
+        assert np.ptp(points, axis=0).max() < 0.1  # all in one blob
+
+    def test_gaussian_mixture_bad_weights(self, rng):
+        with pytest.raises(ValueError):
+            generators.gaussian_mixture(10, 2, rng, n_clusters=3,
+                                        weights=np.array([1.0, 2.0]))
+
+    def test_hierarchical_clusters_shape(self, rng):
+        points = generators.hierarchical_clusters(400, 6, rng)
+        assert points.shape == (400, 6)
+
+    def test_hierarchical_clusters_validation(self, rng):
+        with pytest.raises(ValueError):
+            generators.hierarchical_clusters(10, 2, rng, branching=())
+        with pytest.raises(ValueError):
+            generators.hierarchical_clusters(10, 2, rng, scale_ratio=1.5)
+
+    def test_embedded_manifold_low_rank(self, rng):
+        points = generators.embedded_manifold(500, 10, rng, intrinsic_dim=2,
+                                              noise=0.0)
+        singular = np.linalg.svd(points - points.mean(axis=0),
+                                 compute_uv=False)
+        assert singular[2] < 1e-8 * singular[0]
+
+    def test_embedded_manifold_validation(self, rng):
+        with pytest.raises(ValueError):
+            generators.embedded_manifold(10, 4, rng, intrinsic_dim=5)
+
+    def test_random_walk_series_shape(self, rng):
+        series = generators.random_walk_series(50, 100, rng)
+        assert series.shape == (50, 100)
+
+    def test_determinism(self):
+        a = generators.gaussian_mixture(100, 3, np.random.default_rng(5))
+        b = generators.gaussian_mixture(100, 3, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_invalid_sizes(self, rng):
+        with pytest.raises(ValueError):
+            generators.uniform(0, 3, rng)
+        with pytest.raises(ValueError):
+            generators.uniform(10, 0, rng)
+
+
+class TestKLT:
+    def test_distances_preserved(self, rng):
+        points = rng.random((200, 6))
+        transformed = transforms.klt(points)
+        original = np.linalg.norm(points[0] - points[1])
+        rotated = np.linalg.norm(transformed[0] - transformed[1])
+        assert rotated == pytest.approx(original)
+
+    def test_variance_sorted(self, rng):
+        points = rng.random((500, 5)) * np.array([1.0, 5.0, 0.1, 2.0, 3.0])
+        transformed = transforms.klt(points)
+        variances = transformed.var(axis=0)
+        assert np.all(np.diff(variances) <= 1e-9)
+
+    def test_decorrelated(self, rng):
+        points = rng.random((2000, 4))
+        points[:, 1] += points[:, 0]  # correlated input
+        transformed = transforms.klt(points)
+        cov = np.cov(transformed, rowvar=False)
+        off_diag = cov - np.diag(np.diag(cov))
+        assert np.abs(off_diag).max() < 1e-8
+
+    def test_centered(self, rng):
+        transformed = transforms.klt(rng.random((100, 3)) + 5.0)
+        assert np.allclose(transformed.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            transforms.klt(np.zeros((1, 3)))
+
+
+class TestDFT:
+    def test_output_width_equals_length(self, rng):
+        series = rng.random((30, 360))
+        features = transforms.dft_features(series)
+        assert features.shape == (30, 360)
+
+    def test_odd_length(self, rng):
+        features = transforms.dft_features(rng.random((10, 7)))
+        assert features.shape == (10, 7)
+
+    def test_isometry(self, rng):
+        series = rng.random((20, 64))
+        features = transforms.dft_features(series)
+        original = np.linalg.norm(series[3] - series[9])
+        transformed = np.linalg.norm(features[3] - features[9])
+        assert transformed == pytest.approx(original, rel=1e-9)
+
+    def test_energy_compaction_on_walks(self, rng):
+        series = generators.random_walk_series(100, 128, rng)
+        features = transforms.dft_features(series)
+        energy = (features**2).mean(axis=0)
+        low = energy[: 16].sum()
+        high = energy[-64:].sum()
+        assert low > 5 * high  # random walks are low-frequency heavy
+
+    def test_invalid_input(self):
+        with pytest.raises(ValueError):
+            transforms.dft_features(np.zeros(10))
+
+
+class TestDatasetAnalogues:
+    def test_registry_complete(self):
+        assert set(datasets.DATASETS) == {
+            "COLOR64", "TEXTURE48", "TEXTURE60", "ISOLET617", "STOCK360"
+        }
+
+    def test_paper_cardinalities(self):
+        assert datasets.DATASETS["COLOR64"].n_points == 112_361
+        assert datasets.DATASETS["TEXTURE48"].n_points == 26_697
+        assert datasets.DATASETS["TEXTURE60"].n_points == 275_465
+        assert datasets.DATASETS["ISOLET617"].n_points == 7_800
+        assert datasets.DATASETS["STOCK360"].n_points == 6_500
+
+    def test_paper_dimensionalities(self):
+        dims = {name: spec.dim for name, spec in datasets.DATASETS.items()}
+        assert dims == {
+            "COLOR64": 64, "TEXTURE48": 48, "TEXTURE60": 60,
+            "ISOLET617": 617, "STOCK360": 360,
+        }
+
+    def test_scale_reduces_cardinality(self):
+        points = datasets.load("TEXTURE48", scale=0.01, seed=0)
+        assert points.shape == (267, 48)
+
+    def test_load_case_insensitive(self):
+        points = datasets.load("stock360", scale=0.1)
+        assert points.shape[1] == 360
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            datasets.load("NOPE")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            datasets.load("COLOR64", scale=0.0)
+        with pytest.raises(ValueError):
+            datasets.load("COLOR64", scale=1.5)
+
+    def test_determinism(self):
+        a = datasets.load("TEXTURE48", scale=0.02, seed=9)
+        b = datasets.load("TEXTURE48", scale=0.02, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_data(self):
+        a = datasets.load("TEXTURE48", scale=0.02, seed=1)
+        b = datasets.load("TEXTURE48", scale=0.02, seed=2)
+        assert not np.allclose(a, b)
+
+    def test_klt_variance_ordering(self):
+        points = datasets.load("COLOR64", scale=0.02, seed=0)
+        variances = points.var(axis=0)
+        assert np.all(np.diff(variances) <= 1e-9)

@@ -1,0 +1,54 @@
+"""Tests for experiment configuration (environment knobs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import (
+    DEFAULT_K,
+    DEFAULT_MEMORY_FRACTION,
+    experiment_queries,
+    experiment_scale,
+)
+
+
+class TestScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert experiment_scale() == 0.1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert experiment_scale() == 0.5
+
+    def test_full_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "1.0")
+        assert experiment_scale() == 1.0
+
+    def test_invalid_rejected(self, monkeypatch):
+        for bad in ("0", "-0.1", "1.5"):
+            monkeypatch.setenv("REPRO_SCALE", bad)
+            with pytest.raises(ValueError):
+                experiment_scale()
+
+
+class TestQueries:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUERIES", raising=False)
+        assert experiment_queries() == 200
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUERIES", "500")
+        assert experiment_queries() == 500
+
+    def test_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUERIES", "0")
+        with pytest.raises(ValueError):
+            experiment_queries()
+
+
+class TestConstants:
+    def test_paper_parameters(self):
+        assert DEFAULT_K == 21
+        # Table 3's memory ratio: M = 10,000 at N = 275,465.
+        assert DEFAULT_MEMORY_FRACTION == pytest.approx(10_000 / 275_465)

@@ -1,0 +1,159 @@
+"""Failure-injection and degenerate-input tests across the library.
+
+A production system's behavior on hostile input matters as much as its
+happy path: constant columns, duplicate-heavy data, NaN/inf
+coordinates, single-point datasets, workloads larger than the data,
+and memory budgets at the edge of feasibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cutoff import CutoffModel
+from repro.core.minindex import MiniIndexModel
+from repro.core.predictor import IndexCostPredictor
+from repro.core.resampled import ResampledModel
+from repro.disk.device import SimulatedDisk
+from repro.disk.pagefile import PointFile
+from repro.ondisk.builder import OnDiskBuilder
+from repro.rtree.rstar import RStarTree
+from repro.rtree.tree import RTree
+from repro.workload.queries import KNNWorkload, density_biased_knn_workload
+
+
+def fresh_file(points):
+    return PointFile.from_points(SimulatedDisk(), points)
+
+
+class TestDegenerateData:
+    def test_constant_column(self, rng):
+        points = rng.random((500, 4))
+        points[:, 2] = 0.5
+        tree = RTree.bulk_load(points, 16, 8)
+        tree.validate()
+        result = tree.knn(points[0], 5)
+        assert result.distances[0] == 0.0
+
+    def test_all_identical_points(self):
+        points = np.tile([1.0, 2.0], (300, 1))
+        tree = RTree.bulk_load(points, 16, 8)
+        tree.validate()
+        result = tree.knn(np.array([1.0, 2.0]), 3)
+        assert np.allclose(result.distances, 0.0)
+
+    def test_all_identical_ondisk_build(self):
+        points = np.tile([1.0, 2.0, 3.0], (500, 1))
+        index = OnDiskBuilder(16, 8, memory=64).build(fresh_file(points))
+        index.tree.validate()
+
+    def test_one_dimensional_data(self, rng):
+        points = np.sort(rng.random(300))[:, None]
+        tree = RTree.bulk_load(points, 8, 4)
+        tree.validate()
+        workload = density_biased_knn_workload(
+            points, 10, 5, np.random.default_rng(0)
+        )
+        estimate = MiniIndexModel(8, 4).predict(
+            points, workload, 0.5, np.random.default_rng(1)
+        )
+        measured = tree.leaf_accesses_for_radius(
+            workload.queries, workload.radii
+        ).mean()
+        assert abs(estimate.mean_accesses - measured) / measured < 0.5
+
+    def test_two_points(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        tree = RTree.bulk_load(points, 8, 4)
+        tree.validate()
+        assert tree.knn(np.zeros(2), 2).point_ids.shape[0] == 2
+
+    def test_duplicate_heavy_mixture(self, rng):
+        base = rng.random((10, 3))
+        points = base[rng.integers(0, 10, size=1000)]
+        tree = RTree.bulk_load(points, 16, 8)
+        tree.validate()
+        rstar = RStarTree.build(points, 16, 8, shuffle_seed=0)
+        rstar.validate()
+
+
+class TestHostileInputs:
+    def test_nan_rejected_by_workload(self):
+        points = np.full((50, 2), np.nan)
+        with pytest.raises(ValueError, match="finite"):
+            density_biased_knn_workload(points, 5, 2,
+                                        np.random.default_rng(0))
+
+    def test_inf_rejected_by_workload(self):
+        points = np.ones((50, 2))
+        points[0, 0] = np.inf
+        with pytest.raises(ValueError, match="finite"):
+            density_biased_knn_workload(points, 50, 2,
+                                        np.random.default_rng(0))
+
+    def test_inf_coordinates_build_but_flag_in_radius(self):
+        points = np.ones((100, 2))
+        points[0, 0] = np.inf
+        tree = RTree.bulk_load(points, 8, 4)
+        # The MBR swallows the infinity; volume is inf, not NaN.
+        assert np.isinf(tree.root.mbr.upper[0])
+
+    def test_mismatched_workload_dimension(self, clustered_points):
+        workload = KNNWorkload(
+            k=1,
+            query_ids=np.zeros(1, np.int64),
+            queries=np.zeros((1, 3)),
+            radii=np.ones(1),
+        )
+        predictor = IndexCostPredictor(dim=16, memory=400, c_data=32, c_dir=16)
+        with pytest.raises((ValueError, IndexError)):
+            predictor.predict(clustered_points, workload, method="mini",
+                              sampling_fraction=0.5)
+
+
+class TestEdgeBudgets:
+    def test_workload_larger_than_dataset(self, rng):
+        points = rng.random((30, 3))
+        workload = density_biased_knn_workload(points, 100, 2, rng)
+        estimate = MiniIndexModel(8, 4).predict(
+            points, workload, 1.0, np.random.default_rng(0)
+        )
+        assert estimate.per_query.shape == (100,)
+
+    def test_memory_of_one_point_phased(self, clustered_points, rng):
+        workload = density_biased_knn_workload(
+            clustered_points, 5, 2, np.random.default_rng(0)
+        )
+        model = CutoffModel(32, 16, memory=1)
+        result = model.predict(fresh_file(clustered_points), workload,
+                               np.random.default_rng(1))
+        assert result.per_query.shape == (5,)
+
+    def test_resampled_tiny_memory_survives(self, clustered_points):
+        workload = density_biased_knn_workload(
+            clustered_points, 5, 2, np.random.default_rng(0)
+        )
+        model = ResampledModel(32, 16, memory=8)
+        result = model.predict(fresh_file(clustered_points), workload,
+                               np.random.default_rng(1))
+        # Heavily degraded but well-defined.
+        assert np.all(result.per_query >= 0)
+
+    def test_k_equals_n(self, rng):
+        points = rng.random((40, 2))
+        workload = density_biased_knn_workload(points, 3, 40, rng)
+        tree = RTree.bulk_load(points, 8, 4)
+        counts = tree.leaf_accesses_for_radius(workload.queries,
+                                               workload.radii)
+        assert np.all(counts == tree.n_leaves)
+
+    def test_single_query(self, clustered_points):
+        workload = density_biased_knn_workload(
+            clustered_points, 1, 21, np.random.default_rng(0)
+        )
+        predictor = IndexCostPredictor(dim=16, memory=400, c_data=32,
+                                       c_dir=16)
+        result = predictor.predict(clustered_points, workload,
+                                   method="resampled")
+        assert result.per_query.shape == (1,)

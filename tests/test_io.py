@@ -1,0 +1,89 @@
+"""Tests for index/workload serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rtree.io import load_tree, load_workload, save_tree, save_workload
+from repro.rtree.tree import RTree
+from repro.workload.queries import density_biased_knn_workload
+
+
+class TestTreeRoundtrip:
+    def test_structure_preserved(self, clustered_points, tmp_path):
+        tree = RTree.bulk_load(clustered_points, 32, 16)
+        path = tmp_path / "index.npz"
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        loaded.validate()
+        assert loaded.height == tree.height
+        assert loaded.n_leaves == tree.n_leaves
+        assert loaded.topology.c_data == 32
+
+    def test_queries_identical(self, clustered_points, tmp_path, rng):
+        tree = RTree.bulk_load(clustered_points, 32, 16)
+        path = tmp_path / "index.npz"
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        for _ in range(3):
+            query = clustered_points[rng.integers(len(clustered_points))]
+            a = tree.knn(query, 9)
+            b = loaded.knn(query, 9)
+            assert np.array_equal(np.sort(a.point_ids), np.sort(b.point_ids))
+            assert a.leaf_accesses == b.leaf_accesses
+
+    def test_leaf_corners_identical(self, clustered_points, tmp_path):
+        tree = RTree.bulk_load(clustered_points, 32, 16)
+        path = tmp_path / "index.npz"
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        assert np.allclose(tree.leaf_corners[0], loaded.leaf_corners[0])
+        assert np.allclose(tree.leaf_corners[1], loaded.leaf_corners[1])
+
+    def test_mini_index_roundtrip(self, clustered_points, tmp_path, rng):
+        n = clustered_points.shape[0]
+        sample = clustered_points[rng.choice(n, n // 5, replace=False)]
+        mini = RTree.bulk_load(sample, 32, 16, virtual_n=n)
+        path = tmp_path / "mini.npz"
+        save_tree(mini, path)
+        loaded = load_tree(path)
+        loaded.validate()
+        assert loaded.topology.n_points == n  # virtual count survives
+
+    def test_version_check(self, clustered_points, tmp_path):
+        tree = RTree.bulk_load(clustered_points[:100], 32, 16)
+        path = tmp_path / "index.npz"
+        save_tree(tree, path)
+        with np.load(path) as archive:
+            data = dict(archive)
+        data["format_version"] = np.int64(99)
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_tree(path)
+
+
+class TestWorkloadRoundtrip:
+    def test_roundtrip(self, clustered_points, tmp_path):
+        workload = density_biased_knn_workload(
+            clustered_points, 15, 7, np.random.default_rng(2)
+        )
+        path = tmp_path / "workload.npz"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        assert loaded.k == 7
+        assert np.array_equal(loaded.query_ids, workload.query_ids)
+        assert np.allclose(loaded.queries, workload.queries)
+        assert np.allclose(loaded.radii, workload.radii)
+
+    def test_loaded_workload_usable(self, clustered_points, tmp_path):
+        workload = density_biased_knn_workload(
+            clustered_points, 10, 5, np.random.default_rng(2)
+        )
+        path = tmp_path / "workload.npz"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        tree = RTree.bulk_load(clustered_points, 32, 16)
+        a = tree.leaf_accesses_for_radius(workload.queries, workload.radii)
+        b = tree.leaf_accesses_for_radius(loaded.queries, loaded.radii)
+        assert np.array_equal(a, b)

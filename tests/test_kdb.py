@@ -1,0 +1,132 @@
+"""Tests for the k-d-B-tree substrate and its predictor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kdb_model import KDBMiniIndexModel
+from repro.rtree.geometry import volume
+from repro.rtree.kdb import KDBTree
+from repro.workload.queries import density_biased_knn_workload
+
+
+@pytest.fixture(scope="module")
+def kdb(clustered_points):
+    return KDBTree.bulk_load(clustered_points, c_data=32)
+
+
+@pytest.fixture(scope="module")
+def workload(clustered_points):
+    return density_biased_knn_workload(
+        clustered_points, 30, 21, np.random.default_rng(8)
+    )
+
+
+class TestConstruction:
+    def test_validates(self, kdb):
+        kdb.validate()
+
+    def test_pages_tile_the_space(self, kdb):
+        lower, upper = kdb.leaf_corners()
+        root_volume = volume(kdb.root.mbr.lower, kdb.root.mbr.upper)
+        assert volume(lower, upper).sum() == pytest.approx(float(root_volume))
+
+    def test_pages_disjoint(self, kdb):
+        from repro.rtree.stats import pairwise_overlap_count
+
+        lower, upper = kdb.leaf_corners()
+        assert pairwise_overlap_count(lower, upper) == 0
+
+    def test_capacity_respected(self, kdb):
+        assert all(l.n_points <= 32 for l in kdb.leaves)
+
+    def test_leaf_count_power_of_two_split(self, clustered_points):
+        # Binary median splits: leaves = 2^ceil(log2(N / C)).
+        tree = KDBTree.bulk_load(clustered_points, c_data=32)
+        n = clustered_points.shape[0]
+        expected = 2 ** int(np.ceil(np.log2(n / 32)))
+        assert tree.n_leaves == expected
+
+    def test_single_page(self, rng):
+        points = rng.random((10, 3))
+        tree = KDBTree.bulk_load(points, c_data=32)
+        assert tree.n_leaves == 1
+        tree.validate()
+
+    def test_duplicates(self):
+        points = np.tile([0.5, 0.5], (200, 1))
+        tree = KDBTree.bulk_load(points, c_data=16)
+        tree.validate()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            KDBTree.bulk_load(np.empty((0, 2)), c_data=8)
+        with pytest.raises(ValueError):
+            KDBTree.bulk_load(np.zeros((5, 2)), c_data=0)
+        with pytest.raises(ValueError):
+            KDBTree.bulk_load(np.zeros((5, 2)), c_data=8, virtual_n=3)
+
+    @given(st.integers(2, 400), st.integers(1, 5), st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_random_shapes_validate(self, n, d, seed):
+        gen = np.random.default_rng(seed)
+        tree = KDBTree.bulk_load(gen.random((n, d)), c_data=7)
+        tree.validate()
+
+
+class TestQueries:
+    def test_knn_matches_brute_force(self, kdb, clustered_points, rng):
+        for _ in range(5):
+            query = clustered_points[rng.integers(len(clustered_points))]
+            result = kdb.knn(query, 7)
+            expected = np.sort(
+                np.linalg.norm(clustered_points - query, axis=1)
+            )[:7]
+            assert np.allclose(np.sort(result.distances), expected)
+
+    def test_counting_consistency(self, kdb, clustered_points, workload):
+        counts = kdb.leaf_accesses_for_radius(workload.queries, workload.radii)
+        assert np.all(counts >= 1)
+        assert np.all(counts <= kdb.n_leaves)
+
+
+class TestPrediction:
+    @pytest.fixture(scope="class")
+    def measured(self, kdb, workload):
+        return float(
+            kdb.leaf_accesses_for_radius(
+                workload.queries, workload.radii
+            ).mean()
+        )
+
+    def test_mini_page_count_exact(self, kdb, clustered_points, workload):
+        result = KDBMiniIndexModel(32).predict(
+            clustered_points, workload, 0.25, np.random.default_rng(0)
+        )
+        assert result.detail["n_mini_leaves"] == kdb.n_leaves
+
+    @pytest.mark.parametrize("fraction", [0.5, 0.25, 0.1])
+    def test_accurate_without_compensation(
+        self, clustered_points, workload, measured, fraction
+    ):
+        """Space-partitioning pages need no Theorem 1 growth: sample
+        medians estimate data medians at any usable fraction."""
+        result = KDBMiniIndexModel(32).predict(
+            clustered_points, workload, fraction, np.random.default_rng(0)
+        )
+        assert abs(result.relative_error(measured)) < 0.15
+
+    def test_full_sample_exact(self, clustered_points, workload, measured):
+        result = KDBMiniIndexModel(32).predict(
+            clustered_points, workload, 1.0, np.random.default_rng(0)
+        )
+        assert result.mean_accesses == pytest.approx(measured)
+
+    def test_invalid_fraction(self, clustered_points, workload):
+        with pytest.raises(ValueError):
+            KDBMiniIndexModel(32).predict(
+                clustered_points, workload, 1.0001, np.random.default_rng(0)
+            )

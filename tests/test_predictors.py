@@ -1,0 +1,291 @@
+"""Tests for the three prediction models: mini-index, cutoff, resampled."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.counting import (
+    PredictionResult,
+    knn_accesses_per_query,
+    range_accesses_per_query,
+)
+from repro.core.cutoff import CutoffModel, synthesize_uniform_leaves
+from repro.core.minindex import MiniIndexModel
+from repro.core.resampled import ResampledModel
+from repro.core.topology import Topology
+from repro.disk.accounting import IOCost
+from repro.disk.device import SimulatedDisk
+from repro.disk.pagefile import PointFile
+from repro.rtree.geometry import volume
+from repro.rtree.tree import RTree
+from repro.workload.queries import (
+    density_biased_knn_workload,
+    density_biased_range_workload,
+)
+
+C_DATA, C_DIR = 32, 16
+
+
+@pytest.fixture(scope="module")
+def workload(clustered_points):
+    return density_biased_knn_workload(
+        clustered_points, 40, 21, np.random.default_rng(3)
+    )
+
+
+@pytest.fixture(scope="module")
+def measured_mean(clustered_points, workload):
+    tree = RTree.bulk_load(clustered_points, C_DATA, C_DIR)
+    counts = tree.leaf_accesses_for_radius(workload.queries, workload.radii)
+    return float(np.mean(counts))
+
+
+def fresh_file(points):
+    return PointFile.from_points(SimulatedDisk(), points)
+
+
+class TestPredictionResult:
+    def test_mean_and_error(self):
+        result = PredictionResult(per_query=np.array([10, 20, 30]))
+        assert result.mean_accesses == 20.0
+        assert result.relative_error(25.0) == pytest.approx(-0.2)
+
+    def test_error_validation(self):
+        result = PredictionResult(per_query=np.array([1.0]))
+        with pytest.raises(ValueError):
+            result.relative_error(0.0)
+
+
+class TestCounting:
+    def test_knn_counts_match_tree(self, clustered_points, workload):
+        tree = RTree.bulk_load(clustered_points, C_DATA, C_DIR)
+        lower, upper = tree.leaf_corners
+        counts = knn_accesses_per_query(lower, upper, workload)
+        expected = tree.leaf_accesses_for_radius(workload.queries, workload.radii)
+        assert np.array_equal(counts, expected)
+
+    def test_range_counts(self, clustered_points, rng):
+        tree = RTree.bulk_load(clustered_points, C_DATA, C_DIR)
+        lower, upper = tree.leaf_corners
+        workload = density_biased_range_workload(clustered_points, 10, 0.3, rng)
+        counts = range_accesses_per_query(lower, upper, workload)
+        assert counts.shape == (10,)
+        assert np.all(counts >= 1)  # the center's own leaf always hits
+
+    def test_empty_boxes(self, workload):
+        empty = np.empty((0, 16))
+        assert knn_accesses_per_query(empty, empty, workload).sum() == 0
+
+
+class TestMiniIndexModel:
+    def test_accurate_at_half_sample(self, clustered_points, workload, measured_mean):
+        model = MiniIndexModel(C_DATA, C_DIR)
+        result = model.predict(clustered_points, workload, 0.5,
+                               np.random.default_rng(0))
+        assert abs(result.relative_error(measured_mean)) < 0.15
+
+    def test_full_sample_is_exact(self, clustered_points, workload, measured_mean):
+        model = MiniIndexModel(C_DATA, C_DIR)
+        result = model.predict(clustered_points, workload, 1.0,
+                               np.random.default_rng(0))
+        assert result.mean_accesses == pytest.approx(measured_mean)
+        assert result.detail["zeta"] == 1.0
+
+    def test_compensation_never_decreases_counts(self, clustered_points, workload):
+        on = MiniIndexModel(C_DATA, C_DIR, compensate=True).predict(
+            clustered_points, workload, 0.2, np.random.default_rng(5)
+        )
+        off = MiniIndexModel(C_DATA, C_DIR, compensate=False).predict(
+            clustered_points, workload, 0.2, np.random.default_rng(5)
+        )
+        assert on.mean_accesses >= off.mean_accesses
+        assert on.detail["compensated"]
+
+    def test_below_one_over_c_degrades(self, clustered_points, workload):
+        model = MiniIndexModel(C_DATA, C_DIR)
+        result = model.predict(clustered_points, workload, 1 / 40,
+                               np.random.default_rng(5))
+        assert not result.detail["compensated"]
+
+    def test_range_workload(self, clustered_points, rng):
+        range_wl = density_biased_range_workload(clustered_points, 10, 0.3, rng)
+        result = MiniIndexModel(C_DATA, C_DIR).predict(
+            clustered_points, range_wl, 0.5, np.random.default_rng(1)
+        )
+        assert result.per_query.shape == (10,)
+
+    def test_invalid_fraction(self, clustered_points, workload):
+        model = MiniIndexModel(C_DATA, C_DIR)
+        with pytest.raises(ValueError):
+            model.predict(clustered_points, workload, 0.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            model.predict(clustered_points, workload, 1.1, np.random.default_rng(0))
+
+    def test_no_io_cost(self, clustered_points, workload):
+        result = MiniIndexModel(C_DATA, C_DIR).predict(
+            clustered_points, workload, 0.3, np.random.default_rng(0)
+        )
+        assert result.io_cost.is_zero
+
+
+class TestSynthesizeUniformLeaves:
+    def test_tiles_the_box_exactly(self, clustered_points):
+        topo = Topology(clustered_points.shape[0], C_DATA, C_DIR)
+        box_lower = np.zeros(3)
+        box_upper = np.array([2.0, 1.0, 1.0])
+        level = 2
+        n_virtual = 400
+        lower, upper = synthesize_uniform_leaves(
+            box_lower, box_upper, level, n_virtual, topo
+        )
+        # Volumes sum to the box volume (the synthesized pages tile it).
+        assert volume(lower, upper).sum() == pytest.approx(2.0)
+        # All inside the box.
+        assert np.all(lower >= box_lower - 1e-12)
+        assert np.all(upper <= box_upper + 1e-12)
+
+    def test_leaf_count_matches_fanout_schedule(self):
+        topo = Topology(10_000, C_DATA, C_DIR)
+        lower, _ = synthesize_uniform_leaves(
+            np.zeros(2), np.ones(2), 2, 400, topo
+        )
+        # a level-2 node with 400 virtual points has ceil(400/32) leaves
+        assert lower.shape[0] == 13
+
+    def test_level_one_returns_box(self):
+        topo = Topology(10_000, C_DATA, C_DIR)
+        lower, upper = synthesize_uniform_leaves(
+            np.zeros(2), np.ones(2), 1, 30, topo
+        )
+        assert lower.shape == (1, 2)
+        assert np.allclose(upper[0], 1.0)
+
+    def test_splits_longest_dimension_first(self):
+        topo = Topology(10_000, C_DATA, C_DIR)
+        lower, upper = synthesize_uniform_leaves(
+            np.zeros(2), np.array([10.0, 1.0]), 2, 64, topo
+        )
+        # two leaves, split along dim 0 at the proportional midpoint
+        assert lower.shape[0] == 2
+        assert np.all(upper[:, 1] == 1.0)
+
+
+class TestCutoffModel:
+    def test_underestimates_on_clustered_data(
+        self, clustered_points, workload, measured_mean
+    ):
+        model = CutoffModel(C_DATA, C_DIR, memory=400, h_upper=2)
+        result = model.predict(fresh_file(clustered_points), workload,
+                               np.random.default_rng(0))
+        # Section 5.2: the cutoff method underestimates on real data.
+        assert result.relative_error(measured_mean) < 0.05
+
+    def test_io_cost_is_equation_three(self, clustered_points, workload):
+        file = fresh_file(clustered_points)
+        model = CutoffModel(C_DATA, C_DIR, memory=400, h_upper=2)
+        result = model.predict(file, workload, np.random.default_rng(0))
+        q = workload.n_queries
+        expected = IOCost(seeks=q, transfers=q) + IOCost(
+            seeks=1, transfers=file.n_pages
+        )
+        assert result.io_cost == expected
+
+    def test_io_independent_of_h_upper(self, clustered_points, workload):
+        # Use small capacities for a taller tree with several valid h.
+        costs = []
+        for h in (2, 3):
+            model = CutoffModel(8, 4, memory=400, h_upper=h)
+            result = model.predict(fresh_file(clustered_points), workload,
+                                   np.random.default_rng(0))
+            costs.append(result.io_cost)
+        assert costs[0] == costs[1]
+
+    def test_predicted_leaf_count_matches_topology(
+        self, clustered_points, workload
+    ):
+        topo = Topology(clustered_points.shape[0], C_DATA, C_DIR)
+        model = CutoffModel(C_DATA, C_DIR, memory=400, h_upper=2)
+        result = model.predict(fresh_file(clustered_points), workload,
+                               np.random.default_rng(0))
+        assert result.detail["n_predicted_leaves"] == topo.n_leaves
+
+    def test_invalid_h_upper(self, clustered_points, workload):
+        model = CutoffModel(C_DATA, C_DIR, memory=400, h_upper=99)
+        with pytest.raises(ValueError):
+            model.predict(fresh_file(clustered_points), workload,
+                          np.random.default_rng(0))
+
+
+class TestResampledModel:
+    def test_accurate_at_sigma_lower_one(
+        self, clustered_points, workload, measured_mean
+    ):
+        topo = Topology(clustered_points.shape[0], C_DATA, C_DIR)
+        h = topo.best_h_upper(400)
+        model = ResampledModel(C_DATA, C_DIR, memory=400, h_upper=h)
+        result = model.predict(fresh_file(clustered_points), workload,
+                               np.random.default_rng(0))
+        assert abs(result.relative_error(measured_mean)) < 0.25
+
+    def test_more_accurate_than_cutoff(
+        self, clustered_points, workload, measured_mean
+    ):
+        resampled = ResampledModel(C_DATA, C_DIR, memory=400).predict(
+            fresh_file(clustered_points), workload, np.random.default_rng(0)
+        )
+        cutoff = CutoffModel(C_DATA, C_DIR, memory=400).predict(
+            fresh_file(clustered_points), workload, np.random.default_rng(0)
+        )
+        assert abs(resampled.relative_error(measured_mean)) <= abs(
+            cutoff.relative_error(measured_mean)
+        ) + 0.02
+
+    def test_io_cost_higher_than_cutoff(self, clustered_points, workload):
+        resampled = ResampledModel(C_DATA, C_DIR, memory=400).predict(
+            fresh_file(clustered_points), workload, np.random.default_rng(0)
+        )
+        cutoff = CutoffModel(C_DATA, C_DIR, memory=400).predict(
+            fresh_file(clustered_points), workload, np.random.default_rng(0)
+        )
+        assert resampled.io_cost.transfers > cutoff.io_cost.transfers
+
+    def test_sigma_lower_caps_at_one(self, clustered_points, workload):
+        topo = Topology(clustered_points.shape[0], C_DATA, C_DIR)
+        h = topo.height - 1
+        model = ResampledModel(C_DATA, C_DIR, memory=1000, h_upper=h)
+        result = model.predict(fresh_file(clustered_points), workload,
+                               np.random.default_rng(0))
+        assert result.detail["sigma_lower"] == 1.0
+
+    def test_detail_fields_present(self, clustered_points, workload):
+        result = ResampledModel(C_DATA, C_DIR, memory=400).predict(
+            fresh_file(clustered_points), workload, np.random.default_rng(0)
+        )
+        for key in ("h_upper", "sigma_upper", "sigma_lower", "k_upper_leaves",
+                    "n_predicted_leaves", "n_discarded_overflow"):
+            assert key in result.detail
+
+    def test_memory_covering_dataset_is_near_exact(
+        self, clustered_points, workload, measured_mean
+    ):
+        model = ResampledModel(C_DATA, C_DIR, memory=len(clustered_points))
+        result = model.predict(fresh_file(clustered_points), workload,
+                               np.random.default_rng(0))
+        assert result.mean_accesses == pytest.approx(measured_mean, rel=0.01)
+
+    def test_range_workload_supported(self, clustered_points, rng):
+        range_wl = density_biased_range_workload(clustered_points, 8, 0.3, rng)
+        result = ResampledModel(C_DATA, C_DIR, memory=400).predict(
+            fresh_file(clustered_points), range_wl, np.random.default_rng(0)
+        )
+        assert result.per_query.shape == (8,)
+
+    def test_reproducible_with_same_seed(self, clustered_points, workload):
+        runs = [
+            ResampledModel(C_DATA, C_DIR, memory=400).predict(
+                fresh_file(clustered_points), workload, np.random.default_rng(9)
+            ).mean_accesses
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]

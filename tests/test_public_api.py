@@ -1,0 +1,53 @@
+"""Public API integrity: every exported name resolves and is documented."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.rtree",
+    "repro.disk",
+    "repro.ondisk",
+    "repro.data",
+    "repro.workload",
+    "repro.baselines",
+    "repro.apps",
+    "repro.experiments",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), package
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_module_documented(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and module.__doc__.strip(), package
+
+    def test_public_classes_documented(self):
+        import repro
+
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, type) or callable(obj):
+                assert obj.__doc__, f"repro.{name} lacks a docstring"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_star_import_clean(self):
+        namespace: dict = {}
+        exec("from repro import *", namespace)  # noqa: S102
+        assert "IndexCostPredictor" in namespace
+        assert "RTree" in namespace

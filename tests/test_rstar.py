@@ -1,0 +1,298 @@
+"""Tests for the dynamic R*-tree and its sampling predictor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamic import DynamicMiniIndexModel, measure_dynamic_index
+from repro.rtree.rstar import RStarTree
+from repro.rtree.tree import RTree
+from repro.workload.queries import (
+    density_biased_knn_workload,
+    density_biased_range_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def rstar(clustered_points):
+    return RStarTree.build(clustered_points, c_data=32, c_dir=16,
+                           shuffle_seed=1)
+
+
+class TestConstruction:
+    def test_validates(self, rstar):
+        rstar.validate()
+
+    def test_all_points_present(self, rstar, clustered_points):
+        assert rstar.n_points == clustered_points.shape[0]
+        frozen = rstar.freeze()
+        ids = np.sort(np.concatenate([l.point_ids for l in frozen.leaves]))
+        assert np.array_equal(ids, np.arange(clustered_points.shape[0]))
+
+    def test_occupancy_bounds(self, rstar):
+        frozen = rstar.freeze()
+        sizes = [l.n_points for l in frozen.leaves]
+        assert max(sizes) <= 32
+        # R*-tree guarantees min-fill on every non-root leaf.
+        if len(sizes) > 1:
+            assert min(sizes) >= int(0.4 * 32)
+
+    def test_reasonable_utilization(self, rstar, clustered_points):
+        frozen = rstar.freeze()
+        fill = clustered_points.shape[0] / (frozen.n_leaves * 32)
+        assert 0.55 <= fill <= 1.0  # R*-trees typically fill ~70%
+
+    def test_incremental_insert(self, rng):
+        tree = RStarTree(dim=3, c_data=8, c_dir=4)
+        points = rng.random((200, 3))
+        for p in points:
+            tree.insert(p)
+        tree.validate()
+        assert tree.n_points == 200
+
+    def test_single_point(self):
+        tree = RStarTree(dim=2, c_data=4, c_dir=4)
+        tree.insert(np.array([0.5, 0.5]))
+        tree.validate()
+        assert tree.height == 1
+
+    def test_duplicate_points(self):
+        tree = RStarTree(dim=2, c_data=4, c_dir=4)
+        for _ in range(50):
+            tree.insert(np.zeros(2))
+        tree.validate()
+        assert tree.n_points == 50
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RStarTree(dim=0, c_data=8, c_dir=4)
+        with pytest.raises(ValueError):
+            RStarTree(dim=2, c_data=1, c_dir=4)
+        with pytest.raises(ValueError):
+            RStarTree(dim=2, c_data=8, c_dir=4, min_fill=0.9)
+        with pytest.raises(ValueError):
+            RStarTree(dim=2, c_data=8, c_dir=4, reinsert_fraction=0.6)
+
+    def test_wrong_dim_rejected(self):
+        tree = RStarTree(dim=3, c_data=8, c_dir=4)
+        with pytest.raises(ValueError):
+            tree.insert(np.zeros(2))
+
+    def test_no_reinsertion_variant(self, rng):
+        tree = RStarTree(dim=4, c_data=8, c_dir=4, reinsert_fraction=0.0)
+        for p in rng.random((300, 4)):
+            tree.insert(p)
+        tree.validate()
+
+    @given(st.integers(5, 300), st.integers(1, 4), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_orders_validate(self, n, d, seed):
+        gen = np.random.default_rng(seed)
+        tree = RStarTree.build(gen.random((n, d)), c_data=6, c_dir=4,
+                               shuffle_seed=seed)
+        tree.validate()
+
+
+class TestQueries:
+    def test_knn_matches_brute_force(self, rstar, clustered_points, rng):
+        frozen = rstar.freeze()
+        for _ in range(5):
+            query = clustered_points[rng.integers(len(clustered_points))]
+            result = frozen.knn(query, 7)
+            expected = np.sort(
+                np.linalg.norm(clustered_points - query, axis=1)
+            )[:7]
+            assert np.allclose(np.sort(result.distances), expected)
+
+    def test_range_matches_brute_force(self, rstar, clustered_points, rng):
+        frozen = rstar.freeze()
+        center = clustered_points[3]
+        found = frozen.range_query(center - 0.2, center + 0.2)
+        inside = np.all(
+            (clustered_points >= center - 0.2)
+            & (clustered_points <= center + 0.2),
+            axis=1,
+        )
+        assert np.array_equal(found, np.flatnonzero(inside))
+
+    def test_optimality_invariant(self, rstar, clustered_points):
+        frozen = rstar.freeze()
+        result = frozen.knn(clustered_points[0], 21)
+        assert result.leaf_accesses == frozen.count_leaves_intersecting_sphere(
+            clustered_points[0], result.radius
+        )
+
+    def test_dynamic_needs_more_accesses_than_bulk(
+        self, rstar, clustered_points
+    ):
+        """The classic result: tuple-at-a-time R*-trees overlap more
+        than a packed bulk-loaded layout."""
+        frozen = rstar.freeze()
+        bulk = RTree.bulk_load(clustered_points, 32, 16)
+        workload = density_biased_knn_workload(
+            clustered_points, 30, 21, np.random.default_rng(2)
+        )
+        dyn = frozen.leaf_accesses_for_radius(
+            workload.queries, workload.radii
+        ).mean()
+        blk = bulk.leaf_accesses_for_radius(
+            workload.queries, workload.radii
+        ).mean()
+        assert dyn > blk
+
+
+class TestDynamicPrediction:
+    @pytest.fixture(scope="class")
+    def context(self, clustered_points):
+        workload = density_biased_knn_workload(
+            clustered_points, 30, 21, np.random.default_rng(2)
+        )
+        frozen = measure_dynamic_index(clustered_points, 32, 16)
+        measured = float(
+            frozen.leaf_accesses_for_radius(
+                workload.queries, workload.radii
+            ).mean()
+        )
+        return workload, measured
+
+    def test_accurate_at_half_sample(self, clustered_points, context):
+        workload, measured = context
+        model = DynamicMiniIndexModel(32, 16)
+        result = model.predict(clustered_points, workload, 0.5,
+                               np.random.default_rng(0))
+        assert abs((result.mean_accesses - measured) / measured) < 0.2
+
+    def test_mini_leaf_count_tracks_full(self, clustered_points, context):
+        workload, measured = context
+        model = DynamicMiniIndexModel(32, 16)
+        result = model.predict(clustered_points, workload, 0.5,
+                               np.random.default_rng(0))
+        frozen = measure_dynamic_index(clustered_points, 32, 16)
+        ratio = result.detail["n_mini_leaves"] / frozen.n_leaves
+        assert 0.7 < ratio < 1.3
+
+    def test_full_sample_near_exact(self, clustered_points, context):
+        workload, measured = context
+        model = DynamicMiniIndexModel(32, 16)
+        result = model.predict(clustered_points, workload, 1.0,
+                               np.random.default_rng(0))
+        assert result.mean_accesses == pytest.approx(measured, rel=0.02)
+
+    def test_compensation_flag(self, clustered_points, context):
+        workload, _ = context
+        result = DynamicMiniIndexModel(32, 16).predict(
+            clustered_points, workload, 0.4, np.random.default_rng(0)
+        )
+        assert result.detail["compensated"]
+        off = DynamicMiniIndexModel(32, 16, compensate=False).predict(
+            clustered_points, workload, 0.4, np.random.default_rng(0)
+        )
+        assert not off.detail["compensated"]
+        assert result.mean_accesses >= off.mean_accesses
+
+    def test_range_workload(self, clustered_points, rng):
+        workload = density_biased_range_workload(clustered_points, 10, 0.3, rng)
+        result = DynamicMiniIndexModel(32, 16).predict(
+            clustered_points, workload, 0.5, np.random.default_rng(0)
+        )
+        assert result.per_query.shape == (10,)
+
+    def test_invalid_fraction(self, clustered_points, context):
+        workload, _ = context
+        with pytest.raises(ValueError):
+            DynamicMiniIndexModel(32, 16).predict(
+                clustered_points, workload, 0.0, np.random.default_rng(0)
+            )
+
+
+class TestDeletion:
+    @pytest.fixture()
+    def small_tree(self, rng):
+        points = rng.random((400, 4))
+        return points, RStarTree.build(points, c_data=16, c_dir=8,
+                                       shuffle_seed=2)
+
+    def test_delete_then_validate(self, small_tree, rng):
+        points, tree = small_tree
+        for pid in rng.permutation(400)[:150]:
+            tree.delete(int(pid))
+        tree.validate()
+        assert len(tree.active_ids) == 250
+
+    def test_delete_unknown_raises(self, small_tree):
+        _, tree = small_tree
+        with pytest.raises(KeyError):
+            tree.delete(9999)
+
+    def test_double_delete_raises(self, small_tree):
+        _, tree = small_tree
+        tree.delete(5)
+        with pytest.raises(KeyError):
+            tree.delete(5)
+
+    def test_knn_after_deletes(self, small_tree, rng):
+        points, tree = small_tree
+        removed = set(int(i) for i in rng.permutation(400)[:100])
+        for pid in removed:
+            tree.delete(pid)
+        frozen = tree.freeze()
+        active = np.array(tree.active_ids)
+        query = points[active[7]]
+        result = frozen.knn(query, 5)
+        assert not (set(result.point_ids.tolist()) & removed)
+        expected = np.sort(np.linalg.norm(points[active] - query, axis=1))[:5]
+        assert np.allclose(np.sort(result.distances), expected)
+
+    def test_delete_everything(self, small_tree):
+        _, tree = small_tree
+        for pid in list(tree.active_ids):
+            tree.delete(pid)
+        tree.validate()
+        assert tree.active_ids == []
+        assert tree.height == 1
+
+    def test_interleaved_insert_delete(self, rng):
+        tree = RStarTree(dim=3, c_data=8, c_dir=4)
+        alive = []
+        for step in range(600):
+            if alive and step % 3 == 2:
+                victim = alive.pop(int(rng.integers(len(alive))))
+                tree.delete(victim)
+            else:
+                alive.append(tree.insert(rng.random(3)))
+        tree.validate()
+        assert sorted(tree.active_ids) == sorted(alive)
+
+
+class TestIncrementalNN:
+    def test_streams_in_order(self, clustered_points, rstar):
+        from repro.rtree.search import incremental_nn
+
+        frozen = rstar.freeze()
+        stream = incremental_nn(frozen.points, frozen.root,
+                                clustered_points[0])
+        got = [next(stream) for _ in range(25)]
+        distances = [d for _, d in got]
+        assert distances == sorted(distances)
+        expected = np.sort(
+            np.linalg.norm(clustered_points - clustered_points[0], axis=1)
+        )[:25]
+        assert np.allclose(distances, expected)
+
+    def test_exhausts_completely(self, rng):
+        from repro.rtree.search import incremental_nn
+        from repro.rtree.tree import RTree
+
+        points = rng.random((100, 2))
+        tree = RTree.bulk_load(points, 8, 4)
+        results = list(incremental_nn(tree.points, tree.root, points[0]))
+        assert len(results) == 100
+        assert {pid for pid, _ in results} == set(range(100))
+
+    def test_empty_tree(self):
+        from repro.rtree.search import incremental_nn
+
+        assert list(incremental_nn(np.empty((0, 2)), None, np.zeros(2))) == []

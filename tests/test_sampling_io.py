@@ -1,0 +1,74 @@
+"""Tests for the charged I/O helpers shared by the phased predictors."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.sampling_io import read_query_points, scan_and_sample
+from repro.disk.accounting import IOCost
+from repro.disk.device import SimulatedDisk
+from repro.disk.pagefile import PointFile
+
+
+@pytest.fixture
+def file(rng):
+    disk = SimulatedDisk()
+    return PointFile.from_points(disk, rng.random((500, 6)),
+                                 points_per_page=10)
+
+
+class TestReadQueryPoints:
+    def test_returns_requested_rows(self, file):
+        ids = np.array([3, 100, 499])
+        rows = read_query_points(file, ids)
+        assert np.allclose(rows, file.peek(0, 500)[ids])
+
+    def test_charges_one_seek_per_query(self, file):
+        before = file.disk.cost
+        read_query_points(file, np.array([1, 2, 3, 4, 5]))
+        cost = file.disk.cost - before
+        # Eq. 2: q seeks + q transfers, even for adjacent pages.
+        assert cost == IOCost(seeks=5, transfers=5)
+
+    def test_repeated_ids_each_charged(self, file):
+        before = file.disk.cost
+        read_query_points(file, np.array([7, 7, 7]))
+        assert (file.disk.cost - before) == IOCost(seeks=3, transfers=3)
+
+    def test_empty_ids(self, file):
+        rows = read_query_points(file, np.array([], dtype=np.int64))
+        assert rows.shape == (0, 6)
+
+
+class TestScanAndSample:
+    def test_sample_comes_from_file(self, file, rng):
+        sample = scan_and_sample(file, 50, rng)
+        assert sample.shape == (50, 6)
+        data = file.peek(0, 500)
+        for row in sample[:5]:
+            assert np.any(np.all(np.isclose(data, row), axis=1))
+
+    def test_sample_without_replacement(self, file, rng):
+        sample = scan_and_sample(file, 500, rng)
+        # Full sample: every row exactly once (in file order).
+        assert np.allclose(sample, file.peek(0, 500))
+
+    def test_scan_cost(self, file, rng):
+        before = file.disk.cost
+        scan_and_sample(file, 50, rng)
+        cost = file.disk.cost - before
+        assert cost == IOCost(seeks=1, transfers=math.ceil(500 / 10))
+
+    def test_deterministic_given_rng(self, file):
+        a = scan_and_sample(file, 30, np.random.default_rng(9))
+        b = scan_and_sample(file, 30, np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+    def test_invalid_sizes(self, file, rng):
+        with pytest.raises(ValueError):
+            scan_and_sample(file, 0, rng)
+        with pytest.raises(ValueError):
+            scan_and_sample(file, 501, rng)

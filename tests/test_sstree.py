@@ -1,0 +1,233 @@
+"""Tests for the SS-tree substrate and its sphere-page predictor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.spheres import SphereMiniIndexModel
+from repro.rtree.sstree import (
+    Sphere,
+    SSTree,
+    count_sphere_sphere,
+    sphere_radius_compensation,
+)
+from repro.workload.queries import density_biased_knn_workload
+
+C_DATA, C_DIR = 32, 16
+
+
+@pytest.fixture(scope="module")
+def sstree(clustered_points):
+    return SSTree.bulk_load(clustered_points, C_DATA, C_DIR)
+
+
+@pytest.fixture(scope="module")
+def workload(clustered_points):
+    return density_biased_knn_workload(
+        clustered_points, 30, 21, np.random.default_rng(4)
+    )
+
+
+class TestSphere:
+    def test_mindist_inside_zero(self):
+        sphere = Sphere(np.zeros(3), 1.0)
+        assert sphere.mindist_sq(np.array([0.5, 0.0, 0.0])) == 0.0
+
+    def test_mindist_outside(self):
+        sphere = Sphere(np.zeros(2), 1.0)
+        assert sphere.mindist_sq(np.array([3.0, 0.0])) == pytest.approx(4.0)
+
+    def test_intersects_sphere(self):
+        sphere = Sphere(np.zeros(2), 1.0)
+        assert sphere.intersects_sphere(np.array([2.5, 0.0]), 1.5)
+        assert not sphere.intersects_sphere(np.array([2.5, 0.0]), 1.4)
+
+    def test_grown(self):
+        sphere = Sphere(np.ones(2), 2.0)
+        grown = sphere.grown(1.5)
+        assert grown.radius == pytest.approx(3.0)
+        assert np.array_equal(grown.center, sphere.center)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Sphere(np.zeros(2), -1.0)
+        with pytest.raises(ValueError):
+            Sphere(np.zeros((2, 2)), 1.0)
+        with pytest.raises(ValueError):
+            Sphere(np.zeros(2), 1.0).grown(-1.0)
+
+
+class TestRadiusCompensation:
+    def test_no_sampling_identity(self):
+        assert sphere_radius_compensation(32, 1.0, 8) == pytest.approx(1.0)
+
+    def test_always_grows(self):
+        assert sphere_radius_compensation(32, 0.3, 8) > 1.0
+
+    def test_shrinks_with_dimension(self):
+        """Extreme-value concentration: sphere radii barely shrink in
+        high dimensions."""
+        low = sphere_radius_compensation(32, 0.3, 2)
+        high = sphere_radius_compensation(32, 0.3, 64)
+        assert high < low
+
+    def test_matches_uniform_ball_monte_carlo(self):
+        """E[max radius of n uniform ball points] = R * nd / (nd + 1)."""
+        gen = np.random.default_rng(3)
+        d, trials = 3, 4000
+        for n in (5, 20):
+            direction = gen.standard_normal((trials, n, d))
+            direction /= np.linalg.norm(direction, axis=2, keepdims=True)
+            radius = gen.random((trials, n)) ** (1.0 / d)
+            measured = np.mean((radius).max(axis=1))
+            assert measured == pytest.approx(n * d / (n * d + 1), rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sphere_radius_compensation(1.0, 0.5, 4)
+        with pytest.raises(ValueError):
+            sphere_radius_compensation(32, 0.0, 4)
+        with pytest.raises(ValueError):
+            sphere_radius_compensation(32, 0.5, 0)
+
+
+class TestSSTree:
+    def test_validates(self, sstree):
+        sstree.validate()
+
+    def test_same_topology_as_box_tree(self, sstree, clustered_points):
+        from repro.rtree.tree import RTree
+
+        box = RTree.bulk_load(clustered_points, C_DATA, C_DIR)
+        assert sstree.n_leaves == box.n_leaves
+        assert sstree.height == box.height
+
+    def test_knn_matches_brute_force(self, sstree, clustered_points, rng):
+        for _ in range(5):
+            query = clustered_points[rng.integers(len(clustered_points))]
+            result = sstree.knn(query, 7)
+            expected = np.sort(
+                np.linalg.norm(clustered_points - query, axis=1)
+            )[:7]
+            assert np.allclose(np.sort(result.distances), expected)
+
+    def test_optimality_invariant(self, sstree, clustered_points):
+        result = sstree.knn(clustered_points[0], 21)
+        counted = sstree.leaf_accesses_for_radius(
+            clustered_points[0][None, :], np.array([result.radius])
+        )
+        assert result.leaf_accesses == counted[0]
+
+    def test_spheres_cover_points(self, sstree, clustered_points):
+        centers, radii = sstree.leaf_spheres()
+        for leaf, (center, radius) in zip(
+            (l for l in sstree.leaves if l.mbr is not None),
+            zip(centers, radii),
+        ):
+            dists = np.linalg.norm(
+                clustered_points[leaf.point_ids] - center, axis=1
+            )
+            assert dists.max() <= radius + 1e-9
+
+    def test_mini_topology_imposed(self, clustered_points, rng):
+        n = clustered_points.shape[0]
+        sample = clustered_points[rng.choice(n, n // 4, replace=False)]
+        mini = SSTree.bulk_load(sample, C_DATA, C_DIR, virtual_n=n)
+        full = SSTree.bulk_load(clustered_points, C_DATA, C_DIR)
+        assert mini.n_leaves == full.n_leaves
+
+    def test_spheres_access_more_than_boxes_high_d(self):
+        """Sphere pages overlap more than boxes in high dimensions --
+        the SR-tree's motivating observation."""
+        from repro.data import datasets
+        from repro.rtree.tree import RTree
+
+        points = datasets.texture60(scale=0.02, seed=5)
+        workload = density_biased_knn_workload(
+            points, 20, 21, np.random.default_rng(1)
+        )
+        spheres = SSTree.bulk_load(points, 34, 16)
+        boxes = RTree.bulk_load(points, 34, 16)
+        sphere_mean = spheres.leaf_accesses_for_radius(
+            workload.queries, workload.radii
+        ).mean()
+        box_mean = boxes.leaf_accesses_for_radius(
+            workload.queries, workload.radii
+        ).mean()
+        assert sphere_mean > box_mean
+
+
+class TestCountSphereSphere:
+    def test_matches_pairwise(self, rng):
+        leaf_centers = rng.random((20, 4))
+        leaf_radii = rng.random(20) * 0.2
+        query = rng.random(4)
+        counts = count_sphere_sphere(
+            query, np.array([0.3]), leaf_centers, leaf_radii
+        )
+        expected = sum(
+            1
+            for c, r in zip(leaf_centers, leaf_radii)
+            if np.linalg.norm(query - c) <= 0.3 + r
+        )
+        assert counts[0] == expected
+
+    def test_empty_leaves(self):
+        counts = count_sphere_sphere(
+            np.zeros((2, 3)), np.ones(2), np.empty((0, 3)), np.empty(0)
+        )
+        assert counts.sum() == 0
+
+
+class TestSpherePrediction:
+    @pytest.fixture(scope="class")
+    def measured(self, sstree, workload):
+        return float(
+            sstree.leaf_accesses_for_radius(
+                workload.queries, workload.radii
+            ).mean()
+        )
+
+    def test_accurate_at_half_sample(self, clustered_points, workload, measured):
+        model = SphereMiniIndexModel(C_DATA, C_DIR)
+        result = model.predict(clustered_points, workload, 0.5,
+                               np.random.default_rng(0))
+        assert abs(result.relative_error(measured)) < 0.15
+
+    def test_bootstrap_beats_uniform_when_sampled_hard(
+        self, clustered_points, workload, measured
+    ):
+        uniform = SphereMiniIndexModel(C_DATA, C_DIR, calibration="uniform")
+        bootstrap = SphereMiniIndexModel(C_DATA, C_DIR)
+        err_uniform = abs(
+            uniform.predict(clustered_points, workload, 0.2,
+                            np.random.default_rng(0)).relative_error(measured)
+        )
+        err_bootstrap = abs(
+            bootstrap.predict(clustered_points, workload, 0.2,
+                              np.random.default_rng(0)).relative_error(measured)
+        )
+        assert err_bootstrap <= err_uniform + 0.03
+
+    def test_full_sample_exact(self, clustered_points, workload, measured):
+        result = SphereMiniIndexModel(C_DATA, C_DIR).predict(
+            clustered_points, workload, 1.0, np.random.default_rng(0)
+        )
+        assert result.mean_accesses == pytest.approx(measured)
+
+    def test_growth_factor_reported(self, clustered_points, workload):
+        result = SphereMiniIndexModel(C_DATA, C_DIR).predict(
+            clustered_points, workload, 0.3, np.random.default_rng(0)
+        )
+        assert result.detail["radius_growth"] >= 1.0
+
+    def test_invalid_calibration(self):
+        with pytest.raises(ValueError):
+            SphereMiniIndexModel(C_DATA, C_DIR, calibration="magic")
+
+    def test_invalid_fraction(self, clustered_points, workload):
+        with pytest.raises(ValueError):
+            SphereMiniIndexModel(C_DATA, C_DIR).predict(
+                clustered_points, workload, 0.0, np.random.default_rng(0)
+            )

@@ -1,0 +1,117 @@
+"""Tests for query workload construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.queries import (
+    KNNWorkload,
+    RangeWorkload,
+    density_biased_knn_workload,
+    density_biased_range_workload,
+    exact_knn_radii,
+)
+
+
+class TestExactRadii:
+    def test_matches_naive(self, rng):
+        points = rng.random((300, 5))
+        queries = rng.random((7, 5))
+        radii = exact_knn_radii(points, queries, k=4)
+        for i, q in enumerate(queries):
+            dists = np.sort(np.linalg.norm(points - q, axis=1))
+            assert radii[i] == pytest.approx(dists[3])
+
+    def test_chunked_matches_unchunked(self, rng):
+        points = rng.random((1000, 3))
+        queries = rng.random((5, 3))
+        a = exact_knn_radii(points, queries, 10, chunk_rows=64)
+        b = exact_knn_radii(points, queries, 10, chunk_rows=10**6)
+        assert np.allclose(a, b)
+
+    def test_query_in_dataset_includes_self(self, rng):
+        points = rng.random((50, 3))
+        radii = exact_knn_radii(points, points[:3], k=1)
+        assert np.allclose(radii, 0.0)
+
+    def test_k_equals_n(self, rng):
+        points = rng.random((20, 2))
+        radii = exact_knn_radii(points, points[:1], k=20)
+        dists = np.linalg.norm(points - points[0], axis=1)
+        assert radii[0] == pytest.approx(dists.max())
+
+    def test_invalid_k(self, rng):
+        points = rng.random((20, 2))
+        with pytest.raises(ValueError):
+            exact_knn_radii(points, points[:1], k=0)
+        with pytest.raises(ValueError):
+            exact_knn_radii(points, points[:1], k=21)
+
+    def test_single_query_1d_input(self, rng):
+        points = rng.random((30, 4))
+        radii = exact_knn_radii(points, points[0], k=3)
+        assert radii.shape == (1,)
+
+
+class TestKNNWorkload:
+    def test_density_biased_queries_come_from_data(self, clustered_points, rng):
+        workload = density_biased_knn_workload(clustered_points, 20, 5, rng)
+        assert workload.n_queries == 20
+        for i in range(20):
+            assert np.allclose(
+                workload.queries[i], clustered_points[workload.query_ids[i]]
+            )
+
+    def test_radii_are_exact(self, clustered_points, rng):
+        workload = density_biased_knn_workload(clustered_points, 5, 21, rng)
+        check = exact_knn_radii(clustered_points, workload.queries, 21)
+        assert np.allclose(workload.radii, check)
+
+    def test_more_queries_than_points(self, rng):
+        points = rng.random((10, 2))
+        workload = density_biased_knn_workload(points, 50, 2, rng)
+        assert workload.n_queries == 50
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            density_biased_knn_workload(rng.random((10, 2)), 0, 1, rng)
+        with pytest.raises(ValueError):
+            KNNWorkload(
+                k=0,
+                query_ids=np.zeros(1, np.int64),
+                queries=np.zeros((1, 2)),
+                radii=np.zeros(1),
+            )
+        with pytest.raises(ValueError):
+            KNNWorkload(
+                k=1,
+                query_ids=np.zeros(2, np.int64),
+                queries=np.zeros((1, 2)),
+                radii=np.zeros(1),
+            )
+
+
+class TestRangeWorkload:
+    def test_boxes_centered_on_data(self, clustered_points, rng):
+        workload = density_biased_range_workload(clustered_points, 10, 0.2, rng)
+        assert workload.n_queries == 10
+        centers = (workload.lower + workload.upper) / 2.0
+        # each center must be a data point
+        for c in centers:
+            assert np.min(np.linalg.norm(clustered_points - c, axis=1)) < 1e-9
+
+    def test_per_dimension_sides(self, rng):
+        points = rng.random((50, 3))
+        side = np.array([0.1, 0.2, 0.4])
+        workload = density_biased_range_workload(points, 5, side, rng)
+        assert np.allclose(workload.upper - workload.lower,
+                           np.broadcast_to(side, (5, 3)))
+
+    def test_negative_side_rejected(self, rng):
+        with pytest.raises(ValueError):
+            density_biased_range_workload(rng.random((10, 2)), 2, -0.1, rng)
+
+    def test_inverted_box_rejected(self):
+        with pytest.raises(ValueError):
+            RangeWorkload(lower=np.ones((1, 2)), upper=np.zeros((1, 2)))
