@@ -37,7 +37,23 @@ from .core import (
     compensation_volume_factor,
     page_capacities,
 )
-from .disk import DiskParameters, IOCost, PointFile, SimulatedDisk
+from .disk import (
+    DiskParameters,
+    FaultInjector,
+    IOCost,
+    PointFile,
+    RetryPolicy,
+    SimulatedDisk,
+)
+from .errors import (
+    DegradedResultWarning,
+    DiskError,
+    InputValidationError,
+    PredictionError,
+    ReproError,
+    TornWriteError,
+    TransientReadError,
+)
 from .ondisk import MeasurementResult, OnDiskBuilder, OnDiskIndex, measure_knn
 from .rtree import MBR, BulkLoadConfig, KNNResult, RStarTree, RTree
 from .workload import (
@@ -66,9 +82,18 @@ __all__ = [
     "compensation_volume_factor",
     "page_capacities",
     "DiskParameters",
+    "FaultInjector",
     "IOCost",
     "PointFile",
+    "RetryPolicy",
     "SimulatedDisk",
+    "DegradedResultWarning",
+    "DiskError",
+    "InputValidationError",
+    "PredictionError",
+    "ReproError",
+    "TornWriteError",
+    "TransientReadError",
     "MeasurementResult",
     "OnDiskBuilder",
     "OnDiskIndex",

@@ -30,9 +30,35 @@ from .baselines.uniform_model import UniformCostModel
 from .core.costmodel import AnalyticalCostModel
 from .core.predictor import IndexCostPredictor
 from .data import datasets
+from .errors import (
+    DiskError,
+    InputValidationError,
+    PredictionError,
+    ReproError,
+    TornWriteError,
+    TransientReadError,
+)
 from .experiments.tables import format_signed_percent, format_table
 
 __all__ = ["main"]
+
+# Distinct non-zero exit codes per failure class (argparse owns 2).
+# Ordered most-specific-first; the first matching class wins.
+_EXIT_CODES: tuple[tuple[type[ReproError], int], ...] = (
+    (InputValidationError, 3),
+    (TransientReadError, 4),
+    (TornWriteError, 5),
+    (DiskError, 6),
+    (PredictionError, 7),
+    (ReproError, 8),
+)
+
+
+def _exit_code(error: ReproError) -> int:
+    for klass, code in _EXIT_CODES:
+        if isinstance(error, klass):
+            return code
+    return 8
 
 
 def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
@@ -53,6 +79,13 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--k", type=int, default=21, help="k for k-NN")
     parser.add_argument("--memory", type=int, default=2_000,
                         help="memory budget M in points")
+    parser.add_argument("--fault-rate", type=float, default=0.0,
+                        dest="fault_rate",
+                        help="transient read fault rate in [0, 1] injected "
+                             "on the simulated disk (default 0: no faults)")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        dest="fault_seed",
+                        help="seed of the deterministic fault injector")
 
 
 def _load_points(args: argparse.Namespace) -> np.ndarray:
@@ -67,7 +100,11 @@ def _load_points(args: argparse.Namespace) -> np.ndarray:
 
 def _context(args: argparse.Namespace):
     points = _load_points(args)
-    predictor = IndexCostPredictor(dim=points.shape[1], memory=args.memory)
+    predictor = IndexCostPredictor(
+        dim=points.shape[1], memory=args.memory,
+        fault_rate=getattr(args, "fault_rate", 0.0),
+        fault_seed=getattr(args, "fault_seed", 0),
+    )
     workload = predictor.make_workload(points, args.queries, args.k,
                                        seed=args.seed)
     return points, predictor, workload
@@ -86,6 +123,12 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     print(f"prediction I/O: {result.io_cost.seeks:,} seeks, "
           f"{result.io_cost.transfers:,} transfers "
           f"({result.io_cost.seconds():.3f} s)")
+    degradation = result.detail.get("degradation")
+    if degradation:
+        print(f"resilience: method used {degradation['method_used']!r} "
+              f"(requested {degradation['method_requested']!r}), "
+              f"{degradation['faults_seen']} faults seen, "
+              f"{degradation['retries']} retries charged")
     return 0
 
 
@@ -222,7 +265,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.run(args)
+    try:
+        return args.run(args)
+    except ReproError as error:
+        # One-line diagnosis, never a raw traceback; the exit code
+        # encodes the failure class for scripting.
+        print(f"repro: {type(error).__name__}: {error}", file=sys.stderr)
+        return _exit_code(error)
 
 
 if __name__ == "__main__":

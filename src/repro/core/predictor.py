@@ -10,17 +10,38 @@ the paper does.  It is the API the examples and benchmarks use::
     estimate = predictor.predict(points, workload, method="resampled")
     truth = predictor.measure(points, workload)
     error = estimate.relative_error(truth.mean_accesses)
+
+Resilience: the facade validates its inputs up front
+(:class:`~repro.errors.InputValidationError` on NaN/inf or empty
+matrices), optionally injects seed-driven disk faults
+(``fault_rate`` / ``torn_write_rate`` / ``latency_spike_rate``), and
+retries transient faults under ``retry``.  When a method still cannot
+finish -- retries exhausted mid-phase -- :meth:`predict` degrades along
+``resampled -> cutoff -> mini -> closed-form baseline``, annotating the
+returned estimate with a ``degradation`` record and emitting a
+:class:`~repro.errors.DegradedResultWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..disk.accounting import DiskParameters
+from ..baselines.uniform_model import UniformCostModel
+from ..disk.accounting import DiskParameters, IOCost
 from ..disk.device import SimulatedDisk
+from ..disk.faults import FaultInjector
 from ..disk.pagefile import PointFile
+from ..disk.retry import RetryPolicy
+from ..errors import (
+    DegradedResultWarning,
+    InputValidationError,
+    PredictionError,
+    ReproError,
+    validate_points,
+)
 from ..ondisk.builder import OnDiskBuilder, OnDiskIndex
 from ..ondisk.measure import MeasurementResult, measure_knn
 from ..rtree.bulkload import BulkLoadConfig
@@ -39,6 +60,9 @@ __all__ = ["IndexCostPredictor"]
 
 _METHODS = ("mini", "cutoff", "resampled")
 
+#: degradation order -- each method falls back to everything after it
+_FALLBACK_CHAIN = ("resampled", "cutoff", "mini", "baseline")
+
 
 @dataclass
 class IndexCostPredictor:
@@ -48,6 +72,13 @@ class IndexCostPredictor:
     dimensionality (Section 5's configuration); pass ``c_data`` /
     ``c_dir`` to override.  ``memory`` is the point budget ``M`` of the
     restricted-memory methods.
+
+    ``fault_rate`` (transient read failures), ``torn_write_rate``, and
+    ``latency_spike_rate`` enable deterministic fault injection on the
+    fresh simulated disk each phased prediction runs against, seeded by
+    ``fault_seed``; ``retry`` governs how charged accesses recover.
+    All-zero rates are guaranteed zero-overhead: identical estimates
+    and identical ledgers to a bare disk.
     """
 
     dim: int
@@ -56,8 +87,22 @@ class IndexCostPredictor:
     c_data: int | None = None
     c_dir: int | None = None
     config: BulkLoadConfig | None = None
+    retry: RetryPolicy | None = field(default_factory=RetryPolicy)
+    fault_rate: float = 0.0
+    torn_write_rate: float = 0.0
+    latency_spike_rate: float = 0.0
+    fault_seed: int = 0
 
     def __post_init__(self) -> None:
+        for name, rate in (
+            ("fault_rate", self.fault_rate),
+            ("torn_write_rate", self.torn_write_rate),
+            ("latency_spike_rate", self.latency_spike_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise InputValidationError(
+                    f"{name} must be in [0, 1], got {rate}"
+                )
         default_data, default_dir = page_capacities(
             self.disk_parameters.page_bytes,
             self.dim,
@@ -77,13 +122,24 @@ class IndexCostPredictor:
         self, points: np.ndarray, n_queries: int, k: int, seed: int = 0
     ) -> KNNWorkload:
         """The paper's density-biased k-NN workload, seeded."""
+        points = validate_points(points)
         rng = np.random.default_rng(seed)
         return density_biased_knn_workload(points, n_queries, k, rng)
 
     def new_file(self, points: np.ndarray) -> PointFile:
-        """The dataset on a fresh simulated disk (I/O counters at zero)."""
+        """The dataset on a fresh simulated disk (I/O counters at zero),
+        behind the configured fault injector when any rate is set."""
         disk = SimulatedDisk(self.disk_parameters)
-        return PointFile.from_points(disk, points)
+        device = disk
+        if self.fault_rate or self.torn_write_rate or self.latency_spike_rate:
+            device = FaultInjector(
+                disk,
+                read_fault_rate=self.fault_rate,
+                torn_write_rate=self.torn_write_rate,
+                latency_spike_rate=self.latency_spike_rate,
+                seed=self.fault_seed,
+            )
+        return PointFile.from_points(device, points, retry=self.retry)
 
     # ------------------------------------------------------------------
 
@@ -96,6 +152,7 @@ class IndexCostPredictor:
         h_upper: int | None = None,
         sampling_fraction: float | None = None,
         seed: int = 0,
+        degrade: bool = True,
     ) -> PredictionResult:
         """Predict mean leaf accesses with the chosen method.
 
@@ -103,8 +160,74 @@ class IndexCostPredictor:
         ``"cutoff"`` or ``"resampled"`` (Section 4, use ``memory`` and
         optionally ``h_upper``).  The phased methods run against a fresh
         simulated disk so ``result.io_cost`` is exactly their own I/O.
+
+        If the chosen method dies on an unrecoverable disk fault (or any
+        other :class:`~repro.errors.ReproError`) mid-phase, the facade
+        falls back along ``resampled -> cutoff -> mini -> closed-form
+        baseline``, returns the first estimate that completes, annotated
+        with ``result.detail["degradation"]`` (methods attempted, faults
+        seen, retries spent, method actually used), and warns with
+        :class:`~repro.errors.DegradedResultWarning`.  Pass
+        ``degrade=False`` to let the original failure propagate instead.
         """
-        points = np.asarray(points, dtype=np.float64)
+        if method not in _METHODS:
+            raise ValueError(f"unknown method {method!r}; options: {_METHODS}")
+        points = validate_points(points)
+
+        chain = _FALLBACK_CHAIN[_FALLBACK_CHAIN.index(method):]
+        attempts: list[dict] = []
+        faults_before = retries_before = 0
+        last_error: ReproError | None = None
+        for fallback in chain:
+            file: PointFile | None = None
+            try:
+                if fallback in ("cutoff", "resampled"):
+                    file = self.new_file(points)
+                result = self._predict_once(
+                    fallback, points, file, workload,
+                    h_upper=h_upper, sampling_fraction=sampling_fraction,
+                    seed=seed,
+                )
+            except ReproError as error:
+                # bad caller input is a bug to surface, not a disk fault
+                # to degrade around
+                if not degrade or isinstance(error, InputValidationError):
+                    raise
+                spent = file.disk.cost if file is not None else IOCost()
+                attempts.append({
+                    "method": fallback,
+                    "error": f"{type(error).__name__}: {error}",
+                    "faults_seen": spent.faults_seen,
+                    "retries": spent.retries,
+                })
+                faults_before += spent.faults_seen
+                retries_before += spent.retries
+                last_error = error
+                continue
+            self._annotate_degradation(
+                result, method, fallback, attempts,
+                faults_before, retries_before,
+            )
+            return result
+        raise PredictionError(
+            f"every prediction method failed "
+            f"({', '.join(a['method'] for a in attempts)}); last error: "
+            f"{attempts[-1]['error'] if attempts else 'none'}"
+        ) from last_error
+
+    def _predict_once(
+        self,
+        method: str,
+        points: np.ndarray,
+        file: PointFile | None,
+        workload: KNNWorkload | RangeWorkload,
+        *,
+        h_upper: int | None,
+        sampling_fraction: float | None,
+        seed: int,
+    ) -> PredictionResult:
+        """One attempt of one method, on a fresh rng seeded identically
+        so a fallback run is bit-identical to calling it directly."""
         rng = np.random.default_rng(seed)
         if method == "mini":
             fraction = sampling_fraction if sampling_fraction is not None else min(
@@ -117,14 +240,82 @@ class IndexCostPredictor:
                 self.c_data, self.c_dir, self.memory, h_upper=h_upper,
                 config=self.config,
             )
-            return cutoff.predict(self.new_file(points), workload, rng)
+            return cutoff.predict(file, workload, rng)
         if method == "resampled":
             resampled = ResampledModel(
                 self.c_data, self.c_dir, self.memory, h_upper=h_upper,
                 config=self.config,
             )
-            return resampled.predict(self.new_file(points), workload, rng)
-        raise ValueError(f"unknown method {method!r}; options: {_METHODS}")
+            return resampled.predict(file, workload, rng)
+        if method == "baseline":
+            return self._closed_form_baseline(points, workload)
+        raise ValueError(f"unknown method {method!r}")
+
+    def _closed_form_baseline(
+        self,
+        points: np.ndarray,
+        workload: KNNWorkload | RangeWorkload,
+    ) -> PredictionResult:
+        """Last-resort estimate from the uniform closed-form model.
+
+        Touches no disk at all, so no fault can reach it; accuracy is
+        whatever uniformity buys (Section 5.3's baseline), which is why
+        it sits at the very end of the degradation chain.
+        """
+        n, dim = points.shape
+        topology = self.topology(n)
+        try:
+            model = UniformCostModel(n, dim, topology.c_eff_data)
+            if isinstance(workload, KNNWorkload):
+                value = model.predict_knn_accesses(workload.k)
+                per_query = np.full(workload.n_queries, value)
+            else:
+                sides = (workload.upper - workload.lower).mean(axis=1)
+                per_query = np.array([
+                    model.predict_range_accesses(float(side)) for side in sides
+                ])
+        except ValueError as error:
+            raise PredictionError(
+                f"closed-form baseline infeasible: {error}"
+            ) from error
+        return PredictionResult(
+            per_query=per_query,
+            detail={"baseline": "uniform-closed-form"},
+        )
+
+    @staticmethod
+    def _annotate_degradation(
+        result: PredictionResult,
+        method_requested: str,
+        method_used: str,
+        attempts: list[dict],
+        faults_before: int,
+        retries_before: int,
+    ) -> None:
+        """Attach the degradation record when anything noteworthy
+        happened: a fallback was taken, or faults/retries were absorbed
+        on the way to a successful estimate."""
+        absorbed_faults = faults_before + result.io_cost.faults_seen
+        absorbed_retries = retries_before + result.io_cost.retries
+        if not attempts and not absorbed_faults and not absorbed_retries:
+            return
+        result.detail["degradation"] = {
+            "method_requested": method_requested,
+            "method_used": method_used,
+            "attempts": list(attempts),
+            "faults_seen": absorbed_faults,
+            "retries": absorbed_retries,
+        }
+        if method_used != method_requested:
+            warnings.warn(
+                f"prediction degraded from {method_requested!r} to "
+                f"{method_used!r} after "
+                f"{len(attempts)} failed attempt"
+                f"{'s' if len(attempts) != 1 else ''} "
+                f"({absorbed_faults} faults, {absorbed_retries} retries)",
+                DegradedResultWarning,
+                stacklevel=3,
+            )
 
     # ------------------------------------------------------------------
 
@@ -133,7 +324,7 @@ class IndexCostPredictor:
         builder = OnDiskBuilder(
             self.c_data, self.c_dir, self.memory, config=self.config
         )
-        return builder.build(self.new_file(np.asarray(points, dtype=np.float64)))
+        return builder.build(self.new_file(validate_points(points)))
 
     def measure(
         self,
@@ -145,6 +336,7 @@ class IndexCostPredictor:
         """Measured ground truth: build (or reuse) the on-disk index and
         run the workload's queries on it.  The returned ``io_cost``
         covers the queries only; ``index.build_cost`` has the build."""
+        points = validate_points(points)
         if index is None:
             index = self.build_ondisk(points)
         return measure_knn(index, workload)

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..disk.pagefile import PointFile
+from ..errors import TornWriteError, TransientReadError
 from ..rtree.bulkload import BulkLoadConfig, build_subtree
 from ..workload.queries import KNNWorkload, RangeWorkload
 from .compensation import compensation_side_factor, grow_corners
@@ -58,12 +59,17 @@ class ResampledModel:
     h_upper: int | None = None
     config: BulkLoadConfig | None = None
     overflow_policy: str = "reservoir"
+    #: bucket-level resumes allowed across the spill phase after the
+    #: file's per-access retry policy is exhausted (fault tolerance)
+    spill_resume_attempts: int = 3
 
     def __post_init__(self) -> None:
         if self.overflow_policy not in ("reservoir", "discard"):
             raise ValueError(
                 f"unknown overflow_policy {self.overflow_policy!r}"
             )
+        if self.spill_resume_attempts < 0:
+            raise ValueError("spill_resume_attempts must be non-negative")
 
     def predict(
         self,
@@ -108,9 +114,10 @@ class ResampledModel:
         sigma_lower = topology.sigma_lower(h_upper, self.memory)
 
         # Steps 6-7: resampling pass into k consecutive spill areas.
-        areas, boxes_lower, boxes_upper, area_of_leaf, n_discarded = (
-            self._resample_into_areas(file, upper, sigma_lower, rng)
-        )
+        (
+            areas, boxes_lower, boxes_upper, area_of_leaf,
+            n_discarded, n_spill_resumes,
+        ) = self._resample_into_areas(file, upper, sigma_lower, rng)
 
         # Steps 8-10: build each lower tree in memory on its area.
         leaf_lower: list[np.ndarray] = []
@@ -159,6 +166,7 @@ class ResampledModel:
                 "k_upper_leaves": upper.k,
                 "n_predicted_leaves": int(lower.shape[0]),
                 "n_discarded_overflow": n_discarded,
+                "n_spill_resumes": n_spill_resumes,
                 "leaf_growth_factor": leaf_growth,
             },
         )
@@ -184,12 +192,23 @@ class ResampledModel:
         upper: UpperTree,
         sigma_lower: float,
         rng: np.random.Generator,
-    ) -> tuple[list[PointFile], np.ndarray, np.ndarray, list[int | None], int]:
+    ) -> tuple[
+        list[PointFile], np.ndarray, np.ndarray, list[int | None], int, int
+    ]:
         """Second sampling pass: distribute new sample points to areas.
 
         Returns the spill areas, the (mutable, possibly grown) box
         corner arrays, the leaf-index -> area-index map (``None`` for
-        upper leaves that had no box), and the overflow-discard count.
+        upper leaves that had no box), the overflow-discard count, and
+        the number of bucket-level fault resumes spent.
+
+        Fault tolerance: each bucket's spill is checkpointed by how
+        many of its group points have durably landed.  A transient
+        fault that survives the per-access retry policy resumes *that
+        bucket at its checkpoint* -- the chunk already read from the
+        dataset stays in memory, so the scan never restarts.  After
+        ``spill_resume_attempts`` bucket resumes the fault propagates
+        and the facade degrades to the cutoff method.
         """
         n = file.n_points
         dim = file.dim
@@ -207,14 +226,18 @@ class ResampledModel:
                 boxes_hi.append(leaf.upper)
         n_boxes = len(boxes_lo)
         if n_boxes == 0:
-            return [], np.empty((0, dim)), np.empty((0, dim)), area_of_leaf, 0
+            return [], np.empty((0, dim)), np.empty((0, dim)), area_of_leaf, 0, 0
         box_lower = np.stack(boxes_lo)
         box_upper = np.stack(boxes_hi)
-        areas = [PointFile(file.disk, dim, self.memory) for _ in range(n_boxes)]
+        areas = [
+            PointFile(file.disk, dim, self.memory, retry=file.retry)
+            for _ in range(n_boxes)
+        ]
 
         n_resample = min(n, round(n * sigma_lower))
         chosen = np.sort(rng.choice(n, size=n_resample, replace=False))
         seen_per_area = np.zeros(n_boxes, dtype=np.int64)
+        n_resumes = 0
         # Chunks sized so each holds about M sample points (Figure 8a).
         chunk = min(n, math.ceil(self.memory / max(sigma_lower, 1e-12)))
         for start, block in file.scan(chunk_points=chunk):
@@ -227,8 +250,18 @@ class ResampledModel:
             # Distribute groups (Figure 8b): one streak write per area.
             for box_idx in np.unique(assignment):
                 group = pts[assignment == box_idx]
-                self._spill(areas[box_idx], group,
-                            int(seen_per_area[box_idx]), rng)
+                checkpoint = {"consumed": 0}  # per-bucket progress
+                while True:
+                    try:
+                        self._spill(areas[box_idx], group,
+                                    int(seen_per_area[box_idx]), rng,
+                                    checkpoint)
+                        break
+                    except (TransientReadError, TornWriteError):
+                        if n_resumes >= self.spill_resume_attempts:
+                            raise
+                        n_resumes += 1
+                        file.disk.drop_head()
                 seen_per_area[box_idx] += group.shape[0]
                 # Grow the box to cover its new points (Figure 6b).
                 box_lower[box_idx] = np.minimum(
@@ -241,7 +274,8 @@ class ResampledModel:
         n_discarded = int(
             np.maximum(seen_per_area - self.memory, 0).sum()
         )
-        return areas, box_lower, box_upper, area_of_leaf, n_discarded
+        return (areas, box_lower, box_upper, area_of_leaf,
+                n_discarded, n_resumes)
 
     def _spill(
         self,
@@ -249,6 +283,7 @@ class ResampledModel:
         group: np.ndarray,
         seen_before: int,
         rng: np.random.Generator,
+        checkpoint: dict | None = None,
     ) -> None:
         """Write a group to its spill area, capping at capacity ``M``.
 
@@ -258,32 +293,51 @@ class ResampledModel:
         policy instead keeps a uniform sample of everything streamed to
         the area (classic reservoir sampling): same space bound, no
         order bias, markedly better lower trees for dense areas.
+
+        ``checkpoint["consumed"]`` counts the group points durably
+        handled so far; every charged write happens *before* the
+        corresponding in-memory state changes, so re-entering after a
+        fault resumes exactly where the bucket left off, with no
+        duplicated appends.
         """
-        room = area.capacity - area.n_points
-        take = min(room, group.shape[0])
-        if take > 0:
-            area.append(group[:take])
-        rest = group[take:]
-        if rest.shape[0] == 0 or self.overflow_policy == "discard":
-            return
-        # Reservoir replacement: stream position s (0-based) is kept
-        # with probability capacity / (s + 1), overwriting a random slot.
-        positions = seen_before + take + np.arange(rest.shape[0])
-        slots = rng.integers(0, positions + 1)
-        accept = slots < area.capacity
-        if not np.any(accept):
-            return
-        kept_slots = slots[accept]
-        kept_points = rest[accept]
-        for slot, point in zip(kept_slots.tolist(), kept_points):
-            area.place(int(slot), point[np.newaxis, :])
-        # Replacements are in-place page writes within the area: one
-        # seek to the area plus the touched pages, batched per group.
-        pages = math.ceil(
-            kept_slots.shape[0] / area.points_per_page
-        )
-        area.disk.drop_head()
-        area.disk.write(area.start_page, min(pages, area.n_pages))
+        state = checkpoint if checkpoint is not None else {"consumed": 0}
+        total = group.shape[0]
+        while state["consumed"] < total:
+            done = state["consumed"]
+            room = area.capacity - area.n_points
+            if room > 0:
+                take = min(room, total - done)
+                # append -> write_range charges before the buffer moves,
+                # so a torn write here leaves `consumed` untouched.
+                area.append(group[done : done + take])
+                state["consumed"] = done + take
+                continue
+            rest = group[done:]
+            if self.overflow_policy == "discard":
+                state["consumed"] = total
+                return
+            # Reservoir replacement: stream position s (0-based) is kept
+            # with probability capacity / (s + 1), overwriting a random
+            # slot.
+            positions = seen_before + done + np.arange(rest.shape[0])
+            slots = rng.integers(0, positions + 1)
+            accept = slots < area.capacity
+            if not np.any(accept):
+                state["consumed"] = total
+                return
+            kept_slots = slots[accept]
+            kept_points = rest[accept]
+            # Replacements are in-place page writes within the area: one
+            # seek to the area plus the touched pages, batched per group.
+            # Charge first (under the retry policy); only then mutate the
+            # buffer, so a failed write leaves the area resumable.
+            pages = math.ceil(kept_slots.shape[0] / area.points_per_page)
+            area.disk.drop_head()
+            n_pages = min(pages, area.n_pages)
+            area.charged(lambda: area.disk.write(area.start_page, n_pages))
+            for slot, point in zip(kept_slots.tolist(), kept_points):
+                area.place(int(slot), point[np.newaxis, :])
+            state["consumed"] = total
 
 
 def _assign_to_boxes(

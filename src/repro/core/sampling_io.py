@@ -7,9 +7,20 @@ determines the query spheres and collects the upper-tree sample of
 ``M`` points.  These helpers perform those steps against a
 :class:`~repro.disk.pagefile.PointFile` so the seeks and transfers land
 on the simulated disk.
+
+Fault tolerance: every charged read below goes through the file's
+:class:`~repro.disk.retry.RetryPolicy` (when one is attached), and the
+scan issues one bounded ``read_range`` per chunk -- a transient read
+fault is retried *at the failed chunk*, with backoff charged to the
+ledger, instead of restarting the whole pass.  A fault that exhausts
+the policy propagates as
+:class:`~repro.errors.TransientReadError`; the facade's degradation
+chain decides what happens next.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -24,7 +35,9 @@ def read_query_points(file: PointFile, query_ids: np.ndarray) -> np.ndarray:
     Each read is one seek plus one page transfer -- the prediction
     algorithm interleaves these reads with other work, so consecutive
     query points never find the head in place, exactly as Eq. 2 prices
-    them: ``q * (t_seek + t_xfer)``.
+    them: ``q * (t_seek + t_xfer)``.  A transient fault on one query
+    point is retried (by ``file.read_point``) without re-reading the
+    points already gathered.
     """
     rows = []
     for qid in np.asarray(query_ids):
@@ -38,21 +51,28 @@ def scan_and_sample(
     file: PointFile,
     n_sample: int,
     rng: np.random.Generator,
+    *,
+    chunk_points: int | None = None,
 ) -> np.ndarray:
     """One sequential pass over the file, returning a uniform sample.
 
     Charges ``t_seek + ceil(N / B) * t_xfer`` (``cost_ScanDataset``).
     The sample positions are drawn without replacement ahead of the scan
     and gathered as their pages stream by, exactly as an implementation
-    over a real file would do.
+    over a real file would do.  The pass is driven chunk by chunk so a
+    transient read fault costs (at most) one chunk's retries, never the
+    chunks already consumed.
     """
     n = file.n_points
     if not 1 <= n_sample <= n:
         raise ValueError(f"sample size {n_sample} outside [1, {n}]")
     chosen = np.sort(rng.choice(n, size=n_sample, replace=False))
+    chunk = chunk_points or max(file.points_per_page, 4096)
+    chunk = max(1, math.ceil(chunk / file.points_per_page)) * file.points_per_page
     collected: list[np.ndarray] = []
-    for start, block in file.scan():
-        stop = start + block.shape[0]
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        block = file.read_range(start, stop)
         in_block = chosen[(chosen >= start) & (chosen < stop)]
         if in_block.size:
             collected.append(block[in_block - start])

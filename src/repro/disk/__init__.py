@@ -1,8 +1,19 @@
-"""Simulated disk: seek/transfer accounting and paged point files."""
+"""Simulated disk: seek/transfer accounting, paged point files,
+fault injection, and retry policies."""
 
 from .accounting import DiskParameters, IOCost
 from .bufferpool import BufferedDisk
 from .device import SimulatedDisk
+from .faults import FaultInjector
 from .pagefile import PointFile
+from .retry import RetryPolicy
 
-__all__ = ["DiskParameters", "IOCost", "BufferedDisk", "SimulatedDisk", "PointFile"]
+__all__ = [
+    "DiskParameters",
+    "IOCost",
+    "BufferedDisk",
+    "SimulatedDisk",
+    "FaultInjector",
+    "PointFile",
+    "RetryPolicy",
+]

@@ -66,26 +66,53 @@ class DiskParameters:
 
 @dataclass(frozen=True)
 class IOCost:
-    """A count of seeks and page transfers; supports + and scaling."""
+    """A count of seeks and page transfers; supports + and scaling.
+
+    ``retries`` and ``faults_seen`` are resilience diagnostics: how
+    many retry rounds a :class:`~repro.disk.retry.RetryPolicy` spent
+    and how many injected faults the device saw.  The *priced* cost of
+    a retry (its backoff plus the re-issued access) is already folded
+    into ``seeks``/``transfers`` when it happens, so :meth:`seconds`
+    deliberately ignores both counters -- they count events, not time.
+    """
 
     seeks: int = 0
     transfers: int = 0
+    retries: int = 0
+    faults_seen: int = 0
 
     def __post_init__(self) -> None:
         if self.seeks < 0 or self.transfers < 0:
             raise ValueError("I/O counts must be non-negative")
+        if self.retries < 0 or self.faults_seen < 0:
+            raise ValueError("retry and fault counts must be non-negative")
 
     def __add__(self, other: "IOCost") -> "IOCost":
-        return IOCost(self.seeks + other.seeks, self.transfers + other.transfers)
+        return IOCost(
+            self.seeks + other.seeks,
+            self.transfers + other.transfers,
+            self.retries + other.retries,
+            self.faults_seen + other.faults_seen,
+        )
 
     def __sub__(self, other: "IOCost") -> "IOCost":
-        return IOCost(self.seeks - other.seeks, self.transfers - other.transfers)
+        return IOCost(
+            self.seeks - other.seeks,
+            self.transfers - other.transfers,
+            self.retries - other.retries,
+            self.faults_seen - other.faults_seen,
+        )
 
     def scaled(self, factor: int) -> "IOCost":
         """The cost of repeating this I/O pattern ``factor`` times."""
         if factor < 0:
             raise ValueError("factor must be non-negative")
-        return IOCost(self.seeks * factor, self.transfers * factor)
+        return IOCost(
+            self.seeks * factor,
+            self.transfers * factor,
+            self.retries * factor,
+            self.faults_seen * factor,
+        )
 
     def seconds(self, disk: DiskParameters | None = None) -> float:
         """Priced cost in seconds: ``seeks * t_seek + transfers * t_xfer``."""
@@ -94,4 +121,9 @@ class IOCost:
 
     @property
     def is_zero(self) -> bool:
-        return self.seeks == 0 and self.transfers == 0
+        return (
+            self.seeks == 0
+            and self.transfers == 0
+            and self.retries == 0
+            and self.faults_seen == 0
+        )

@@ -14,18 +14,34 @@ accountant through which *all* simulated I/O must flow.
 
 from __future__ import annotations
 
+from ..errors import DiskError
 from .accounting import DiskParameters, IOCost
 
 __all__ = ["SimulatedDisk"]
 
 
 class SimulatedDisk:
-    """Page-addressed disk with adjacency-aware seek counting."""
+    """Page-addressed disk with adjacency-aware seek counting.
 
-    def __init__(self, parameters: DiskParameters | None = None):
+    ``capacity_pages`` bounds the address space: when set, allocations
+    past it raise :class:`~repro.errors.DiskError` instead of silently
+    simulating a device larger than the one being modeled.
+    """
+
+    def __init__(
+        self,
+        parameters: DiskParameters | None = None,
+        *,
+        capacity_pages: int | None = None,
+    ):
+        if capacity_pages is not None and capacity_pages < 0:
+            raise ValueError("capacity_pages must be non-negative")
         self.parameters = parameters or DiskParameters()
+        self.capacity_pages = capacity_pages
         self._seeks = 0
         self._transfers = 0
+        self._retries = 0
+        self._faults = 0
         self._head: int | None = None  # page the head sits *after*
         self._next_free_page = 0
 
@@ -37,6 +53,15 @@ class SimulatedDisk:
         """Reserve ``n_pages`` consecutive pages; returns the start page."""
         if n_pages < 0:
             raise ValueError("cannot allocate a negative number of pages")
+        if (
+            self.capacity_pages is not None
+            and self._next_free_page + n_pages > self.capacity_pages
+        ):
+            raise DiskError(
+                f"allocation of {n_pages} pages exceeds device capacity: "
+                f"{self._next_free_page} of {self.capacity_pages} pages "
+                f"already allocated"
+            )
         start = self._next_free_page
         self._next_free_page += n_pages
         return start
@@ -72,7 +97,12 @@ class SimulatedDisk:
     @property
     def cost(self) -> IOCost:
         """Total cost charged since construction (or the last reset)."""
-        return IOCost(seeks=self._seeks, transfers=self._transfers)
+        return IOCost(
+            seeks=self._seeks,
+            transfers=self._transfers,
+            retries=self._retries,
+            faults_seen=self._faults,
+        )
 
     def seconds(self) -> float:
         return self.cost.seconds(self.parameters)
@@ -86,7 +116,29 @@ class SimulatedDisk:
         total = self.cost
         self._seeks = 0
         self._transfers = 0
+        self._retries = 0
+        self._faults = 0
         return total
+
+    # ------------------------------------------------------------------
+    # Resilience accounting (used by FaultInjector / RetryPolicy)
+    # ------------------------------------------------------------------
+
+    def charge_penalty(self, penalty: IOCost) -> None:
+        """Charge extra simulated time (latency spike, retry backoff)
+        without moving the head -- the device stalled, it did not seek
+        anywhere useful."""
+        self._seeks += penalty.seeks
+        self._transfers += penalty.transfers
+
+    def note_retry(self, backoff: IOCost) -> None:
+        """Record one retry round and charge its backoff to the ledger."""
+        self.charge_penalty(backoff)
+        self._retries += 1
+
+    def note_fault(self) -> None:
+        """Record one injected fault observation."""
+        self._faults += 1
 
     def drop_head(self) -> None:
         """Forget the head position (e.g. another process used the disk),

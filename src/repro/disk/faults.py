@@ -1,0 +1,167 @@
+"""Deterministic fault injection over the simulated disk.
+
+:class:`FaultInjector` wraps a :class:`~repro.disk.device.SimulatedDisk`
+behind the same ``allocate``/``access``/``read``/``write`` API and
+injects three seed-driven fault classes with independent rates:
+
+* **transient read failures** -- the attempted run is charged (the
+  device did seek and stream) but the data is garbage, so
+  :class:`~repro.errors.TransientReadError` is raised; a retry may
+  succeed;
+* **torn multi-page writes** -- only a random prefix of a multi-page
+  write lands (and is charged) before
+  :class:`~repro.errors.TornWriteError` is raised; rewriting the full
+  range is safe because page writes are idempotent;
+* **latency spikes** -- the access succeeds but costs extra penalty
+  seeks, modeling queueing or remapping stalls.
+
+Faults come from a private :class:`numpy.random.Generator` seeded at
+construction, so a fixed seed over a fixed operation sequence replays
+bit-identically -- the property the fault-injection tests pin down.
+With all rates zero the injector is a strict pass-through: no random
+draws, no extra cost, byte-identical ledgers to the bare device (the
+zero-overhead guarantee).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InputValidationError, TornWriteError, TransientReadError
+from .accounting import DiskParameters, IOCost
+from .device import SimulatedDisk
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Seed-driven fault wrapper presenting the ``SimulatedDisk`` API."""
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        *,
+        read_fault_rate: float = 0.0,
+        torn_write_rate: float = 0.0,
+        latency_spike_rate: float = 0.0,
+        seed: int = 0,
+        spike_seeks: int = 2,
+    ):
+        for name, rate in (
+            ("read_fault_rate", read_fault_rate),
+            ("torn_write_rate", torn_write_rate),
+            ("latency_spike_rate", latency_spike_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise InputValidationError(
+                    f"{name} must be in [0, 1], got {rate}"
+                )
+        if spike_seeks < 0:
+            raise InputValidationError("spike_seeks must be non-negative")
+        self.inner = disk
+        self.read_fault_rate = read_fault_rate
+        self.torn_write_rate = torn_write_rate
+        self.latency_spike_rate = latency_spike_rate
+        self.seed = seed
+        self.spike_seeks = spike_seeks
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def _inert(self) -> bool:
+        return (
+            self.read_fault_rate == 0.0
+            and self.torn_write_rate == 0.0
+            and self.latency_spike_rate == 0.0
+        )
+
+    # ------------------------------------------------------------------
+    # Faulting access paths
+    # ------------------------------------------------------------------
+
+    def read(self, start_page: int, n_pages: int) -> IOCost:
+        """Read a run; may raise ``TransientReadError`` after charging
+        the failed attempt."""
+        if self._inert or n_pages == 0:
+            return self.inner.read(start_page, n_pages)
+        if (
+            self.read_fault_rate > 0.0
+            and self._rng.random() < self.read_fault_rate
+        ):
+            self.inner.read(start_page, n_pages)  # the attempt is paid for
+            self.inner.note_fault()
+            raise TransientReadError(start_page, n_pages)
+        cost = self.inner.read(start_page, n_pages)
+        return cost + self._maybe_spike()
+
+    def write(self, start_page: int, n_pages: int) -> IOCost:
+        """Write a run; may raise ``TornWriteError`` after charging the
+        prefix that landed."""
+        if self._inert or n_pages == 0:
+            return self.inner.write(start_page, n_pages)
+        if (
+            n_pages >= 2
+            and self.torn_write_rate > 0.0
+            and self._rng.random() < self.torn_write_rate
+        ):
+            pages_written = int(self._rng.integers(1, n_pages))
+            self.inner.write(start_page, pages_written)
+            self.inner.note_fault()
+            raise TornWriteError(start_page, n_pages, pages_written)
+        cost = self.inner.write(start_page, n_pages)
+        return cost + self._maybe_spike()
+
+    # ``SimulatedDisk`` exposes a direction-agnostic ``access``; callers
+    # using it get the read fault model (scans dominate that path).
+    access = read
+
+    def _maybe_spike(self) -> IOCost:
+        if (
+            self.latency_spike_rate > 0.0
+            and self._rng.random() < self.latency_spike_rate
+        ):
+            penalty = IOCost(seeks=self.spike_seeks)
+            self.inner.charge_penalty(penalty)
+            self.inner.note_fault()
+            return penalty
+        return IOCost()
+
+    # ------------------------------------------------------------------
+    # Pass-through of the rest of the device API
+    # ------------------------------------------------------------------
+
+    @property
+    def parameters(self) -> DiskParameters:
+        return self.inner.parameters
+
+    @property
+    def capacity_pages(self) -> int | None:
+        return self.inner.capacity_pages
+
+    def allocate(self, n_pages: int) -> int:
+        return self.inner.allocate(n_pages)
+
+    @property
+    def allocated_pages(self) -> int:
+        return self.inner.allocated_pages
+
+    @property
+    def cost(self) -> IOCost:
+        return self.inner.cost
+
+    def seconds(self) -> float:
+        return self.inner.seconds()
+
+    def reset_counters(self) -> IOCost:
+        return self.inner.reset_counters()
+
+    def drop_head(self) -> None:
+        self.inner.drop_head()
+
+    def charge_penalty(self, penalty: IOCost) -> None:
+        self.inner.charge_penalty(penalty)
+
+    def note_retry(self, backoff: IOCost) -> None:
+        self.inner.note_retry(backoff)
+
+    def note_fault(self) -> None:
+        self.inner.note_fault()

@@ -16,17 +16,29 @@ file-like: sequential scans, range reads, and appends.
 from __future__ import annotations
 
 import math
-from typing import Iterator
+from typing import Callable, Iterator, TypeVar
 
 import numpy as np
 
 from .device import SimulatedDisk
+from .retry import RetryPolicy
 
 __all__ = ["PointFile"]
 
+T = TypeVar("T")
+
 
 class PointFile:
-    """Fixed-capacity file of ``dim``-dimensional points on a disk."""
+    """Fixed-capacity file of ``dim``-dimensional points on a disk.
+
+    ``retry`` attaches a :class:`~repro.disk.retry.RetryPolicy` to the
+    charged paths (:meth:`read_range`, :meth:`read_point`,
+    :meth:`write_range`): transient faults raised by a fault-injecting
+    disk are retried with backoff charged to the same ledger.  Without
+    a policy every fault propagates immediately -- and on a bare
+    :class:`~repro.disk.device.SimulatedDisk` no faults ever occur, so
+    a policy costs nothing unless it fires.
+    """
 
     def __init__(
         self,
@@ -35,12 +47,14 @@ class PointFile:
         capacity: int,
         *,
         points_per_page: int | None = None,
+        retry: RetryPolicy | None = None,
     ):
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
         self.disk = disk
         self.dim = dim
         self.capacity = capacity
+        self.retry = retry
         self.points_per_page = points_per_page or disk.parameters.points_per_page(dim)
         if self.points_per_page < 1:
             raise ValueError("a page must hold at least one point")
@@ -68,6 +82,7 @@ class PointFile:
         *,
         charge_write: bool = False,
         points_per_page: int | None = None,
+        retry: RetryPolicy | None = None,
     ) -> "PointFile":
         """Create a file holding ``points``.
 
@@ -78,7 +93,8 @@ class PointFile:
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2:
             raise ValueError(f"points must be (n, d), got {points.shape}")
-        pf = cls(disk, points.shape[1], points.shape[0], points_per_page=points_per_page)
+        pf = cls(disk, points.shape[1], points.shape[0],
+                 points_per_page=points_per_page, retry=retry)
         pf._ensure_rows(points.shape[0])
         pf._buffer[: points.shape[0]] = points
         pf.n_points = points.shape[0]
@@ -117,12 +133,18 @@ class PointFile:
     # Charged access
     # ------------------------------------------------------------------
 
+    def charged(self, operation: Callable[[], T]) -> T:
+        """Run a charged disk operation under this file's retry policy."""
+        if self.retry is None:
+            return operation()
+        return self.retry.run(self.disk, operation)
+
     def read_range(self, start: int, stop: int) -> np.ndarray:
         """Read points ``[start, stop)``; charges the covering pages."""
         if stop > self.n_points:
             raise IndexError(f"read past end: [{start}, {stop}) > {self.n_points}")
         first, count = self.page_span(start, stop)
-        self.disk.read(first, count)
+        self.charged(lambda: self.disk.read(first, count))
         return self._buffer[start:stop].copy()
 
     def read_all(self) -> np.ndarray:
@@ -130,17 +152,23 @@ class PointFile:
 
     def read_point(self, index: int) -> np.ndarray:
         """Random single-point read (one page)."""
-        self.disk.read(self.page_of(index), 1)
+        page = self.page_of(index)
+        self.charged(lambda: self.disk.read(page, 1))
         return self._buffer[index].copy()
 
     def write_range(self, start: int, points: np.ndarray) -> None:
-        """Overwrite points starting at ``start``; charges covering pages."""
+        """Overwrite points starting at ``start``; charges covering pages.
+
+        The charged write happens *before* the in-process buffer is
+        touched: a torn write leaves the file's contents and length
+        unchanged, so retrying the identical range is safe.
+        """
         points = np.asarray(points, dtype=np.float64)
         stop = start + points.shape[0]
         if stop > self.capacity:
             raise IndexError(f"write past capacity: [{start}, {stop})")
         first, count = self.page_span(start, stop)
-        self.disk.write(first, count)
+        self.charged(lambda: self.disk.write(first, count))
         self._ensure_rows(stop)
         self._buffer[start:stop] = points
         self.n_points = max(self.n_points, stop)

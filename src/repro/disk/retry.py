@@ -1,0 +1,90 @@
+"""Retry policy for transient simulated-disk faults.
+
+Real object servers retry transient I/O errors with exponential
+backoff; in this simulation the backoff is not wall-clock sleep but
+*simulated seek time charged to the IOCost ledger*, so a prediction
+that survives faults honestly reports what surviving them cost.  The
+re-issued access itself is charged by the device exactly like the
+original attempt, and every retry round increments the ledger's
+``retries`` counter (see :class:`~repro.disk.accounting.IOCost`).
+
+Only fault classes that are retryable by re-issuing the operation are
+retried: :class:`~repro.errors.TransientReadError` (re-read the run)
+and :class:`~repro.errors.TornWriteError` (rewrite the full range --
+page writes here are idempotent).  Everything else propagates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from ..errors import TornWriteError, TransientReadError
+from .accounting import IOCost
+
+__all__ = ["RetryPolicy"]
+
+T = TypeVar("T")
+
+_RETRYABLE = (TransientReadError, TornWriteError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff charged in seeks.
+
+    ``max_attempts`` counts the original attempt: the default of 4
+    allows three retries.  Retry round ``r`` (1-based) charges
+    ``ceil(backoff_seeks * backoff_factor ** (r - 1))`` penalty seeks
+    before the operation is re-issued, modeling the re-queue and
+    re-positioning delay of a real device.
+    """
+
+    max_attempts: int = 4
+    backoff_seeks: int = 1
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_seeks < 0:
+            raise ValueError("backoff_seeks must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be at least 1")
+
+    def backoff_cost(self, retry_round: int) -> IOCost:
+        """Penalty charged before retry round ``retry_round`` (1-based)."""
+        if retry_round < 1:
+            raise ValueError("retry rounds are 1-based")
+        seeks = math.ceil(
+            self.backoff_seeks * self.backoff_factor ** (retry_round - 1)
+        )
+        return IOCost(seeks=seeks)
+
+    def run(self, disk, operation: Callable[[], T]) -> T:
+        """Execute ``operation`` with retries charged to ``disk``.
+
+        ``disk`` is any device-like object exposing ``note_retry`` and
+        ``drop_head`` (both optional -- a bare accounting stub still
+        works, it just goes unbilled).  On exhaustion the last fault is
+        re-raised, with its ``attempts`` attribute updated when the
+        exception carries one.
+        """
+        attempt = 1
+        while True:
+            try:
+                return operation()
+            except _RETRYABLE as fault:
+                if attempt >= self.max_attempts:
+                    if hasattr(fault, "attempts"):
+                        fault.attempts = attempt
+                    raise
+                note_retry = getattr(disk, "note_retry", None)
+                if note_retry is not None:
+                    note_retry(self.backoff_cost(attempt))
+                # After a failed access the head position is untrusted.
+                drop_head = getattr(disk, "drop_head", None)
+                if drop_head is not None:
+                    drop_head()
+                attempt += 1

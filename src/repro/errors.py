@@ -1,0 +1,137 @@
+"""Structured exception hierarchy and input validation.
+
+The paper's value proposition is predicting index cost *cheaply and
+reliably*; a production deployment of the predictor therefore needs a
+vocabulary for the ways a prediction can fail.  Everything raised on
+purpose by this package derives from :class:`ReproError`:
+
+``ReproError``
+    root of the hierarchy; callers that want "anything this library
+    considers a handled failure" catch this.
+``InputValidationError``
+    hostile or malformed caller input (NaN/inf coordinates, empty or
+    ragged point arrays).  Also subclasses :class:`ValueError` so code
+    written against the pre-hierarchy API keeps working.
+``DiskError``
+    the simulated device failed an operation.  Subclasses
+    :class:`TransientReadError` (a read attempt returned garbage;
+    retryable) and :class:`TornWriteError` (a multi-page write only
+    partially landed; retryable by rewriting the full range).
+``PredictionError``
+    a prediction method could not produce an estimate (budget
+    infeasible, or disk faults exhausted every retry and every
+    fallback method).
+
+:class:`DegradedResultWarning` is a :class:`UserWarning`, not an error:
+the facade emits it when it had to fall back to a cheaper method and
+the returned estimate is annotated rather than failed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ReproError",
+    "InputValidationError",
+    "DiskError",
+    "TransientReadError",
+    "TornWriteError",
+    "PredictionError",
+    "DegradedResultWarning",
+    "validate_points",
+]
+
+
+class ReproError(Exception):
+    """Root of every intentional failure raised by this package."""
+
+
+class InputValidationError(ReproError, ValueError):
+    """Caller input rejected before it can corrupt a computation."""
+
+
+class DiskError(ReproError):
+    """The simulated disk failed an operation."""
+
+    #: whether re-issuing the same operation can succeed
+    retryable = False
+
+
+class TransientReadError(DiskError):
+    """A page read returned garbage; re-reading the run may succeed."""
+
+    retryable = True
+
+    def __init__(self, start_page: int, n_pages: int, *, attempts: int = 1):
+        self.start_page = start_page
+        self.n_pages = n_pages
+        self.attempts = attempts
+        super().__init__(start_page, n_pages)
+
+    def __str__(self) -> str:
+        # composed on demand so a retry policy bumping ``attempts``
+        # after exhaustion is reflected in the rendered message
+        return (
+            f"transient read fault on pages "
+            f"[{self.start_page}, {self.start_page + self.n_pages}) after "
+            f"{self.attempts} attempt{'s' if self.attempts != 1 else ''}"
+        )
+
+
+class TornWriteError(DiskError):
+    """A multi-page write only partially landed; rewrite the range."""
+
+    retryable = True
+
+    def __init__(self, start_page: int, n_pages: int, pages_written: int):
+        self.start_page = start_page
+        self.n_pages = n_pages
+        self.pages_written = pages_written
+        super().__init__(start_page, n_pages, pages_written)
+
+    def __str__(self) -> str:
+        return (
+            f"torn write on pages "
+            f"[{self.start_page}, {self.start_page + self.n_pages}): "
+            f"only {self.pages_written} of {self.n_pages} pages landed"
+        )
+
+
+class PredictionError(ReproError):
+    """No prediction method could produce an estimate."""
+
+
+class DegradedResultWarning(UserWarning):
+    """The estimate came from a fallback method, not the one requested."""
+
+
+def validate_points(points, *, name: str = "points") -> np.ndarray:
+    """A validated ``(n, d)`` float64 matrix, or :class:`InputValidationError`.
+
+    Rejects ragged nested sequences, empty arrays (no points or zero
+    dimensions), wrong ranks, and non-finite coordinates -- the inputs
+    that otherwise surface as cryptic numpy failures deep inside a
+    bulk load or a distance kernel.
+    """
+    try:
+        array = np.asarray(points, dtype=np.float64)
+    except (TypeError, ValueError) as error:
+        raise InputValidationError(
+            f"{name} is not a rectangular numeric array: {error}"
+        ) from error
+    if array.ndim != 2:
+        raise InputValidationError(
+            f"{name} must be an (n, d) matrix, got shape {array.shape}"
+        )
+    if array.shape[0] == 0 or array.shape[1] == 0:
+        raise InputValidationError(
+            f"{name} must be non-empty, got shape {array.shape}"
+        )
+    if not np.isfinite(array).all():
+        bad = int(np.count_nonzero(~np.isfinite(array)))
+        raise InputValidationError(
+            f"{name} contains {bad} non-finite coordinate"
+            f"{'s' if bad != 1 else ''} (NaN or inf)"
+        )
+    return array

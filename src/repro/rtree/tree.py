@@ -24,6 +24,7 @@ from functools import cached_property
 import numpy as np
 
 from ..core.topology import Topology
+from ..errors import validate_points
 from .bulkload import BulkLoadConfig, build_tree
 from .geometry import (
     count_sphere_intersections,
@@ -183,8 +184,13 @@ class RTree(TreeQueries):
         config: BulkLoadConfig | None = None,
     ) -> "RTree":
         """Build a tree; pass ``virtual_n`` to impose a larger dataset's
-        topology on a sample (the mini-index of Section 3.1)."""
-        points = np.asarray(points, dtype=np.float64)
+        topology on a sample (the mini-index of Section 3.1).
+
+        Rejects NaN/inf coordinates and empty or ragged matrices with
+        :class:`~repro.errors.InputValidationError` -- a non-finite
+        coordinate would silently poison every MBR above it.
+        """
+        points = validate_points(points)
         n_virtual = virtual_n if virtual_n is not None else points.shape[0]
         topology = Topology(n_points=n_virtual, c_data=c_data, c_dir=c_dir)
         root = build_tree(points, topology, config)

@@ -22,6 +22,7 @@ EXAMPLE_NAMES = [
     "choose_index_dimensions",
     "predict_dynamic_index",
     "index_anatomy",
+    "resilient_prediction",
 ]
 
 
