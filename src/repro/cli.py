@@ -31,6 +31,8 @@ from .core.costmodel import AnalyticalCostModel
 from .core.predictor import IndexCostPredictor
 from .data import datasets
 from .errors import (
+    ChecksumError,
+    CrashPoint,
     DiskError,
     InputValidationError,
     PredictionError,
@@ -48,8 +50,10 @@ _EXIT_CODES: tuple[tuple[type[ReproError], int], ...] = (
     (InputValidationError, 3),
     (TransientReadError, 4),
     (TornWriteError, 5),
+    (ChecksumError, 9),
     (DiskError, 6),
     (PredictionError, 7),
+    (CrashPoint, 10),
     (ReproError, 8),
 )
 
@@ -86,6 +90,20 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fault-seed", type=int, default=0,
                         dest="fault_seed",
                         help="seed of the deterministic fault injector")
+    parser.add_argument("--corruption-rate", type=float, default=0.0,
+                        dest="corruption_rate",
+                        help="silent in-transit bit-flip rate in [0, 1] "
+                             "(default 0; pair with --verify-checksums)")
+    parser.add_argument("--verify-checksums", action="store_true",
+                        dest="verify_checksums",
+                        help="verify per-page CRC32 checksums on every "
+                             "charged read (catches silent corruption as "
+                             "a retryable error)")
+    parser.add_argument("--crash-at", type=int, default=None,
+                        dest="crash_at",
+                        help="simulate a crash before the N-th charged "
+                             "disk operation (1-based; the process exits "
+                             "with code 10)")
 
 
 def _load_points(args: argparse.Namespace) -> np.ndarray:
@@ -104,6 +122,9 @@ def _context(args: argparse.Namespace):
         dim=points.shape[1], memory=args.memory,
         fault_rate=getattr(args, "fault_rate", 0.0),
         fault_seed=getattr(args, "fault_seed", 0),
+        silent_corruption_rate=getattr(args, "corruption_rate", 0.0),
+        verify_checksums=getattr(args, "verify_checksums", False),
+        crash_at=getattr(args, "crash_at", None),
     )
     workload = predictor.make_workload(points, args.queries, args.k,
                                        seed=args.seed)

@@ -36,6 +36,7 @@ from ..disk.faults import FaultInjector
 from ..disk.pagefile import PointFile
 from ..disk.retry import RetryPolicy
 from ..errors import (
+    CrashPoint,
     DegradedResultWarning,
     InputValidationError,
     PredictionError,
@@ -73,12 +74,19 @@ class IndexCostPredictor:
     ``c_dir`` to override.  ``memory`` is the point budget ``M`` of the
     restricted-memory methods.
 
-    ``fault_rate`` (transient read failures), ``torn_write_rate``, and
-    ``latency_spike_rate`` enable deterministic fault injection on the
-    fresh simulated disk each phased prediction runs against, seeded by
+    ``fault_rate`` (transient read failures), ``torn_write_rate``,
+    ``latency_spike_rate``, and ``silent_corruption_rate`` (in-transit
+    bit flips) enable deterministic fault injection on the fresh
+    simulated disk each phased prediction runs against, seeded by
     ``fault_seed``; ``retry`` governs how charged accesses recover.
-    All-zero rates are guaranteed zero-overhead: identical estimates
-    and identical ledgers to a bare disk.
+    ``verify_checksums`` catches silent corruption as a retryable
+    :class:`~repro.errors.ChecksumError` instead of returning flipped
+    bits.  ``crash_at`` kills the run with
+    :class:`~repro.errors.CrashPoint` before the N-th charged disk
+    operation -- crashes are never degraded around; resume via the
+    checkpoint/recovery APIs (see :mod:`repro.disk.chaos`).  All-zero
+    rates with checksums off are guaranteed zero-overhead: identical
+    estimates and identical ledgers to a bare disk.
     """
 
     dim: int
@@ -91,18 +99,28 @@ class IndexCostPredictor:
     fault_rate: float = 0.0
     torn_write_rate: float = 0.0
     latency_spike_rate: float = 0.0
+    silent_corruption_rate: float = 0.0
     fault_seed: int = 0
+    #: verify per-page CRC32 sidecar checksums on every charged read
+    verify_checksums: bool = False
+    #: simulated crash before the N-th charged disk operation (1-based)
+    crash_at: int | None = None
 
     def __post_init__(self) -> None:
         for name, rate in (
             ("fault_rate", self.fault_rate),
             ("torn_write_rate", self.torn_write_rate),
             ("latency_spike_rate", self.latency_spike_rate),
+            ("silent_corruption_rate", self.silent_corruption_rate),
         ):
             if not 0.0 <= rate <= 1.0:
                 raise InputValidationError(
                     f"{name} must be in [0, 1], got {rate}"
                 )
+        if self.crash_at is not None and self.crash_at < 1:
+            raise InputValidationError(
+                f"crash_at is a 1-based charged-op index, got {self.crash_at}"
+            )
         default_data, default_dir = page_capacities(
             self.disk_parameters.page_bytes,
             self.dim,
@@ -131,15 +149,22 @@ class IndexCostPredictor:
         behind the configured fault injector when any rate is set."""
         disk = SimulatedDisk(self.disk_parameters)
         device = disk
-        if self.fault_rate or self.torn_write_rate or self.latency_spike_rate:
+        if (self.fault_rate or self.torn_write_rate
+                or self.latency_spike_rate or self.silent_corruption_rate
+                or self.crash_at is not None):
             device = FaultInjector(
                 disk,
                 read_fault_rate=self.fault_rate,
                 torn_write_rate=self.torn_write_rate,
                 latency_spike_rate=self.latency_spike_rate,
+                silent_corruption_rate=self.silent_corruption_rate,
                 seed=self.fault_seed,
+                crash_at=self.crash_at,
             )
-        return PointFile.from_points(device, points, retry=self.retry)
+        return PointFile.from_points(
+            device, points, retry=self.retry,
+            verify_checksums=self.verify_checksums,
+        )
 
     # ------------------------------------------------------------------
 
@@ -190,8 +215,12 @@ class IndexCostPredictor:
                 )
             except ReproError as error:
                 # bad caller input is a bug to surface, not a disk fault
-                # to degrade around
-                if not degrade or isinstance(error, InputValidationError):
+                # to degrade around -- and a crash is the *process*
+                # dying, so there is nobody left to run a fallback; the
+                # caller must recover/resume and call again
+                if (not degrade
+                        or isinstance(error, (InputValidationError,
+                                              CrashPoint))):
                     raise
                 spent = file.disk.cost if file is not None else IOCost()
                 attempts.append({

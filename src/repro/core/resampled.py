@@ -15,6 +15,21 @@ intersected with the resulting leaf pages.
 I/O charged on the simulated disk reproduces Eq. 5:
 ``cost_ReadQueryPoints + cost_ScanDataset + cost_Resampling +
 cost_BuildLowerSubtrees``.
+
+Crash consistency: :meth:`ResampledModel.predict` accepts a mutable
+``checkpoint`` dict.  When provided, the prediction records its
+progress at phase and chunk boundaries -- the collected sample with the
+RNG state after drawing it, per-chunk spill progress (area lengths,
+per-area counts, grown boxes, RNG state), and per-leaf lower-build
+results -- each boundary paying a one-page charged checkpoint write.
+A run killed by :class:`~repro.errors.CrashPoint` can then be resumed
+by calling ``predict`` again with the *same file and checkpoint* and a
+fresh generator seeded identically: completed phases are skipped, a
+partially applied spill chunk is rolled back (areas truncated to their
+checkpointed lengths, boxes and counters restored) and replayed from
+the checkpointed RNG state, and the result is bit-identical to the
+fault-free prediction.  Without a checkpoint the code path is
+byte-for-byte the PR 1 behavior -- zero overhead.
 """
 
 from __future__ import annotations
@@ -76,17 +91,41 @@ class ResampledModel:
         file: PointFile,
         workload: KNNWorkload | RangeWorkload,
         rng: np.random.Generator,
+        *,
+        checkpoint: dict | None = None,
     ) -> PredictionResult:
-        """Run Figure 7's algorithm against the paged dataset file."""
+        """Run Figure 7's algorithm against the paged dataset file.
+
+        ``checkpoint`` (a mutable dict owned by the caller) enables
+        crash resume: pass the same dict to a repeated call after a
+        :class:`~repro.errors.CrashPoint` -- with the same ``file`` and
+        an identically seeded ``rng`` -- and the prediction continues
+        from the last completed boundary instead of restarting,
+        returning the same estimate the uninterrupted run would have.
+        """
+        ck = checkpoint
         start_cost = file.disk.cost
         n = file.n_points
         topology = Topology(n, self.c_data, self.c_dir)
         h_upper = self._resolve_h_upper(topology)
 
         # Steps 2-3: query points, then one scan for spheres + sample.
-        if isinstance(workload, KNNWorkload):
+        if isinstance(workload, KNNWorkload) and not (
+            ck is not None and ck.get("queries_read")
+        ):
             read_query_points(file, workload.query_ids)
-        sample = scan_and_sample(file, min(self.memory, n), rng)
+            if ck is not None:
+                self._ckpt_charge(file, ck)
+                ck["queries_read"] = True
+        if ck is not None and "sample" in ck:
+            sample = ck["sample"]
+            rng.bit_generator.state = ck["rng_after_sample"]
+        else:
+            sample = scan_and_sample(file, min(self.memory, n), rng)
+            if ck is not None:
+                self._ckpt_charge(file, ck)
+                ck["sample"] = sample
+                ck["rng_after_sample"] = rng.bit_generator.state
 
         # Step 5: upper tree with grown leaf pages.
         upper = build_upper_tree(sample, topology, h_upper, config=self.config)
@@ -117,27 +156,47 @@ class ResampledModel:
         (
             areas, boxes_lower, boxes_upper, area_of_leaf,
             n_discarded, n_spill_resumes,
-        ) = self._resample_into_areas(file, upper, sigma_lower, rng)
+        ) = self._resample_into_areas(file, upper, sigma_lower, rng, ck)
 
         # Steps 8-10: build each lower tree in memory on its area.
         leaf_lower: list[np.ndarray] = []
         leaf_upper: list[np.ndarray] = []
-        for leaf_idx, leaf in enumerate(upper.leaves):
-            area_idx = area_of_leaf[leaf_idx]
-            if area_idx is None:
-                continue
-            area = areas[area_idx]
-            if area.n_points == 0:
-                continue
-            points = area.read_all()
-            ids = np.arange(points.shape[0], dtype=np.int64)
-            root = build_subtree(
-                points, ids, upper.leaf_level, leaf.virtual_n, topology, self.config
+        first_leaf = 0
+        if ck is not None:
+            lower_state = ck.setdefault(
+                "lower", {"done": 0, "leaf_lower": [], "leaf_upper": []}
             )
-            for node in root.iter_leaves():
-                if node.mbr is not None:
-                    leaf_lower.append(node.mbr.lower)
-                    leaf_upper.append(node.mbr.upper)
+            first_leaf = lower_state["done"]
+            leaf_lower = list(lower_state["leaf_lower"])
+            leaf_upper = list(lower_state["leaf_upper"])
+        for leaf_idx, leaf in enumerate(upper.leaves):
+            if leaf_idx < first_leaf:
+                continue
+            area_idx = area_of_leaf[leaf_idx]
+            built = area_idx is not None and areas[area_idx].n_points > 0
+            if built:
+                area = areas[area_idx]
+                points = area.read_all()
+                ids = np.arange(points.shape[0], dtype=np.int64)
+                root = build_subtree(
+                    points, ids, upper.leaf_level, leaf.virtual_n, topology,
+                    self.config,
+                )
+                for node in root.iter_leaves():
+                    if node.mbr is not None:
+                        leaf_lower.append(node.mbr.lower)
+                        leaf_upper.append(node.mbr.upper)
+            if ck is not None:
+                if built:
+                    # Skipping an empty leaf is free and idempotent; only
+                    # a leaf that cost charged reads earns a checkpoint
+                    # write.
+                    self._ckpt_charge(file, ck)
+                ck["lower"] = {
+                    "done": leaf_idx + 1,
+                    "leaf_lower": list(leaf_lower),
+                    "leaf_upper": list(leaf_upper),
+                }
         file.disk.drop_head()
 
         if leaf_lower:
@@ -186,12 +245,31 @@ class ResampledModel:
             return knn_accesses_per_query(lower, upper, workload)
         return range_accesses_per_query(lower, upper, workload)
 
+    @staticmethod
+    def _ckpt_charge(file: PointFile, ck: dict) -> None:
+        """One charged single-page checkpoint write.
+
+        Single-page writes are atomic on the fault layer, so a
+        checkpoint record is never torn; a crash *during* the charge
+        simply leaves the previous checkpoint in force and the
+        interrupted unit is redone on resume.  The charge lands before
+        the caller mutates the checkpoint dict -- the same
+        charge-before-state discipline every durable step follows.
+        """
+        page = ck.get("_page")
+        if page is None:
+            page = file.disk.allocate(1)
+            ck["_page"] = page
+        file.disk.drop_head()
+        file.charged(lambda: file.disk.write(page, 1))
+
     def _resample_into_areas(
         self,
         file: PointFile,
         upper: UpperTree,
         sigma_lower: float,
         rng: np.random.Generator,
+        ck: dict | None = None,
     ) -> tuple[
         list[PointFile], np.ndarray, np.ndarray, list[int | None], int, int
     ]:
@@ -209,73 +287,157 @@ class ResampledModel:
         dataset stays in memory, so the scan never restarts.  After
         ``spill_resume_attempts`` bucket resumes the fault propagates
         and the facade degrades to the cutoff method.
+
+        Crash tolerance (``ck`` provided): progress is checkpointed per
+        *chunk* -- area lengths, per-area stream counts, grown boxes,
+        and the RNG state -- and a resumed call first rolls the areas
+        back to the checkpointed lengths (truncating the partially
+        applied chunk) before replaying from the checkpointed RNG
+        state, so no point is ever spilled twice and reservoir draws
+        replay bit-identically.
         """
         n = file.n_points
         dim = file.dim
-        # One spill area per non-empty upper leaf, allocated
-        # consecutively so each later read is one seek + a streak.
-        area_of_leaf: list[int | None] = []
-        boxes_lo: list[np.ndarray] = []
-        boxes_hi: list[np.ndarray] = []
-        for leaf in upper.leaves:
-            if leaf.is_empty:
-                area_of_leaf.append(None)
-            else:
-                area_of_leaf.append(len(boxes_lo))
-                boxes_lo.append(leaf.lower)
-                boxes_hi.append(leaf.upper)
-        n_boxes = len(boxes_lo)
-        if n_boxes == 0:
-            return [], np.empty((0, dim)), np.empty((0, dim)), area_of_leaf, 0, 0
-        box_lower = np.stack(boxes_lo)
-        box_upper = np.stack(boxes_hi)
-        areas = [
-            PointFile(file.disk, dim, self.memory, retry=file.retry)
-            for _ in range(n_boxes)
-        ]
+        if ck is not None and "spill" in ck:
+            st = ck["spill"]
+            area_of_leaf = st["area_of_leaf"]
+            areas = st["areas"]
+            if st["n_boxes"] == 0:
+                return ([], np.empty((0, dim)), np.empty((0, dim)),
+                        area_of_leaf, 0, 0)
+            if st["done"]:
+                return (areas, st["box_lower"], st["box_upper"], area_of_leaf,
+                        st["n_discarded"], st["n_resumes"])
+            # Roll back the partially applied chunk, then replay it.
+            for area, size in zip(areas, st["area_sizes"]):
+                area.truncate(size)
+            box_lower = st["box_lower"].copy()
+            box_upper = st["box_upper"].copy()
+            seen_per_area = st["seen"].copy()
+            chosen = st["chosen"]
+            n_resumes = st["n_resumes"]
+            resume_start = st["next_start"]
+            rng.bit_generator.state = st["rng_state"]
+        else:
+            # One spill area per non-empty upper leaf, allocated
+            # consecutively so each later read is one seek + a streak.
+            area_of_leaf = []
+            boxes_lo: list[np.ndarray] = []
+            boxes_hi: list[np.ndarray] = []
+            for leaf in upper.leaves:
+                if leaf.is_empty:
+                    area_of_leaf.append(None)
+                else:
+                    area_of_leaf.append(len(boxes_lo))
+                    boxes_lo.append(leaf.lower)
+                    boxes_hi.append(leaf.upper)
+            n_boxes = len(boxes_lo)
+            if n_boxes == 0:
+                if ck is not None:
+                    ck["spill"] = {
+                        "n_boxes": 0, "areas": [],
+                        "area_of_leaf": area_of_leaf, "done": True,
+                    }
+                return ([], np.empty((0, dim)), np.empty((0, dim)),
+                        area_of_leaf, 0, 0)
+            box_lower = np.stack(boxes_lo)
+            box_upper = np.stack(boxes_hi)
+            areas = [
+                PointFile(file.disk, dim, self.memory, retry=file.retry,
+                          verify_checksums=file.verify_checksums)
+                for _ in range(n_boxes)
+            ]
+            n_resample = min(n, round(n * sigma_lower))
+            chosen = np.sort(rng.choice(n, size=n_resample, replace=False))
+            seen_per_area = np.zeros(n_boxes, dtype=np.int64)
+            n_resumes = 0
+            resume_start = 0
+            if ck is not None:
+                self._ckpt_charge(file, ck)
+                ck["spill"] = self._spill_state(
+                    areas, area_of_leaf, box_lower, box_upper, seen_per_area,
+                    chosen, n_resumes, 0, rng,
+                )
 
-        n_resample = min(n, round(n * sigma_lower))
-        chosen = np.sort(rng.choice(n, size=n_resample, replace=False))
-        seen_per_area = np.zeros(n_boxes, dtype=np.int64)
-        n_resumes = 0
-        # Chunks sized so each holds about M sample points (Figure 8a).
+        # Chunks sized so each holds about M sample points (Figure 8a),
+        # page-aligned exactly as PointFile.scan aligns them.
         chunk = min(n, math.ceil(self.memory / max(sigma_lower, 1e-12)))
-        for start, block in file.scan(chunk_points=chunk):
-            stop = start + block.shape[0]
+        chunk = max(1, math.ceil(chunk / file.points_per_page)) * file.points_per_page
+        for start in range(resume_start, n, chunk):
+            stop = min(start + chunk, n)
+            block = file.read_range(start, stop)
             in_block = chosen[(chosen >= start) & (chosen < stop)]
-            if in_block.size == 0:
-                continue
-            pts = block[in_block - start]
-            assignment = _assign_to_boxes(pts, box_lower, box_upper)
-            # Distribute groups (Figure 8b): one streak write per area.
-            for box_idx in np.unique(assignment):
-                group = pts[assignment == box_idx]
-                checkpoint = {"consumed": 0}  # per-bucket progress
-                while True:
-                    try:
-                        self._spill(areas[box_idx], group,
-                                    int(seen_per_area[box_idx]), rng,
-                                    checkpoint)
-                        break
-                    except (TransientReadError, TornWriteError):
-                        if n_resumes >= self.spill_resume_attempts:
-                            raise
-                        n_resumes += 1
-                        file.disk.drop_head()
-                seen_per_area[box_idx] += group.shape[0]
-                # Grow the box to cover its new points (Figure 6b).
-                box_lower[box_idx] = np.minimum(
-                    box_lower[box_idx], group.min(axis=0)
-                )
-                box_upper[box_idx] = np.maximum(
-                    box_upper[box_idx], group.max(axis=0)
-                )
+            if in_block.size > 0:
+                pts = block[in_block - start]
+                assignment = _assign_to_boxes(pts, box_lower, box_upper)
+                # Distribute groups (Figure 8b): one streak write per area.
+                for box_idx in np.unique(assignment):
+                    group = pts[assignment == box_idx]
+                    checkpoint = {"consumed": 0}  # per-bucket progress
+                    while True:
+                        try:
+                            self._spill(areas[box_idx], group,
+                                        int(seen_per_area[box_idx]), rng,
+                                        checkpoint)
+                            break
+                        except (TransientReadError, TornWriteError):
+                            if n_resumes >= self.spill_resume_attempts:
+                                raise
+                            n_resumes += 1
+                            file.disk.drop_head()
+                    seen_per_area[box_idx] += group.shape[0]
+                    # Grow the box to cover its new points (Figure 6b).
+                    box_lower[box_idx] = np.minimum(
+                        box_lower[box_idx], group.min(axis=0)
+                    )
+                    box_upper[box_idx] = np.maximum(
+                        box_upper[box_idx], group.max(axis=0)
+                    )
             file.disk.drop_head()  # the next chunk read pays its seek
+            if ck is not None:
+                self._ckpt_charge(file, ck)
+                ck["spill"] = self._spill_state(
+                    areas, area_of_leaf, box_lower, box_upper, seen_per_area,
+                    chosen, n_resumes, stop, rng,
+                )
         n_discarded = int(
             np.maximum(seen_per_area - self.memory, 0).sum()
         )
+        if ck is not None:
+            ck["spill"].update(
+                done=True, n_discarded=n_discarded, n_resumes=n_resumes,
+                box_lower=box_lower, box_upper=box_upper,
+            )
         return (areas, box_lower, box_upper, area_of_leaf,
                 n_discarded, n_resumes)
+
+    @staticmethod
+    def _spill_state(
+        areas: list[PointFile],
+        area_of_leaf: list[int | None],
+        box_lower: np.ndarray,
+        box_upper: np.ndarray,
+        seen_per_area: np.ndarray,
+        chosen: np.ndarray,
+        n_resumes: int,
+        next_start: int,
+        rng: np.random.Generator,
+    ) -> dict:
+        """Deep-copied chunk-boundary snapshot of the spill phase."""
+        return {
+            "n_boxes": len(areas),
+            "areas": areas,
+            "area_of_leaf": area_of_leaf,
+            "area_sizes": [a.n_points for a in areas],
+            "box_lower": box_lower.copy(),
+            "box_upper": box_upper.copy(),
+            "seen": seen_per_area.copy(),
+            "chosen": chosen,
+            "n_resumes": n_resumes,
+            "next_start": next_start,
+            "rng_state": rng.bit_generator.state,
+            "done": False,
+        }
 
     def _spill(
         self,

@@ -1,10 +1,12 @@
 """Simulated disk: seek/transfer accounting, paged point files,
-fault injection, and retry policies."""
+fault injection, retry policies, checksummed pages, write-ahead
+journaling, and the chaos harness exercising them."""
 
 from .accounting import DiskParameters, IOCost
 from .bufferpool import BufferedDisk
 from .device import SimulatedDisk
 from .faults import FaultInjector
+from .journal import JournalEntry, RecoveryReport, WriteAheadJournal
 from .pagefile import PointFile
 from .retry import RetryPolicy
 
@@ -14,6 +16,9 @@ __all__ = [
     "BufferedDisk",
     "SimulatedDisk",
     "FaultInjector",
+    "JournalEntry",
     "PointFile",
+    "RecoveryReport",
     "RetryPolicy",
+    "WriteAheadJournal",
 ]

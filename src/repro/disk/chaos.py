@@ -1,0 +1,257 @@
+"""Deterministic chaos harness for the crash-consistent disk layer.
+
+The harness sweeps a grid of *cells* -- (fault rate, corruption rate,
+crash point, seed) combinations -- and runs the resampled predictor
+under each, with checksum verification on and crash resume via the
+checkpoint protocol of :meth:`repro.core.resampled.ResampledModel.predict`.
+Every cell must end in one of exactly two states:
+
+* ``identical`` -- the prediction, possibly after any number of retries
+  and crash resumes, is **bit-identical** to the fault-free reference;
+* ``degraded`` -- the run could not finish (retry budget exhausted) and
+  says so explicitly: the outcome carries the facade's degradation
+  record naming the error, the methods attempted, and the method that
+  produced the returned estimate.
+
+The third state -- a prediction that *differs* from the reference
+without announcing degradation -- is the one durability exists to
+prevent.  :func:`assert_no_silent_divergence` turns its absence into a
+single assertion, and the sweep is fully deterministic: same grid, same
+dataset, same outcomes, byte for byte.
+
+Everything here is ordinary library code (no test-framework imports) so
+benchmarks and examples can run sweeps too; ``tests/test_chaos.py`` is
+a thin pytest wrapper over this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import CrashPoint, ReproError
+from .accounting import IOCost
+from .device import SimulatedDisk
+from .faults import FaultInjector
+from .pagefile import PointFile
+from .retry import RetryPolicy
+
+__all__ = [
+    "ChaosCell",
+    "ChaosOutcome",
+    "assert_no_silent_divergence",
+    "chaos_grid",
+    "run_cell",
+    "run_sweep",
+]
+
+#: resumes allowed per cell before the harness declares the cell stuck;
+#: a single disarming reboot per crash means one is enough, the margin
+#: covers future recurring-crash cells
+_MAX_RESUMES = 8
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """One point of the sweep grid."""
+
+    fault_rate: float = 0.0
+    corruption_rate: float = 0.0
+    crash_at: int | None = None
+    seed: int = 0
+
+    def label(self) -> str:
+        return (
+            f"fault={self.fault_rate} corrupt={self.corruption_rate} "
+            f"crash_at={self.crash_at} seed={self.seed}"
+        )
+
+
+@dataclass
+class ChaosOutcome:
+    """What one cell did, and proof it did not lie.
+
+    ``status`` is ``"identical"``, ``"degraded"``, or ``"mismatch"``
+    (the forbidden one).  ``degradation`` is the facade's explicit
+    record when status is ``"degraded"``; ``crashes`` counts resumes
+    taken; ``io_cost`` is the cell's total charged ledger including
+    retries, backoff, checkpoints, and recovery.
+    """
+
+    cell: ChaosCell
+    status: str
+    per_query: np.ndarray
+    crashes: int = 0
+    degradation: dict | None = None
+    io_cost: IOCost = field(default_factory=IOCost)
+
+    @property
+    def silent_divergence(self) -> bool:
+        return self.status == "mismatch"
+
+
+def chaos_grid(
+    fault_rates: Sequence[float] = (0.0, 0.05),
+    corruption_rates: Sequence[float] = (0.0, 0.05),
+    crash_points: Sequence[int | None] = (None, 1, 25),
+    seeds: Sequence[int] = (0,),
+) -> list[ChaosCell]:
+    """The full cross product, minus the all-quiet cell per extra seed.
+
+    The (0, 0, None) cell is kept only for the first seed -- with no
+    faults armed the seed is dead weight, and the sweep stays small.
+    """
+    cells = []
+    for fr, cr, ca, seed in product(
+        fault_rates, corruption_rates, crash_points, seeds
+    ):
+        if fr == 0.0 and cr == 0.0 and ca is None and seed != seeds[0]:
+            continue
+        cells.append(ChaosCell(fr, cr, ca, seed))
+    return cells
+
+
+def _reference(points, workload, model, prediction_seed):
+    """The fault-free prediction every cell is measured against."""
+    file = PointFile.from_points(SimulatedDisk(), points)
+    return model.predict(
+        file, workload, np.random.default_rng(prediction_seed)
+    )
+
+
+def run_cell(
+    points: np.ndarray,
+    workload,
+    model,
+    cell: ChaosCell,
+    reference: np.ndarray,
+    *,
+    prediction_seed: int = 0,
+) -> ChaosOutcome:
+    """Run one cell to a verdict.
+
+    The predictor runs with checksum verification and a checkpoint; a
+    :class:`~repro.errors.CrashPoint` reboots the injector (disarmed)
+    and re-enters ``predict`` with the same file and checkpoint.  Any
+    other :class:`~repro.errors.ReproError` escaping the retry policy
+    sends the cell down the facade's explicit degradation chain.
+    """
+    injector = FaultInjector(
+        SimulatedDisk(),
+        read_fault_rate=cell.fault_rate,
+        silent_corruption_rate=cell.corruption_rate,
+        seed=cell.seed,
+        crash_at=cell.crash_at,
+    )
+    file = PointFile.from_points(
+        injector, points, retry=RetryPolicy(), verify_checksums=True
+    )
+    checkpoint: dict = {}
+    crashes = 0
+    while True:
+        try:
+            result = model.predict(
+                file, workload, np.random.default_rng(prediction_seed),
+                checkpoint=checkpoint,
+            )
+        except CrashPoint:
+            crashes += 1
+            if crashes > _MAX_RESUMES:
+                raise
+            injector.reboot()
+            continue
+        except ReproError as error:
+            return _degrade(points, workload, model, cell, crashes, error,
+                            prediction_seed)
+        break
+    identical = np.array_equal(result.per_query, reference)
+    return ChaosOutcome(
+        cell=cell,
+        status="identical" if identical else "mismatch",
+        per_query=result.per_query,
+        crashes=crashes,
+        io_cost=injector.cost,
+    )
+
+
+def _degrade(points, workload, model, cell, crashes, error, prediction_seed):
+    """Retries exhausted: take the facade's fallback chain, loudly.
+
+    The facade re-runs the method chain against fresh disks with the
+    cell's fault configuration (no crash -- the crash, if any, already
+    happened and was resumed); its terminal baseline touches no disk,
+    so the chain always produces an estimate, and the outcome carries
+    the full degradation record.
+    """
+    import warnings
+
+    from ..core.predictor import IndexCostPredictor
+    from ..errors import DegradedResultWarning
+
+    facade = IndexCostPredictor(
+        dim=points.shape[1],
+        memory=model.memory,
+        c_data=model.c_data,
+        c_dir=model.c_dir,
+        fault_rate=cell.fault_rate,
+        silent_corruption_rate=cell.corruption_rate,
+        fault_seed=cell.seed,
+        verify_checksums=True,
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedResultWarning)
+        result = facade.predict(
+            points, workload, method="resampled", seed=prediction_seed
+        )
+    record = result.detail.get("degradation", {})
+    record = dict(record)
+    record.setdefault("attempts", [])
+    record["triggering_error"] = f"{type(error).__name__}: {error}"
+    return ChaosOutcome(
+        cell=cell,
+        status="degraded",
+        per_query=result.per_query,
+        crashes=crashes,
+        degradation=record,
+        io_cost=result.io_cost,
+    )
+
+
+def run_sweep(
+    points: np.ndarray,
+    workload,
+    model,
+    cells: Sequence[ChaosCell],
+    *,
+    prediction_seed: int = 0,
+) -> list[ChaosOutcome]:
+    """Run every cell against one shared fault-free reference."""
+    reference = _reference(points, workload, model, prediction_seed)
+    return [
+        run_cell(points, workload, model, cell, reference.per_query,
+                 prediction_seed=prediction_seed)
+        for cell in cells
+    ]
+
+
+def assert_no_silent_divergence(outcomes: Sequence[ChaosOutcome]) -> None:
+    """The sweep's single invariant, as an assertion.
+
+    Every outcome either reproduced the fault-free prediction
+    bit-identically or carries an explicit degradation record; a
+    ``mismatch`` -- or a degraded outcome with no record -- raises.
+    """
+    for outcome in outcomes:
+        if outcome.silent_divergence:
+            raise AssertionError(
+                f"silent divergence in cell [{outcome.cell.label()}]: "
+                f"prediction differs from the fault-free reference with "
+                f"no degradation record"
+            )
+        if outcome.status == "degraded" and not outcome.degradation:
+            raise AssertionError(
+                f"cell [{outcome.cell.label()}] degraded without a record"
+            )

@@ -2,7 +2,7 @@
 
 :class:`FaultInjector` wraps a :class:`~repro.disk.device.SimulatedDisk`
 behind the same ``allocate``/``access``/``read``/``write`` API and
-injects three seed-driven fault classes with independent rates:
+injects seed-driven fault classes with independent rates:
 
 * **transient read failures** -- the attempted run is charged (the
   device did seek and stream) but the data is garbage, so
@@ -13,21 +13,39 @@ injects three seed-driven fault classes with independent rates:
   :class:`~repro.errors.TornWriteError` is raised; rewriting the full
   range is safe because page writes are idempotent;
 * **latency spikes** -- the access succeeds but costs extra penalty
-  seeks, modeling queueing or remapping stalls.
+  seeks, modeling queueing or remapping stalls;
+* **silent corruption** -- the read succeeds and *nothing is raised*:
+  the injector records a deterministic bit flip against one page of the
+  run, which the data layer above (a checksum-verifying
+  :class:`~repro.disk.pagefile.PointFile`) applies to the returned
+  payload.  Without checksum verification the caller silently consumes
+  corrupted data; with it, the flip is caught as
+  :class:`~repro.errors.ChecksumError`.
+
+Crash scheduling is orthogonal to the rates: ``crash_at=N`` raises
+:class:`~repro.errors.CrashPoint` when the N-th charged operation
+(1-based, reads and writes alike) is about to be issued.  The
+operation never lands, and the injector then plays dead -- every later
+charged access raises ``CrashPoint`` again -- until :meth:`reboot`.
 
 Faults come from a private :class:`numpy.random.Generator` seeded at
 construction, so a fixed seed over a fixed operation sequence replays
 bit-identically -- the property the fault-injection tests pin down.
-With all rates zero the injector is a strict pass-through: no random
-draws, no extra cost, byte-identical ledgers to the bare device (the
-zero-overhead guarantee).
+With all rates zero and no crash armed the injector is a strict
+pass-through: no random draws, no extra cost, byte-identical ledgers to
+the bare device (the zero-overhead guarantee).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..errors import InputValidationError, TornWriteError, TransientReadError
+from ..errors import (
+    CrashPoint,
+    InputValidationError,
+    TornWriteError,
+    TransientReadError,
+)
 from .accounting import DiskParameters, IOCost
 from .device import SimulatedDisk
 
@@ -44,13 +62,16 @@ class FaultInjector:
         read_fault_rate: float = 0.0,
         torn_write_rate: float = 0.0,
         latency_spike_rate: float = 0.0,
+        silent_corruption_rate: float = 0.0,
         seed: int = 0,
         spike_seeks: int = 2,
+        crash_at: int | None = None,
     ):
         for name, rate in (
             ("read_fault_rate", read_fault_rate),
             ("torn_write_rate", torn_write_rate),
             ("latency_spike_rate", latency_spike_rate),
+            ("silent_corruption_rate", silent_corruption_rate),
         ):
             if not 0.0 <= rate <= 1.0:
                 raise InputValidationError(
@@ -58,13 +79,24 @@ class FaultInjector:
                 )
         if spike_seeks < 0:
             raise InputValidationError("spike_seeks must be non-negative")
+        if crash_at is not None and crash_at < 1:
+            raise InputValidationError(
+                f"crash_at is a 1-based charged-op index, got {crash_at}"
+            )
         self.inner = disk
         self.read_fault_rate = read_fault_rate
         self.torn_write_rate = torn_write_rate
         self.latency_spike_rate = latency_spike_rate
+        self.silent_corruption_rate = silent_corruption_rate
         self.seed = seed
         self.spike_seeks = spike_seeks
+        self.crash_at = crash_at
         self._rng = np.random.default_rng(seed)
+        self._ops_issued = 0
+        self._crashed = False
+        #: (absolute page, byte offset within payload, bit) flips recorded
+        #: by the last corrupted read, awaiting pickup by the data layer
+        self._pending_corruption: list[tuple[int, int, int]] = []
 
     @property
     def _inert(self) -> bool:
@@ -72,7 +104,50 @@ class FaultInjector:
             self.read_fault_rate == 0.0
             and self.torn_write_rate == 0.0
             and self.latency_spike_rate == 0.0
+            and self.silent_corruption_rate == 0.0
         )
+
+    # ------------------------------------------------------------------
+    # Crash scheduling
+    # ------------------------------------------------------------------
+
+    def _count_op(self) -> None:
+        """Account one charged operation; dies if the crash is due.
+
+        Raises *before* the operation reaches the device: the op that
+        hits the crash point never lands, matching a process killed
+        between issuing the syscall and the device accepting it.
+        """
+        if self._crashed:
+            raise CrashPoint(self._ops_issued)
+        self._ops_issued += 1
+        if self.crash_at is not None and self._ops_issued >= self.crash_at:
+            self._crashed = True
+            raise CrashPoint(self._ops_issued)
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    @property
+    def ops_issued(self) -> int:
+        """Charged operations issued to the device so far."""
+        return self._ops_issued
+
+    def reboot(self, *, crash_at: int | None = None) -> None:
+        """Bring a crashed injector back up.
+
+        Clears the dead state, restarts the charged-op count, and arms
+        the next crash at ``crash_at`` (``None`` disarms).  The head
+        position is forgotten -- a rebooted machine has no idea where
+        the arm sits -- so recovery I/O pays its first seek honestly.
+        Fault rates and the fault RNG stream are left untouched: the
+        world stays as hostile as it was before the crash.
+        """
+        self._crashed = False
+        self._ops_issued = 0
+        self.crash_at = crash_at
+        self.inner.drop_head()
 
     # ------------------------------------------------------------------
     # Faulting access paths
@@ -80,9 +155,14 @@ class FaultInjector:
 
     def read(self, start_page: int, n_pages: int) -> IOCost:
         """Read a run; may raise ``TransientReadError`` after charging
-        the failed attempt."""
-        if self._inert or n_pages == 0:
+        the failed attempt, or record a silent bit flip."""
+        if n_pages == 0:
             return self.inner.read(start_page, n_pages)
+        if self._inert:
+            if self.crash_at is not None or self._crashed:
+                self._count_op()
+            return self.inner.read(start_page, n_pages)
+        self._count_op()
         if (
             self.read_fault_rate > 0.0
             and self._rng.random() < self.read_fault_rate
@@ -91,13 +171,27 @@ class FaultInjector:
             self.inner.note_fault()
             raise TransientReadError(start_page, n_pages)
         cost = self.inner.read(start_page, n_pages)
+        if (
+            self.silent_corruption_rate > 0.0
+            and self._rng.random() < self.silent_corruption_rate
+        ):
+            page = start_page + int(self._rng.integers(0, n_pages))
+            byte = int(self._rng.integers(0, self.inner.parameters.page_bytes))
+            bit = int(self._rng.integers(0, 8))
+            self._pending_corruption.append((page, byte, bit))
+            self.inner.note_fault()
         return cost + self._maybe_spike()
 
     def write(self, start_page: int, n_pages: int) -> IOCost:
         """Write a run; may raise ``TornWriteError`` after charging the
         prefix that landed."""
-        if self._inert or n_pages == 0:
+        if n_pages == 0:
             return self.inner.write(start_page, n_pages)
+        if self._inert:
+            if self.crash_at is not None or self._crashed:
+                self._count_op()
+            return self.inner.write(start_page, n_pages)
+        self._count_op()
         if (
             n_pages >= 2
             and self.torn_write_rate > 0.0
@@ -113,6 +207,27 @@ class FaultInjector:
     # ``SimulatedDisk`` exposes a direction-agnostic ``access``; callers
     # using it get the read fault model (scans dominate that path).
     access = read
+
+    def consume_corruption(
+        self, start_page: int, n_pages: int
+    ) -> list[tuple[int, int, int]]:
+        """Hand pending bit flips for ``[start_page, start_page+n_pages)``
+        to the data layer, clearing them.
+
+        Flips are recorded by the read that drew them and consumed by
+        the layer holding the bytes (the device itself stores none).
+        Flips outside the queried run stay pending -- they belong to a
+        different file's pages.
+        """
+        if not self._pending_corruption:
+            return []
+        end = start_page + n_pages
+        taken = [c for c in self._pending_corruption if start_page <= c[0] < end]
+        if taken:
+            self._pending_corruption = [
+                c for c in self._pending_corruption if not start_page <= c[0] < end
+            ]
+        return taken
 
     def _maybe_spike(self) -> IOCost:
         if (
@@ -152,6 +267,17 @@ class FaultInjector:
         return self.inner.seconds()
 
     def reset_counters(self) -> IOCost:
+        """Zero the ledger *and* the injector's phase-local residue.
+
+        Phase-scoped accounting (``reset; run phase; read cost``) must
+        not leak state between phases: the device zeroes seeks,
+        transfers, retries, and faults_seen together, and the injector
+        drops corruption flips recorded but never consumed -- a flip
+        from phase A materializing in phase B would charge B for A's
+        fault.  The fault RNG stream and the crash schedule are *not*
+        reset: they model the hostile world, not the ledger.
+        """
+        self._pending_corruption.clear()
         return self.inner.reset_counters()
 
     def drop_head(self) -> None:

@@ -1,0 +1,214 @@
+"""Write-ahead journal: atomic multi-page commits on the simulated disk.
+
+A torn multi-page write is *detectable* (PR 1's fault model raises
+:class:`~repro.errors.TornWriteError`) but not *repairable*: once the
+retry policy is exhausted, the caller only knows the range is suspect.
+The journal closes that gap with the classic journal-then-install
+protocol:
+
+1. **journal write** -- the payload pages are written to a dedicated
+   journal region of the same disk (charged: one seek to the region
+   plus one transfer per page, the same Eq. 1-5 seek/transfer pricing
+   as every other access);
+2. **commit marker** -- a single-page marker write seals the entry.
+   Single-page writes are atomic on this device (torn writes require at
+   least two pages), so an entry is either fully journaled or garbage;
+3. **install** -- the target pages are overwritten in place;
+4. **applied marker** -- a final single-page write retires the entry
+   and frees its journal space.
+
+A crash (:class:`~repro.errors.CrashPoint`) or an unrecovered fault at
+any step leaves the entry in a well-defined state, and
+:meth:`WriteAheadJournal.recover` finishes the job: entries with a
+commit marker are **replayed** (the install is idempotent), entries
+without one are **rolled back** (discarded -- nothing was installed,
+because installs strictly follow commits).  Every step charges the
+ledger *before* mutating in-process state, so the simulated crash
+leaves exactly the durable prefix visible.
+
+The journal stores entry payloads in process memory (the device stores
+no bytes anywhere -- see :mod:`repro.disk.device`); what is simulated
+faithfully is the I/O cost and the commit-ordering protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import DiskError
+from .accounting import IOCost
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .pagefile import PointFile
+
+__all__ = ["JournalEntry", "RecoveryReport", "WriteAheadJournal"]
+
+
+@dataclass
+class JournalEntry:
+    """One atomic write in flight: its target, payload, and protocol state."""
+
+    file: "PointFile"
+    start: int
+    points: np.ndarray
+    journal_page: int
+    payload_pages: int
+    committed: bool = False
+    applied: bool = False
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`WriteAheadJournal.recover` did, and what it cost."""
+
+    replayed: int
+    rolled_back: int
+    io_cost: IOCost = field(default_factory=IOCost)
+
+    @property
+    def clean(self) -> bool:
+        return self.replayed == 0 and self.rolled_back == 0
+
+
+class WriteAheadJournal:
+    """A circular journal region on ``disk`` serving atomic commits.
+
+    ``capacity_pages`` bounds a *single* commit (payload plus its
+    marker page); the region is reused circularly, since an applied
+    entry's pages are dead.  All journal I/O flows through ``disk`` --
+    typically a :class:`~repro.disk.faults.FaultInjector` -- so it is
+    charged to the same :class:`~repro.disk.accounting.IOCost` ledger
+    as data I/O, shows up in ``journal_cost``, and is itself subject to
+    injected faults and crash points.
+    """
+
+    def __init__(self, disk, *, capacity_pages: int = 256):
+        if capacity_pages < 2:
+            raise ValueError(
+                "a journal needs at least one payload page plus a marker"
+            )
+        self.disk = disk
+        self.capacity_pages = capacity_pages
+        self.start_page = disk.allocate(capacity_pages)
+        self._cursor = 0
+        self._entries: list[JournalEntry] = []
+        self._journal_cost = IOCost()
+
+    @property
+    def journal_cost(self) -> IOCost:
+        """Cumulative cost of journal-region I/O (not installs)."""
+        return self._journal_cost
+
+    @property
+    def pending_entries(self) -> int:
+        """Entries not yet retired by an applied marker."""
+        return sum(1 for e in self._entries if not e.applied)
+
+    # ------------------------------------------------------------------
+
+    def _reserve(self, n_pages: int) -> int:
+        if n_pages > self.capacity_pages:
+            raise DiskError(
+                f"commit of {n_pages} pages exceeds the journal's "
+                f"{self.capacity_pages}-page region"
+            )
+        if self._cursor + n_pages > self.capacity_pages:
+            self._cursor = 0  # wrap: earlier entries are applied and dead
+        start = self.start_page + self._cursor
+        self._cursor += n_pages
+        return start
+
+    def _charge_journal(self, page: int, n_pages: int, file: "PointFile") -> None:
+        """One charged journal-region write, under the file's retry policy."""
+        def op() -> IOCost:
+            self.disk.drop_head()  # the journal region is elsewhere
+            return self.disk.write(page, n_pages)
+
+        self._journal_cost = self._journal_cost + file.charged(op)
+
+    def commit(self, file: "PointFile", start: int, points: np.ndarray) -> None:
+        """Atomically overwrite ``file[start : start + len(points)]``.
+
+        Journal-then-install; see the module docstring for the
+        protocol.  On return the write is fully applied and retired.
+        If an exception escapes (crash, retries exhausted), the entry
+        remains queued for :meth:`recover`.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        stop = start + points.shape[0]
+        if stop > file.capacity:
+            raise IndexError(f"write past capacity: [{start}, {stop})")
+        payload_pages = max(1, math.ceil(points.shape[0] / file.points_per_page))
+        jstart = self._reserve(payload_pages + 1)
+        entry = JournalEntry(
+            file=file,
+            start=start,
+            points=np.array(points, copy=True),
+            journal_page=jstart,
+            payload_pages=payload_pages,
+        )
+        self._entries.append(entry)
+        # 1. payload into the journal region (torn here -> rollback later)
+        self._charge_journal(jstart, payload_pages, file)
+        # 2. single-page commit marker: the atomicity point
+        self._charge_journal(jstart + payload_pages, 1, file)
+        entry.committed = True
+        # 3. + 4. install in place, then retire
+        self._install(entry)
+        self._retire(entry)
+
+    def _install(self, entry: JournalEntry) -> None:
+        """Overwrite the target pages from the journaled payload.
+
+        Idempotent: replaying after a partial install rewrites the full
+        range.  The charge lands before the buffer mutation, so a crash
+        mid-install leaves the file's visible state at the old version
+        for recovery to finish.
+        """
+        file = entry.file
+        stop = entry.start + entry.points.shape[0]
+        first, count = file.page_span(entry.start, stop)
+        file.charged(lambda: file.disk.write(first, count))
+        file.place(entry.start, entry.points)
+
+    def _retire(self, entry: JournalEntry) -> None:
+        marker = entry.journal_page + entry.payload_pages
+        self._charge_journal(marker, 1, entry.file)
+        entry.applied = True
+        self._entries = [e for e in self._entries if not e.applied]
+
+    # ------------------------------------------------------------------
+
+    def recover(self) -> RecoveryReport:
+        """Finish or discard every in-flight entry after a crash.
+
+        Committed entries are replayed (re-installed from the journal
+        payload and retired); uncommitted entries are rolled back.
+        Replay I/O is charged like any other I/O.  Safe to call on a
+        clean journal -- it reports ``clean`` and charges nothing.
+        """
+        start_cost = self.disk.cost
+        replayed = rolled_back = 0
+        for entry in list(self._entries):
+            if entry.applied:
+                continue
+            if entry.committed:
+                self._install(entry)
+                self._retire(entry)
+                replayed += 1
+            else:
+                rolled_back += 1
+        self._entries = [e for e in self._entries if not e.applied]
+        # Rolled-back entries are simply forgotten: nothing was
+        # installed, and their journal pages are dead space the cursor
+        # will reuse.
+        self._entries = [e for e in self._entries if e.committed]
+        return RecoveryReport(
+            replayed=replayed,
+            rolled_back=rolled_back,
+            io_cost=self.disk.cost - start_cost,
+        )

@@ -11,17 +11,38 @@ tabulates.
 The actual floats live in an in-process numpy buffer -- the simulation
 is about *cost*, not persistence -- but the access API is strictly
 file-like: sequential scans, range reads, and appends.
+
+Durability layers (both off by default and zero-overhead when off):
+
+* ``verify_checksums=True`` maintains a CRC32 per page in a page-header
+  sidecar, updated on every write and verified on every charged read.
+  A bit flip recorded by a fault-injecting disk (its
+  ``silent_corruption_rate``) is then caught as
+  :class:`~repro.errors.ChecksumError` -- retryable, because the flip
+  happened on the wire, not on the platter -- instead of silently
+  poisoning the computation.  Without verification the flip lands in
+  the returned payload and nobody notices: exactly the failure mode
+  checksums exist to close.
+* ``journal`` attaches a :class:`~repro.disk.journal.WriteAheadJournal`;
+  :meth:`write_range_atomic` then commits multi-page writes
+  journal-first, so a crash or torn write mid-install is *repaired* on
+  recovery instead of merely detected.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Iterator, TypeVar
+import zlib
+from typing import TYPE_CHECKING, Callable, Iterator, TypeVar
 
 import numpy as np
 
+from ..errors import ChecksumError
 from .device import SimulatedDisk
 from .retry import RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .journal import WriteAheadJournal
 
 __all__ = ["PointFile"]
 
@@ -48,6 +69,8 @@ class PointFile:
         *,
         points_per_page: int | None = None,
         retry: RetryPolicy | None = None,
+        verify_checksums: bool = False,
+        journal: "WriteAheadJournal | None" = None,
     ):
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
@@ -55,6 +78,7 @@ class PointFile:
         self.dim = dim
         self.capacity = capacity
         self.retry = retry
+        self.journal = journal
         self.points_per_page = points_per_page or disk.parameters.points_per_page(dim)
         if self.points_per_page < 1:
             raise ValueError("a page must hold at least one point")
@@ -65,6 +89,12 @@ class PointFile:
         # far smaller.
         self._buffer = np.empty((0, dim), dtype=np.float64)
         self.n_points = 0
+        #: relative page index -> CRC32 of the page payload (sidecar)
+        self._crc: dict[int, int] | None = {} if verify_checksums else None
+
+    @property
+    def verify_checksums(self) -> bool:
+        return self._crc is not None
 
     def _ensure_rows(self, rows: int) -> None:
         if rows <= self._buffer.shape[0]:
@@ -83,6 +113,8 @@ class PointFile:
         charge_write: bool = False,
         points_per_page: int | None = None,
         retry: RetryPolicy | None = None,
+        verify_checksums: bool = False,
+        journal: "WriteAheadJournal | None" = None,
     ) -> "PointFile":
         """Create a file holding ``points``.
 
@@ -94,10 +126,12 @@ class PointFile:
         if points.ndim != 2:
             raise ValueError(f"points must be (n, d), got {points.shape}")
         pf = cls(disk, points.shape[1], points.shape[0],
-                 points_per_page=points_per_page, retry=retry)
+                 points_per_page=points_per_page, retry=retry,
+                 verify_checksums=verify_checksums, journal=journal)
         pf._ensure_rows(points.shape[0])
         pf._buffer[: points.shape[0]] = points
         pf.n_points = points.shape[0]
+        pf._refresh_crc(0, pf.n_points)
         if charge_write:
             disk.write(pf.start_page, pf._pages_for(pf.n_points))
         return pf
@@ -130,6 +164,86 @@ class PointFile:
         return self._pages_for(self.n_points)
 
     # ------------------------------------------------------------------
+    # Checksum sidecar
+    # ------------------------------------------------------------------
+
+    def _page_rows(self, rel_page: int) -> tuple[int, int]:
+        """Row range [lo, hi) of the valid payload of relative page."""
+        lo = rel_page * self.points_per_page
+        hi = min(lo + self.points_per_page, self.n_points)
+        return lo, hi
+
+    def _page_payload(self, rel_page: int) -> np.ndarray:
+        """The valid payload rows of a page (a view, do not mutate)."""
+        lo, hi = self._page_rows(rel_page)
+        return self._buffer[lo:hi]
+
+    def _refresh_crc(self, start_row: int, stop_row: int) -> None:
+        """Recompute sidecar CRCs for the pages covering [start, stop).
+
+        Called after every buffer mutation.  The trailing page's payload
+        length depends on ``n_points``, so growth (append) refreshes the
+        previously-trailing page too -- handled naturally because the
+        covered range includes it.
+        """
+        if self._crc is None or start_row >= stop_row:
+            return
+        first = start_row // self.points_per_page
+        last = (stop_row - 1) // self.points_per_page
+        for rel in range(first, last + 1):
+            self._crc[rel] = zlib.crc32(self._page_payload(rel).tobytes())
+
+    def _verify_run(
+        self, first: int, count: int
+    ) -> dict[int, np.ndarray]:
+        """Post-read integrity step for the charged run ``[first, first+count)``.
+
+        Collects any silent bit flips the (fault-injecting) disk
+        recorded against this run and applies each to a *copy* of its
+        page's payload -- the transit view of the data, distinct from
+        the authoritative buffer.  When checksum verification is on,
+        every page of the run is then CRC-checked against the sidecar;
+        a flipped page fails and raises
+        :class:`~repro.errors.ChecksumError` (inside the retry scope,
+        so a retry re-reads cleanly).  Returns the corrupted payloads
+        by relative page, for the caller to surface to its reader when
+        verification is off.
+        """
+        consume = getattr(self.disk, "consume_corruption", None)
+        events = consume(first, count) if consume is not None else []
+        corrupted: dict[int, np.ndarray] = {}
+        for abs_page, byte, bit in events:
+            rel = abs_page - self.start_page
+            payload = self._page_payload(rel).copy()
+            raw = bytearray(payload.tobytes())
+            if not raw:
+                continue  # flip landed in unused page padding
+            raw[byte % len(raw)] ^= 1 << bit
+            corrupted[rel] = np.frombuffer(raw, dtype=np.float64).reshape(
+                payload.shape
+            )
+        if self._crc is not None:
+            rel_first = first - self.start_page
+            for rel in range(rel_first, rel_first + count):
+                if rel in corrupted:
+                    actual = zlib.crc32(corrupted[rel].tobytes())
+                else:
+                    actual = zlib.crc32(self._page_payload(rel).tobytes())
+                expected = self._crc.get(rel)
+                if expected is None:
+                    # Page never written through a checksummed path;
+                    # adopt the current payload as its baseline.
+                    self._crc[rel] = actual if rel not in corrupted else (
+                        zlib.crc32(self._page_payload(rel).tobytes())
+                    )
+                    expected = self._crc[rel]
+                if actual != expected:
+                    raise ChecksumError(
+                        self.start_page + rel, expected, actual
+                    )
+        return corrupted
+
+    # ------------------------------------------------------------------
     # Charged access
     # ------------------------------------------------------------------
 
@@ -139,13 +253,29 @@ class PointFile:
             return operation()
         return self.retry.run(self.disk, operation)
 
+    def _read_run(self, first: int, count: int) -> dict[int, np.ndarray]:
+        """One charged, integrity-checked read attempt of a page run."""
+        self.disk.read(first, count)
+        return self._verify_run(first, count)
+
     def read_range(self, start: int, stop: int) -> np.ndarray:
-        """Read points ``[start, stop)``; charges the covering pages."""
+        """Read points ``[start, stop)``; charges the covering pages.
+
+        The returned block is what came *off the wire*: if the disk
+        silently corrupted a page and verification is off, the flipped
+        bits are faithfully present in the result.
+        """
         if stop > self.n_points:
             raise IndexError(f"read past end: [{start}, {stop}) > {self.n_points}")
         first, count = self.page_span(start, stop)
-        self.charged(lambda: self.disk.read(first, count))
-        return self._buffer[start:stop].copy()
+        corrupted = self.charged(lambda: self._read_run(first, count))
+        data = self._buffer[start:stop].copy()
+        for rel, payload in corrupted.items():
+            lo, hi = self._page_rows(rel)
+            s, e = max(lo, start), min(hi, stop)
+            if s < e:
+                data[s - start : e - start] = payload[s - lo : e - lo]
+        return data
 
     def read_all(self) -> np.ndarray:
         return self.read_range(0, self.n_points)
@@ -153,7 +283,11 @@ class PointFile:
     def read_point(self, index: int) -> np.ndarray:
         """Random single-point read (one page)."""
         page = self.page_of(index)
-        self.charged(lambda: self.disk.read(page, 1))
+        corrupted = self.charged(lambda: self._read_run(page, 1))
+        rel = page - self.start_page
+        if rel in corrupted:
+            lo, _ = self._page_rows(rel)
+            return corrupted[rel][index - lo].copy()
         return self._buffer[index].copy()
 
     def write_range(self, start: int, points: np.ndarray) -> None:
@@ -172,6 +306,23 @@ class PointFile:
         self._ensure_rows(stop)
         self._buffer[start:stop] = points
         self.n_points = max(self.n_points, stop)
+        self._refresh_crc(start, stop)
+
+    def write_range_atomic(self, start: int, points: np.ndarray) -> None:
+        """Overwrite points starting at ``start`` as one atomic commit.
+
+        With a :class:`~repro.disk.journal.WriteAheadJournal` attached,
+        the payload is journaled (payload pages, then a one-page commit
+        marker) before the in-place install, so a crash or unrecovered
+        torn write at any point either replays the full install or
+        rolls it back cleanly on ``journal.recover()`` -- never a
+        half-applied range.  Without a journal this degrades to the
+        plain (detect-only) :meth:`write_range`.
+        """
+        if self.journal is None:
+            self.write_range(start, points)
+            return
+        self.journal.commit(self, start, points)
 
     def append(self, points: np.ndarray) -> int:
         """Append a block at the end; returns the index of its first point.
@@ -182,6 +333,26 @@ class PointFile:
         start = self.n_points
         self.write_range(start, points)
         return start
+
+    def truncate(self, n_points: int) -> None:
+        """Roll the file's length back to ``n_points`` (uncharged).
+
+        Recovery bookkeeping: a resumed spill phase discards a
+        partially-applied chunk by truncating each area to its
+        checkpointed length before replaying the chunk.  Like a real
+        in-place length rollback, no pages move; the sidecar CRC of the
+        new trailing page is refreshed for its shortened payload.
+        """
+        if not 0 <= n_points <= self.n_points:
+            raise ValueError(
+                f"cannot truncate to {n_points}: file holds {self.n_points}"
+            )
+        old = self.n_points
+        self.n_points = n_points
+        if self._crc is not None:
+            for rel in range(self._pages_for(old)):
+                self._crc.pop(rel, None)
+            self._refresh_crc(0, n_points)
 
     def scan(self, chunk_points: int | None = None) -> Iterator[tuple[int, np.ndarray]]:
         """Sequential full scan: yields ``(start_index, block)`` chunks.
@@ -214,3 +385,4 @@ class PointFile:
         self._ensure_rows(stop)
         self._buffer[start:stop] = points
         self.n_points = max(self.n_points, stop)
+        self._refresh_crc(start, stop)

@@ -9,9 +9,12 @@ original attempt, and every retry round increments the ledger's
 ``retries`` counter (see :class:`~repro.disk.accounting.IOCost`).
 
 Only fault classes that are retryable by re-issuing the operation are
-retried: :class:`~repro.errors.TransientReadError` (re-read the run)
-and :class:`~repro.errors.TornWriteError` (rewrite the full range --
-page writes here are idempotent).  Everything else propagates.
+retried: :class:`~repro.errors.TransientReadError` (re-read the run),
+:class:`~repro.errors.TornWriteError` (rewrite the full range -- page
+writes here are idempotent), and :class:`~repro.errors.ChecksumError`
+(the flip happened in transit; re-reading fetches clean bits).
+Everything else propagates -- in particular
+:class:`~repro.errors.CrashPoint`: a dead process retries nothing.
 """
 
 from __future__ import annotations
@@ -20,14 +23,14 @@ import math
 from dataclasses import dataclass
 from typing import Callable, TypeVar
 
-from ..errors import TornWriteError, TransientReadError
+from ..errors import ChecksumError, TornWriteError, TransientReadError
 from .accounting import IOCost
 
 __all__ = ["RetryPolicy"]
 
 T = TypeVar("T")
 
-_RETRYABLE = (TransientReadError, TornWriteError)
+_RETRYABLE = (TransientReadError, TornWriteError, ChecksumError)
 
 
 @dataclass(frozen=True)

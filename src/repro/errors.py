@@ -15,8 +15,16 @@ purpose by this package derives from :class:`ReproError`:
 ``DiskError``
     the simulated device failed an operation.  Subclasses
     :class:`TransientReadError` (a read attempt returned garbage;
-    retryable) and :class:`TornWriteError` (a multi-page write only
-    partially landed; retryable by rewriting the full range).
+    retryable), :class:`TornWriteError` (a multi-page write only
+    partially landed; retryable by rewriting the full range), and
+    :class:`ChecksumError` (a page's payload failed CRC verification --
+    silent corruption caught on the wire; retryable by re-reading).
+``CrashPoint``
+    the simulated process was killed at a scheduled charged disk
+    operation.  Deliberately *not* a :class:`DiskError`: nothing inside
+    the library retries or degrades around a dead process -- the
+    exception propagates to whatever harness scheduled the crash, which
+    may then run recovery and resume.
 ``PredictionError``
     a prediction method could not produce an estimate (budget
     infeasible, or disk faults exhausted every retry and every
@@ -37,6 +45,8 @@ __all__ = [
     "DiskError",
     "TransientReadError",
     "TornWriteError",
+    "ChecksumError",
+    "CrashPoint",
     "PredictionError",
     "DegradedResultWarning",
     "validate_points",
@@ -96,6 +106,56 @@ class TornWriteError(DiskError):
             f"[{self.start_page}, {self.start_page + self.n_pages}): "
             f"only {self.pages_written} of {self.n_pages} pages landed"
         )
+
+
+class ChecksumError(DiskError):
+    """A page's payload did not match its stored CRC32 checksum.
+
+    Raised by a checksum-verifying :class:`~repro.disk.pagefile.PointFile`
+    when a charged read returns bits that disagree with the page-header
+    sidecar.  The corruption model is transient (a flip on the wire, not
+    rot on the platter), so re-reading the run may return clean data:
+    the error is retryable and flows through the same
+    :class:`~repro.disk.retry.RetryPolicy` as transient read faults.
+    """
+
+    retryable = True
+
+    def __init__(
+        self, page: int, expected: int, actual: int, *, attempts: int = 1
+    ):
+        self.page = page
+        self.expected = expected
+        self.actual = actual
+        self.attempts = attempts
+        super().__init__(page, expected, actual)
+
+    def __str__(self) -> str:
+        return (
+            f"checksum mismatch on page {self.page}: stored crc32 "
+            f"{self.expected:#010x}, payload reads {self.actual:#010x} "
+            f"after {self.attempts} attempt"
+            f"{'s' if self.attempts != 1 else ''}"
+        )
+
+
+class CrashPoint(ReproError):
+    """The simulated process died at a scheduled charged disk operation.
+
+    Raised by a :class:`~repro.disk.faults.FaultInjector` armed with
+    ``crash_at=N`` when the N-th charged operation is about to be
+    issued; the operation never lands.  Once raised, the injector stays
+    dead -- every further charged access raises again -- until
+    ``reboot()`` is called.  Not retryable and never absorbed by the
+    degradation chain: a crash is an exit, not an error to paper over.
+    """
+
+    def __init__(self, op_index: int):
+        self.op_index = op_index
+        super().__init__(op_index)
+
+    def __str__(self) -> str:
+        return f"simulated crash at charged disk operation {self.op_index}"
 
 
 class PredictionError(ReproError):

@@ -19,6 +19,22 @@ formula (Eq. 1) -- the paper observes the same 5-10x gap on real data
 The result keeps the physical layout: every leaf's points occupy a
 contiguous range of the file, so query measurement can charge the exact
 pages of each accessed leaf.
+
+Crash consistency: a build killed at an arbitrary charged operation
+(:class:`~repro.errors.CrashPoint`) can be *resumed* instead of
+restarted.  Pass a :class:`BuildLog` -- a durable log of completed
+build units (external partition passes and in-memory region builds) --
+and re-invoke :meth:`OnDiskBuilder.build` with the same log after
+recovery: logged units are skipped wholesale (their effects are already
+on disk), the interrupted unit is redone idempotently, and the
+remaining units run as usual.  Region write-backs go through
+``file.write_range_atomic``, so with a journal attached a crash
+mid-write-back is replayed or rolled back by ``journal.recover()``
+before the resume.  The resumed result is bit-identical to the
+fault-free build (same leaf point sets, hence the same MBRs and the
+same query leaf accesses) as long as point coordinates are distinct per
+split dimension -- re-partitioning a partially partitioned range can
+permute ties.
 """
 
 from __future__ import annotations
@@ -35,9 +51,45 @@ from ..rtree.bulkload import BulkLoadConfig, build_subtree
 from ..rtree.node import InternalNode, LeafNode, Node
 from ..rtree.tree import RTree
 
-__all__ = ["OnDiskIndex", "OnDiskBuilder"]
+__all__ = ["BuildLog", "OnDiskIndex", "OnDiskBuilder"]
 
 _PIVOT_SAMPLE = 1024
+
+
+class BuildLog:
+    """Durable log of completed build units, enabling crash resume.
+
+    Each completed unit appends one record -- a single-page charged
+    write to a dedicated log page, atomic by construction (torn writes
+    need two pages).  The record payload (the unit key, and for region
+    units the serialized subtree layout) is held in process memory, as
+    all simulated-disk payloads are; the charged write is what makes
+    the record's durability *cost* honest.
+
+    The charge lands before the in-memory record is added, so a crash
+    during the log write simply redoes the unit on resume -- every
+    unit is idempotent.
+    """
+
+    def __init__(self, disk):
+        self.disk = disk
+        self.start_page = disk.allocate(1)
+        self._done: dict[tuple, Node | None] = {}
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._done
+
+    def __len__(self) -> int:
+        return len(self._done)
+
+    def node(self, key: tuple) -> Node | None:
+        """The subtree recorded for a completed region unit."""
+        return self._done[key]
+
+    def record(self, key: tuple, node: Node | None = None) -> None:
+        self.disk.drop_head()
+        self.disk.write(self.start_page, 1)
+        self._done[key] = node
 
 
 @dataclass
@@ -95,13 +147,23 @@ class OnDiskBuilder:
         self.config = config or BulkLoadConfig()
         self._pivot_rng = np.random.default_rng(pivot_seed)
 
-    def build(self, file: PointFile) -> OnDiskIndex:
-        """Build the index over the file's points, reordering them."""
+    def build(self, file: PointFile, *, log: BuildLog | None = None) -> OnDiskIndex:
+        """Build the index over the file's points, reordering them.
+
+        With a :class:`BuildLog`, completed units found in the log are
+        skipped (no I/O, the stored subtree is reused), making the call
+        a crash *resume*: after ``journal.recover()`` and a fault-layer
+        reboot, re-invoking ``build`` with the same log finishes the
+        interrupted build.  ``build_cost`` then covers only the resumed
+        portion.
+        """
         if file.n_points < 1:
             raise ValueError("cannot index an empty file")
         start_cost = file.disk.cost
         topology = Topology(file.n_points, self.c_data, self.c_dir)
-        root = self._build_region(file, 0, file.n_points, topology.height, topology)
+        root = self._build_region(
+            file, 0, file.n_points, topology.height, topology, log
+        )
         file.disk.drop_head()
         build_cost = file.disk.cost - start_cost
         tree = RTree(file.peek(0, file.n_points).copy(), root, topology)
@@ -110,19 +172,27 @@ class OnDiskBuilder:
     # ------------------------------------------------------------------
 
     def _build_region(
-        self, file: PointFile, start: int, stop: int, level: int, topology: Topology
+        self,
+        file: PointFile,
+        start: int,
+        stop: int,
+        level: int,
+        topology: Topology,
+        log: BuildLog | None,
     ) -> Node:
         n = stop - start
         if n <= self.memory:
-            return self._build_in_memory(file, start, stop, level, topology)
+            return self._build_in_memory(file, start, stop, level, topology, log)
         if level == 1:
             raise AssertionError("a leaf region cannot exceed memory")
         children: list[Node] = []
         for child_start, child_stop in self._external_divide(
-            file, start, stop, level, topology
+            file, start, stop, level, topology, log
         ):
             children.append(
-                self._build_region(file, child_start, child_stop, level - 1, topology)
+                self._build_region(
+                    file, child_start, child_stop, level - 1, topology, log
+                )
             )
         mbr = None
         for child in children:
@@ -131,9 +201,25 @@ class OnDiskBuilder:
         return InternalNode(children=children, mbr=mbr, level=level, n_points=n)
 
     def _build_in_memory(
-        self, file: PointFile, start: int, stop: int, level: int, topology: Topology
+        self,
+        file: PointFile,
+        start: int,
+        stop: int,
+        level: int,
+        topology: Topology,
+        log: BuildLog | None,
     ) -> Node:
-        """Read a memory-sized region, build its subtree, write it back."""
+        """Read a memory-sized region, build its subtree, write it back.
+
+        The write-back is atomic when the file has a journal: a crash
+        between "subtree decided" and "reorder durable" is repaired by
+        ``journal.recover()``, never leaving a half-reordered region.
+        """
+        key = ("region", start, stop, level)
+        if log is not None and key in log:
+            node = log.node(key)
+            assert node is not None
+            return node
         points = file.read_range(start, stop)
         n = stop - start
         local_root = build_subtree(
@@ -144,7 +230,9 @@ class OnDiskBuilder:
             local_root, points, reordered, start, start
         )
         assert cursor == stop
-        file.write_range(start, reordered)
+        file.write_range_atomic(start, reordered)
+        if log is not None:
+            log.record(key, global_root)
         return global_root
 
     def _materialize(
@@ -181,9 +269,21 @@ class OnDiskBuilder:
     # ------------------------------------------------------------------
 
     def _external_divide(
-        self, file: PointFile, start: int, stop: int, level: int, topology: Topology
+        self,
+        file: PointFile,
+        start: int,
+        stop: int,
+        level: int,
+        topology: Topology,
+        log: BuildLog | None,
     ) -> list[tuple[int, int]]:
-        """Divide a region into its children's subranges on disk."""
+        """Divide a region into its children's subranges on disk.
+
+        The division schedule -- which (subrange, rank) pairs get
+        partitioned, in which order -- is a pure function of the region
+        shape, so unit keys are stable across a crash and resume: a
+        logged partition is skipped together with its variance scan.
+        """
         child_cap = subtree_capacity(level - 1, self.c_data, self.c_dir)
         n = stop - start
         fanout = max(1, math.ceil(n / child_cap))
@@ -196,8 +296,12 @@ class OnDiskBuilder:
                 continue
             n_left, _ = split_child_counts(p_stop - p_start, p_fanout, child_cap)
             rank = p_start + n_left
-            dim = self._external_variance_dim(file, p_start, p_stop)
-            self._external_partition(file, p_start, p_stop, rank, dim)
+            key = ("part", p_start, p_stop, rank)
+            if log is None or key not in log:
+                dim = self._external_variance_dim(file, p_start, p_stop)
+                self._external_partition(file, p_start, p_stop, rank, dim)
+                if log is not None:
+                    log.record(key)
             f_left = p_fanout // 2
             pending.append((rank, p_stop, p_fanout - f_left))
             pending.append((p_start, rank, f_left))

@@ -1,0 +1,208 @@
+"""Chaos sweep: faults x crash points x seeds, with one invariant.
+
+Every cell of the grid must either reproduce the fault-free prediction
+bit-identically (after any retries and crash resumes) or return an
+explicitly degraded estimate carrying a degradation record.  A silently
+different answer fails the suite.
+
+The sweep seed is taken from the ``CHAOS_SEED`` environment variable
+(default 0) so CI can run the same grid under several fault-RNG worlds
+without any test-code changes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.resampled import ResampledModel
+from repro.disk.chaos import (
+    ChaosCell,
+    ChaosOutcome,
+    assert_no_silent_divergence,
+    chaos_grid,
+    run_cell,
+    run_sweep,
+)
+from repro.disk.device import SimulatedDisk
+from repro.disk.faults import FaultInjector
+from repro.disk.journal import WriteAheadJournal
+from repro.disk.pagefile import PointFile
+from repro.disk.retry import RetryPolicy
+from repro.errors import CrashPoint
+from repro.ondisk.builder import BuildLog, OnDiskBuilder
+from repro.workload.queries import density_biased_knn_workload
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+C_DATA, C_DIR, MEMORY = 32, 16, 400
+
+
+@pytest.fixture(scope="module")
+def workload(clustered_points):
+    return density_biased_knn_workload(
+        clustered_points, 30, 11, np.random.default_rng(5)
+    )
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ResampledModel(C_DATA, C_DIR, memory=MEMORY)
+
+
+@pytest.fixture(scope="module")
+def reference(clustered_points, workload, model):
+    file = PointFile.from_points(SimulatedDisk(), clustered_points)
+    return model.predict(file, workload, np.random.default_rng(0))
+
+
+class TestGrid:
+    def test_cross_product_with_quiet_cell_dedup(self):
+        cells = chaos_grid(
+            fault_rates=(0.0, 0.1),
+            corruption_rates=(0.0,),
+            crash_points=(None, 3),
+            seeds=(0, 1),
+        )
+        # 2*1*2*2 = 8, minus the duplicate all-quiet cell of seed 1
+        assert len(cells) == 7
+        assert ChaosCell(0.0, 0.0, None, 0) in cells
+        assert ChaosCell(0.0, 0.0, None, 1) not in cells
+
+    def test_invariant_rejects_mismatch(self):
+        bad = ChaosOutcome(
+            cell=ChaosCell(), status="mismatch", per_query=np.zeros(3)
+        )
+        with pytest.raises(AssertionError, match="silent divergence"):
+            assert_no_silent_divergence([bad])
+
+    def test_invariant_rejects_recordless_degradation(self):
+        bad = ChaosOutcome(
+            cell=ChaosCell(), status="degraded", per_query=np.zeros(3),
+            degradation=None,
+        )
+        with pytest.raises(AssertionError, match="without a record"):
+            assert_no_silent_divergence([bad])
+
+
+class TestChaosSweep:
+    def test_sweep_never_silently_diverges(
+        self, clustered_points, workload, model
+    ):
+        """The tentpole assertion: the full grid, one invariant."""
+        cells = chaos_grid(
+            fault_rates=(0.0, 0.05),
+            corruption_rates=(0.0, 0.05),
+            crash_points=(None, 1, 25),
+            seeds=(CHAOS_SEED,),
+        )
+        outcomes = run_sweep(clustered_points, workload, model, cells)
+        assert_no_silent_divergence(outcomes)
+        # The quiet cell must be identical, not merely non-divergent.
+        quiet = next(
+            o for o in outcomes
+            if o.cell == ChaosCell(0.0, 0.0, None, CHAOS_SEED)
+        )
+        assert quiet.status == "identical"
+        assert quiet.crashes == 0
+
+    def test_crash_cells_resume_bit_identical(
+        self, clustered_points, workload, model, reference
+    ):
+        for crash_at in (1, 4, 40):
+            cell = ChaosCell(crash_at=crash_at, seed=CHAOS_SEED)
+            outcome = run_cell(
+                clustered_points, workload, model, cell, reference.per_query
+            )
+            assert outcome.status == "identical", cell.label()
+            assert np.array_equal(outcome.per_query, reference.per_query)
+
+    def test_crash_and_faults_together(
+        self, clustered_points, workload, model, reference
+    ):
+        """A crash mid-run under live fault injection still converges."""
+        cell = ChaosCell(
+            fault_rate=0.05, corruption_rate=0.05, crash_at=10,
+            seed=CHAOS_SEED,
+        )
+        outcome = run_cell(
+            clustered_points, workload, model, cell, reference.per_query
+        )
+        assert not outcome.silent_divergence
+        assert outcome.status in ("identical", "degraded")
+        if outcome.status == "degraded":
+            assert outcome.degradation
+
+    def test_hopeless_fault_rate_degrades_with_record(
+        self, clustered_points, workload, model, reference
+    ):
+        cell = ChaosCell(fault_rate=1.0, seed=CHAOS_SEED)
+        outcome = run_cell(
+            clustered_points, workload, model, cell, reference.per_query
+        )
+        assert outcome.status == "degraded"
+        assert outcome.degradation["triggering_error"].startswith(
+            "TransientReadError"
+        )
+        # resampled and cutoff both need the (hopeless) disk; the first
+        # diskless method in the chain is mini
+        assert outcome.degradation["method_used"] in ("mini", "baseline")
+        assert outcome.degradation["attempts"]
+
+    def test_sweep_is_deterministic(
+        self, clustered_points, workload, model
+    ):
+        cells = [ChaosCell(fault_rate=0.1, crash_at=7, seed=CHAOS_SEED)]
+        first = run_sweep(clustered_points, workload, model, cells)
+        second = run_sweep(clustered_points, workload, model, cells)
+        assert first[0].status == second[0].status
+        assert np.array_equal(first[0].per_query, second[0].per_query)
+        assert first[0].io_cost == second[0].io_cost
+
+
+class TestBuilderChaos:
+    """Crash the on-disk bulk load at swept points; resume must agree."""
+
+    @pytest.fixture(scope="class")
+    def build_reference(self, clustered_points):
+        file = PointFile.from_points(SimulatedDisk(), clustered_points)
+        builder = OnDiskBuilder(C_DATA, C_DIR, MEMORY)
+        index = builder.build(file)
+        mbrs = sorted(
+            (tuple(leaf.mbr.lower), tuple(leaf.mbr.upper))
+            for leaf in index.tree.leaves if leaf.mbr is not None
+        )
+        return mbrs
+
+    @pytest.mark.parametrize("crash_at", [1, 9, 60])
+    def test_build_resume_reaches_identical_leaves(
+        self, clustered_points, build_reference, crash_at
+    ):
+        injector = FaultInjector(
+            SimulatedDisk(), seed=CHAOS_SEED, crash_at=crash_at
+        )
+        journal = WriteAheadJournal(injector)
+        file = PointFile.from_points(
+            injector, clustered_points, retry=RetryPolicy(), journal=journal
+        )
+        log = BuildLog(injector)
+        crashes = 0
+        while True:
+            builder = OnDiskBuilder(C_DATA, C_DIR, MEMORY)
+            try:
+                index = builder.build(file, log=log)
+                break
+            except CrashPoint:
+                crashes += 1
+                assert crashes <= 8, "builder made no progress"
+                injector.reboot()
+                report = journal.recover()
+                assert report.replayed >= 0  # recovery ran; may be clean
+        assert crashes >= 1
+        mbrs = sorted(
+            (tuple(leaf.mbr.lower), tuple(leaf.mbr.upper))
+            for leaf in index.tree.leaves if leaf.mbr is not None
+        )
+        assert mbrs == build_reference

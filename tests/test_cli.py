@@ -84,3 +84,56 @@ class TestOtherCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "on-disk build" in out and "cutoff" in out
+
+
+class TestDurabilityFlags:
+    def test_parser_accepts_durability_flags(self):
+        args = build_parser().parse_args(
+            ["predict", "--corruption-rate", "0.1", "--verify-checksums",
+             "--crash-at", "7"]
+        )
+        assert args.corruption_rate == 0.1
+        assert args.verify_checksums is True
+        assert args.crash_at == 7
+
+    def test_verify_checksums_clean_run(self, capsys):
+        assert main(["predict", *FAST, "--verify-checksums"]) == 0
+        assert "predicted leaf accesses" in capsys.readouterr().out
+
+    def test_corruption_survived_with_checksums(self, capsys):
+        # Moderate corruption is absorbed by checksum-verify + retry.
+        assert main(
+            ["predict", *FAST, "--corruption-rate", "0.05",
+             "--verify-checksums"]
+        ) == 0
+        assert "predicted leaf accesses" in capsys.readouterr().out
+
+
+class TestFailureExitCodes:
+    def test_crash_point_exits_10(self, capsys):
+        code = main(["predict", *FAST, "--crash-at", "1"])
+        assert code == 10
+        err = capsys.readouterr().err
+        assert "CrashPoint" in err
+
+    def test_crash_point_exits_10_on_measure(self, capsys):
+        assert main(["measure", *FAST, "--crash-at", "1"]) == 10
+        assert "CrashPoint" in capsys.readouterr().err
+
+    def test_checksum_error_exits_9(self, capsys):
+        # measure has no degradation chain, so an unrecoverable
+        # checksum failure (every read corrupted) surfaces directly
+        code = main(
+            ["measure", *FAST, "--corruption-rate", "1.0",
+             "--verify-checksums"]
+        )
+        assert code == 9
+        assert "ChecksumError" in capsys.readouterr().err
+
+    def test_invalid_rate_exits_3(self, capsys):
+        assert main(["predict", *FAST, "--corruption-rate", "1.5"]) == 3
+        assert "InputValidationError" in capsys.readouterr().err
+
+    def test_invalid_crash_at_exits_3(self, capsys):
+        assert main(["predict", *FAST, "--crash-at", "0"]) == 3
+        assert "InputValidationError" in capsys.readouterr().err
