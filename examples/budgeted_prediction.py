@@ -1,0 +1,96 @@
+"""Anytime prediction under explicit resource budgets.
+
+The sampling predictors exist because full index builds are too
+expensive -- but "cheaper" is not "free", and a production planner
+needs a *guaranteed* horizon: answer within this many charged I/O
+operations and this many milliseconds, or say explicitly what was cut.
+This example runs the same prediction three ways:
+
+* **ungoverned** -- the reference answer and its exact I/O ledger;
+* **ample budget** -- governed, with room to spare: the estimate is
+  bit-identical and not one extra operation is charged (governance is
+  bookkeeping, never interference);
+* **tight budget** -- governed, with less I/O than the resampled
+  method needs: the facade downgrades mid-flight along
+  ``resampled -> cutoff -> mini -> closed-form`` and the result says
+  which method answered, what tripped, and where every operation went.
+
+A final hedged run races the governed chain against a cheap concurrent
+estimate under a wall-clock deadline and reports which path landed.
+
+Run:  python examples/budgeted_prediction.py
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro import Budget, DegradedResultWarning, IndexCostPredictor
+from repro.data import datasets
+
+
+def describe(label: str, result) -> None:
+    print(f"\n{label}")
+    print(f"  predicted accesses/query: {result.mean_accesses:.2f}")
+    print(f"  charged I/O: {result.io_cost.seeks:,} seeks + "
+          f"{result.io_cost.transfers:,} transfers")
+    degradation = result.detail.get("degradation")
+    if degradation:
+        steps = " -> ".join(
+            f"{a['method']} ({a['cause']})" for a in degradation["attempts"]
+        )
+        print(f"  degraded: {steps} -> {degradation['method_used']} answered")
+    spend = result.detail.get("budget")
+    if spend:
+        print(f"  spend: {spend['spent_io_ops']} ops"
+              + (f" of {spend['max_io_ops']}"
+                 if spend["max_io_ops"] is not None else "")
+              + f", within budget: {spend['within_budget']}")
+        if spend["phase_spend"]:
+            for phase, ops in spend["phase_spend"].items():
+                print(f"    {phase}: {ops} ops")
+        if spend["exhausted"]:
+            trip = spend["exhausted"]
+            print(f"  tripped: {trip['resource']} at phase "
+                  f"{trip['phase']!r} ({trip['spent']} of {trip['limit']})")
+    hedge = result.detail.get("hedge")
+    if hedge:
+        print(f"  hedge: {hedge['winner']} path answered in "
+              f"{hedge['elapsed_s'] * 1000:.0f} ms")
+
+
+def main() -> None:
+    points = datasets.texture60(scale=0.02, seed=7)
+    predictor = IndexCostPredictor(dim=points.shape[1], memory=2_000)
+    workload = predictor.make_workload(points, n_queries=50, k=21, seed=1)
+    print(f"dataset: {points.shape[0]:,} x {points.shape[1]}-d")
+
+    reference = predictor.predict(points, workload, method="resampled", seed=3)
+    describe("ungoverned reference", reference)
+
+    ample = predictor.predict(
+        points, workload, method="resampled", seed=3,
+        budget=Budget(max_io_ops=1_000_000, max_seconds=3600.0),
+    )
+    describe("ample budget (bit-identical, zero extra I/O)", ample)
+    assert ample.io_cost == reference.io_cost
+    assert (ample.per_query == reference.per_query).all()
+
+    tight_ops = max(10, reference.io_cost.ops // 4)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedResultWarning)
+        tight = predictor.predict(
+            points, workload, method="resampled", seed=3,
+            budget=Budget(max_io_ops=tight_ops),
+        )
+    describe(f"tight budget ({tight_ops} ops)", tight)
+
+    hedged = predictor.predict(
+        points, workload, method="resampled", seed=3,
+        budget=Budget(max_seconds=30.0), hedge=True,
+    )
+    describe("hedged under a 30 s deadline", hedged)
+
+
+if __name__ == "__main__":
+    main()

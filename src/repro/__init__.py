@@ -46,6 +46,9 @@ from .disk import (
     SimulatedDisk,
 )
 from .errors import (
+    BudgetExceededError,
+    CircuitOpenError,
+    DeadlineExceededError,
     DegradedResultWarning,
     DiskError,
     InputValidationError,
@@ -55,6 +58,17 @@ from .errors import (
     TransientReadError,
 )
 from .ondisk import MeasurementResult, OnDiskBuilder, OnDiskIndex, measure_knn
+from .runtime import (
+    BatchReport,
+    BatchRunner,
+    BatchTask,
+    Budget,
+    CircuitBreaker,
+    Governor,
+    HedgeOutcome,
+    TaskReport,
+    run_hedged,
+)
 from .rtree import MBR, BulkLoadConfig, KNNResult, RStarTree, RTree
 from .workload import (
     KNNWorkload,
@@ -87,6 +101,9 @@ __all__ = [
     "PointFile",
     "RetryPolicy",
     "SimulatedDisk",
+    "BudgetExceededError",
+    "CircuitOpenError",
+    "DeadlineExceededError",
     "DegradedResultWarning",
     "DiskError",
     "InputValidationError",
@@ -98,6 +115,15 @@ __all__ = [
     "OnDiskBuilder",
     "OnDiskIndex",
     "measure_knn",
+    "BatchReport",
+    "BatchRunner",
+    "BatchTask",
+    "Budget",
+    "CircuitBreaker",
+    "Governor",
+    "HedgeOutcome",
+    "TaskReport",
+    "run_hedged",
     "MBR",
     "BulkLoadConfig",
     "KNNResult",

@@ -22,7 +22,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.predictor import IndexCostPredictor
-from ..disk.accounting import DiskParameters
+from ..disk.accounting import DiskParameters, IOCost
+from ..runtime.batch import BatchRunner, BatchTask
+from ..runtime.budget import Budget
 from ..rtree.tree import RTree
 from ..workload.queries import KNNWorkload
 
@@ -33,7 +35,14 @@ DEFAULT_PAGE_SIZES = (4096, 8192, 16384, 32768, 65536, 131072, 262144)
 
 @dataclass(frozen=True)
 class PageSizePoint:
-    """Predicted (and optionally measured) query cost at one page size."""
+    """Predicted (and optionally measured) query cost at one page size.
+
+    ``status`` is ``"ok"`` for a completed cell; a budget-governed sweep
+    marks cells it could not finish ``"over_budget"``, ``"rejected"``
+    (never admitted -- the global budget was spent), or ``"failed"``,
+    with NaN costs.  The optimum properties only consider ``"ok"``
+    cells.
+    """
 
     page_bytes: int
     c_data: int
@@ -42,6 +51,10 @@ class PageSizePoint:
     predicted_seconds: float
     measured_accesses: float | None = None
     measured_seconds: float | None = None
+    status: str = "ok"
+    #: the prediction's charged ledger -- what a budget-governed sweep's
+    #: admission control observes between cells
+    io_cost: IOCost | None = None
 
 
 @dataclass(frozen=True)
@@ -51,12 +64,18 @@ class PageSizeSweep:
     points: tuple[PageSizePoint, ...]
 
     @property
-    def predicted_optimum(self) -> PageSizePoint:
-        return min(self.points, key=lambda p: p.predicted_seconds)
+    def predicted_optimum(self) -> PageSizePoint | None:
+        ok = [p for p in self.points if p.status == "ok"]
+        if not ok:
+            return None
+        return min(ok, key=lambda p: p.predicted_seconds)
 
     @property
     def measured_optimum(self) -> PageSizePoint | None:
-        measured = [p for p in self.points if p.measured_seconds is not None]
+        measured = [
+            p for p in self.points
+            if p.status == "ok" and p.measured_seconds is not None
+        ]
         if not measured:
             return None
         return min(measured, key=lambda p: p.measured_seconds)
@@ -77,6 +96,9 @@ def sweep_page_sizes(
     method: str = "resampled",
     measure: bool = False,
     seed: int = 0,
+    budget: Budget | None = None,
+    cell_deadline_s: float | None = None,
+    max_workers: int = 4,
 ) -> PageSizeSweep:
     """Predict per-query I/O cost across candidate page sizes.
 
@@ -85,11 +107,21 @@ def sweep_page_sizes(
     With ``measure=True`` the exact per-size access counts are computed
     from a fully built index for comparison (slow -- that is the point
     of the application).
+
+    A ``budget`` (global wall-clock and I/O caps across the whole sweep)
+    or ``cell_deadline_s`` (per-cell wall-clock cap) runs the sweep
+    through the admission-controlled
+    :class:`~repro.runtime.batch.BatchRunner` with ``max_workers``
+    concurrent cells: pathological cells come back marked
+    ``over_budget`` / ``rejected`` / ``failed`` instead of wedging the
+    sweep, and :attr:`PageSizeSweep.predicted_optimum` skips them.
+    Without either, cells run serially and the sweep is bit-identical to
+    the ungoverned behavior.
     """
     data = np.asarray(data, dtype=np.float64)
     base_disk = base_disk or DiskParameters()
-    results: list[PageSizePoint] = []
-    for page_bytes in page_sizes:
+
+    def cell(page_bytes: int) -> PageSizePoint:
         disk = base_disk.with_page_bytes(page_bytes)
         predictor = IndexCostPredictor(
             dim=data.shape[1], memory=memory, disk_parameters=disk
@@ -102,15 +134,39 @@ def sweep_page_sizes(
             counts = tree.leaf_accesses_for_radius(workload.queries, workload.radii)
             measured_accesses = float(np.mean(counts))
             measured_seconds = _query_seconds(measured_accesses, disk)
-        results.append(
-            PageSizePoint(
-                page_bytes=page_bytes,
-                c_data=predictor.c_data,
-                c_dir=predictor.c_dir,
-                predicted_accesses=prediction.mean_accesses,
-                predicted_seconds=_query_seconds(prediction.mean_accesses, disk),
-                measured_accesses=measured_accesses,
-                measured_seconds=measured_seconds,
-            )
+        return PageSizePoint(
+            page_bytes=page_bytes,
+            c_data=predictor.c_data,
+            c_dir=predictor.c_dir,
+            predicted_accesses=prediction.mean_accesses,
+            predicted_seconds=_query_seconds(prediction.mean_accesses, disk),
+            measured_accesses=measured_accesses,
+            measured_seconds=measured_seconds,
+            io_cost=prediction.io_cost,
         )
-    return PageSizeSweep(points=tuple(results))
+
+    if budget is None and cell_deadline_s is None:
+        return PageSizeSweep(
+            points=tuple(cell(page_bytes) for page_bytes in page_sizes)
+        )
+
+    runner = BatchRunner(
+        budget=budget, task_deadline_s=cell_deadline_s,
+        max_workers=max_workers,
+    )
+    report = runner.run([
+        BatchTask(name=str(page_bytes), fn=lambda pb=page_bytes: cell(pb))
+        for page_bytes in page_sizes
+    ])
+    points: list[PageSizePoint] = []
+    for page_bytes, task in zip(page_sizes, report.tasks):
+        if task.status == "ok":
+            points.append(task.result)
+        else:
+            points.append(PageSizePoint(
+                page_bytes=page_bytes, c_data=0, c_dir=0,
+                predicted_accesses=float("nan"),
+                predicted_seconds=float("nan"),
+                status=task.status,
+            ))
+    return PageSizeSweep(points=tuple(points))

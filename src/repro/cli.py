@@ -31,8 +31,10 @@ from .core.costmodel import AnalyticalCostModel
 from .core.predictor import IndexCostPredictor
 from .data import datasets
 from .errors import (
+    BudgetExceededError,
     ChecksumError,
     CrashPoint,
+    DeadlineExceededError,
     DiskError,
     InputValidationError,
     PredictionError,
@@ -41,6 +43,7 @@ from .errors import (
     TransientReadError,
 )
 from .experiments.tables import format_signed_percent, format_table
+from .runtime.budget import Budget
 
 __all__ = ["main"]
 
@@ -51,11 +54,29 @@ _EXIT_CODES: tuple[tuple[type[ReproError], int], ...] = (
     (TransientReadError, 4),
     (TornWriteError, 5),
     (ChecksumError, 9),
+    (DeadlineExceededError, 12),
+    (BudgetExceededError, 11),
     (DiskError, 6),
     (PredictionError, 7),
     (CrashPoint, 10),
     (ReproError, 8),
 )
+
+_EXIT_CODE_HELP = """\
+exit codes:
+  0   success
+  2   argument error (argparse)
+  3   invalid input (NaN/inf, empty matrix, bad rates)
+  4   transient read fault, retries exhausted
+  5   torn multi-page write, retries exhausted
+  6   other disk error (includes an open circuit breaker)
+  7   every prediction method failed
+  8   other repro error
+  9   checksum mismatch (silent corruption caught)
+  10  simulated crash point hit (resume via checkpoint APIs)
+  11  resource budget exhausted (--max-io-ops, --strict-budget)
+  12  deadline exceeded (--deadline-s, --strict-budget)
+"""
 
 
 def _exit_code(error: ReproError) -> int:
@@ -63,6 +84,18 @@ def _exit_code(error: ReproError) -> int:
         if isinstance(error, klass):
             return code
     return 8
+
+
+def _version() -> str:
+    """The installed distribution's version, or the source tree's."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # noqa: BLE001 - not installed: fall back to source
+        from . import __version__
+
+        return __version__
 
 
 def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
@@ -133,9 +166,15 @@ def _context(args: argparse.Namespace):
 
 def _cmd_predict(args: argparse.Namespace) -> int:
     points, predictor, workload = _context(args)
+    budget = None
+    if args.max_io_ops is not None or args.deadline_s is not None:
+        budget = Budget(max_io_ops=args.max_io_ops,
+                        max_seconds=args.deadline_s)
     result = predictor.predict(
         points, workload, method=args.method, h_upper=args.h_upper,
         sampling_fraction=args.fraction, seed=args.seed,
+        budget=budget, hedge=args.hedge,
+        degrade=not args.strict_budget,
     )
     print(f"dataset: {points.shape[0]:,} x {points.shape[1]}-d, "
           f"C_data={predictor.c_data}, C_dir={predictor.c_dir}")
@@ -150,6 +189,21 @@ def _cmd_predict(args: argparse.Namespace) -> int:
               f"(requested {degradation['method_requested']!r}), "
               f"{degradation['faults_seen']} faults seen, "
               f"{degradation['retries']} retries charged")
+    spend = result.detail.get("budget")
+    if spend:
+        print(f"budget: {spend['spent_io_ops']} charged ops"
+              + (f" of {spend['max_io_ops']}"
+                 if spend['max_io_ops'] is not None else "")
+              + f", {spend['elapsed_s']:.3f} s elapsed"
+              + (f" of {spend['max_seconds']:g}"
+                 if spend['max_seconds'] is not None else "")
+              + f"; within budget: {spend['within_budget']}")
+    hedge = result.detail.get("hedge")
+    if hedge:
+        print(f"hedge: {hedge['winner']} path answered in "
+              f"{hedge['elapsed_s']:.3f} s (primary completed: "
+              f"{hedge['primary_completed']}, hedge completed: "
+              f"{hedge['hedge_completed']})")
     return 0
 
 
@@ -213,7 +267,9 @@ def _cmd_tune_pagesize(args: argparse.Namespace) -> int:
     if args.verify:
         headers.extend(["meas accesses", "meas cost"])
     print(format_table(headers, rows))
-    print(f"predicted optimum: {sweep.predicted_optimum.page_bytes // 1024} KB")
+    optimum = sweep.predicted_optimum
+    if optimum is not None:
+        print(f"predicted optimum: {optimum.page_bytes // 1024} KB")
     if args.verify and sweep.measured_optimum is not None:
         print(f"measured optimum:  "
               f"{sweep.measured_optimum.page_bytes // 1024} KB")
@@ -244,7 +300,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Sampling-based index cost prediction "
                     "(Lang & Singh, SIGMOD 2001)",
+        epilog=_EXIT_CODE_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_version()}")
     commands = parser.add_subparsers(dest="command", required=True)
 
     predict = commands.add_parser("predict", help="predict leaf accesses")
@@ -255,6 +315,25 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--h-upper", type=int, default=None, dest="h_upper")
     predict.add_argument("--fraction", type=float, default=None,
                          help="sampling fraction for --method mini")
+    predict.add_argument("--max-io-ops", type=int, default=None,
+                         dest="max_io_ops",
+                         help="charged I/O op budget (seeks + transfers) "
+                              "across all fallback attempts; exhaustion "
+                              "degrades to cheaper methods")
+    predict.add_argument("--deadline-s", type=float, default=None,
+                         dest="deadline_s",
+                         help="wall-clock deadline in seconds (monotonic "
+                              "clock); exceeded deadlines degrade to "
+                              "cheaper methods")
+    predict.add_argument("--hedge", action="store_true",
+                         help="race the prediction against a cheap "
+                              "concurrent estimate and serve whichever "
+                              "lands inside --deadline-s (requires it)")
+    predict.add_argument("--strict-budget", action="store_true",
+                         dest="strict_budget",
+                         help="exit with code 11/12 on budget/deadline "
+                              "exhaustion instead of degrading (disables "
+                              "fault degradation too)")
     predict.set_defaults(run=_cmd_predict)
 
     measure = commands.add_parser("measure", help="measured ground truth")

@@ -20,10 +20,14 @@ I/O cost: only the query-point reads and the single dataset scan
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..disk.pagefile import PointFile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.governor import Governor
 from ..rtree.bulkload import BulkLoadConfig
 from ..workload.queries import KNNWorkload, RangeWorkload
 from .counting import (
@@ -106,16 +110,33 @@ class CutoffModel:
         file: PointFile,
         workload: KNNWorkload | RangeWorkload,
         rng: np.random.Generator,
+        *,
+        governor: "Governor | None" = None,
     ) -> PredictionResult:
-        """Run Figure 5's algorithm against the paged dataset file."""
+        """Run Figure 5's algorithm against the paged dataset file.
+
+        ``governor`` enables budget governance at the phase boundaries
+        (query reads, scan, synthesis); checks charge nothing and draw
+        no randomness, so an amply-budgeted governed run is
+        bit-identical to an ungoverned one.
+        """
         start_cost = file.disk.cost
         topology = Topology(file.n_points, self.c_data, self.c_dir)
         h_upper = self._resolve_h_upper(topology)
 
         if isinstance(workload, KNNWorkload):
             read_query_points(file, workload.query_ids)
+        if governor is not None:
+            governor.check("cutoff:read_query_points",
+                           file.disk.cost - start_cost)
         n_sample = min(self.memory, file.n_points)
+        if governor is not None:
+            governor.admit_sample(n_sample, file.dim,
+                                  phase="cutoff:scan_and_sample")
         sample = scan_and_sample(file, n_sample, rng)
+        if governor is not None:
+            governor.check("cutoff:scan_and_sample",
+                           file.disk.cost - start_cost)
         upper = build_upper_tree(sample, topology, h_upper, config=self.config)
 
         leaf_lower: list[np.ndarray] = []
@@ -135,6 +156,10 @@ class CutoffModel:
             lower = np.empty((0, file.dim))
             upper_c = np.empty((0, file.dim))
 
+        if governor is not None:
+            # Synthesis is free I/O, but a deadline can still pass here.
+            governor.check("cutoff:synthesize",
+                           file.disk.cost - start_cost)
         if isinstance(workload, KNNWorkload):
             per_query = knn_accesses_per_query(lower, upper_c, workload)
         else:

@@ -36,6 +36,7 @@ from ..disk.faults import FaultInjector
 from ..disk.pagefile import PointFile
 from ..disk.retry import RetryPolicy
 from ..errors import (
+    BudgetExceededError,
     CrashPoint,
     DegradedResultWarning,
     InputValidationError,
@@ -46,6 +47,10 @@ from ..errors import (
 from ..ondisk.builder import OnDiskBuilder, OnDiskIndex
 from ..ondisk.measure import MeasurementResult, measure_knn
 from ..rtree.bulkload import BulkLoadConfig
+from ..runtime.breaker import CircuitBreaker
+from ..runtime.budget import Budget
+from ..runtime.governor import Governor
+from ..runtime.hedge import run_hedged
 from ..workload.queries import (
     KNNWorkload,
     RangeWorkload,
@@ -105,6 +110,11 @@ class IndexCostPredictor:
     verify_checksums: bool = False
     #: simulated crash before the N-th charged disk operation (1-based)
     crash_at: int | None = None
+    #: shared circuit breaker threaded into every file this predictor
+    #: opens; while open, charged accesses fail fast with
+    #: :class:`~repro.errors.CircuitOpenError` instead of burning the
+    #: retry budget, and the facade degrades to the disk-free methods
+    breaker: CircuitBreaker | None = None
 
     def __post_init__(self) -> None:
         for name, rate in (
@@ -164,6 +174,7 @@ class IndexCostPredictor:
         return PointFile.from_points(
             device, points, retry=self.retry,
             verify_checksums=self.verify_checksums,
+            breaker=self.breaker,
         )
 
     # ------------------------------------------------------------------
@@ -178,6 +189,8 @@ class IndexCostPredictor:
         sampling_fraction: float | None = None,
         seed: int = 0,
         degrade: bool = True,
+        budget: Budget | None = None,
+        hedge: bool = False,
     ) -> PredictionResult:
         """Predict mean leaf accesses with the chosen method.
 
@@ -194,10 +207,61 @@ class IndexCostPredictor:
         seen, retries spent, method actually used), and warns with
         :class:`~repro.errors.DegradedResultWarning`.  Pass
         ``degrade=False`` to let the original failure propagate instead.
+
+        ``budget`` makes the prediction *anytime*: a
+        :class:`~repro.runtime.governor.Governor` enforces the charged
+        I/O-op, wall-clock, and sample-byte limits across every fallback
+        attempt, downgrading mid-flight (budget trips degrade the same
+        way faults do) and annotating the result with
+        ``result.detail["budget"]`` (spend, remaining, per-phase
+        breakdown, ``within_budget``).  An ample budget is guaranteed
+        zero-interference: bit-identical estimate, identical ledger.
+        With ``degrade=False`` a tripped limit raises
+        :class:`~repro.errors.BudgetExceededError` /
+        :class:`~repro.errors.DeadlineExceededError` instead.
+
+        ``hedge=True`` (requires ``budget.max_seconds``) races the
+        governed chain against a cheap concurrent estimate (cutoff on
+        its own fresh disk, closed-form if that fails) and serves
+        whichever lands inside the deadline, recording which path won in
+        ``result.detail["hedge"]``.
         """
         if method not in _METHODS:
             raise ValueError(f"unknown method {method!r}; options: {_METHODS}")
         points = validate_points(points)
+        if hedge:
+            if budget is None or budget.max_seconds is None:
+                raise InputValidationError(
+                    "hedge=True needs a budget with max_seconds set: the "
+                    "deadline is what decides which path gets served"
+                )
+            return self._predict_hedged(
+                points, workload, method=method, h_upper=h_upper,
+                sampling_fraction=sampling_fraction, seed=seed,
+                degrade=degrade, budget=budget,
+            )
+        return self._predict_governed(
+            points, workload, method=method, h_upper=h_upper,
+            sampling_fraction=sampling_fraction, seed=seed,
+            degrade=degrade, budget=budget,
+        )
+
+    def _predict_governed(
+        self,
+        points: np.ndarray,
+        workload: KNNWorkload | RangeWorkload,
+        *,
+        method: str,
+        h_upper: int | None,
+        sampling_fraction: float | None,
+        seed: int,
+        degrade: bool,
+        budget: Budget | None,
+    ) -> PredictionResult:
+        """The degradation chain, optionally under one governed budget."""
+        governor: Governor | None = None
+        if budget is not None and not budget.unlimited:
+            governor = Governor(budget)
 
         chain = _FALLBACK_CHAIN[_FALLBACK_CHAIN.index(method):]
         attempts: list[dict] = []
@@ -205,15 +269,42 @@ class IndexCostPredictor:
         last_error: ReproError | None = None
         for fallback in chain:
             file: PointFile | None = None
+            if governor is not None and fallback != "baseline":
+                # admission control: skip an attempt whose cheapest
+                # possible execution already cannot fit, instead of
+                # burning a scan on it -- the mid-flight downgrade
+                try:
+                    governor.require_ops(
+                        self._min_ops(fallback, points.shape[0], workload),
+                        phase=f"admit:{fallback}",
+                    )
+                    governor.check_deadline(f"admit:{fallback}")
+                except BudgetExceededError as error:
+                    if not degrade:
+                        raise
+                    attempts.append({
+                        "method": fallback,
+                        "error": f"{type(error).__name__}: {error}",
+                        "faults_seen": 0,
+                        "retries": 0,
+                        "cause": "budget",
+                        "skipped": True,
+                    })
+                    last_error = error
+                    continue
             try:
                 if fallback in ("cutoff", "resampled"):
                     file = self.new_file(points)
                 result = self._predict_once(
                     fallback, points, file, workload,
                     h_upper=h_upper, sampling_fraction=sampling_fraction,
-                    seed=seed,
+                    seed=seed, governor=governor,
                 )
             except ReproError as error:
+                spent = file.disk.cost if file is not None else IOCost()
+                if governor is not None:
+                    governor.observe(f"{fallback}:aborted", spent)
+                    governor.end_attempt()
                 # bad caller input is a bug to surface, not a disk fault
                 # to degrade around -- and a crash is the *process*
                 # dying, so there is nobody left to run a fallback; the
@@ -222,27 +313,111 @@ class IndexCostPredictor:
                         or isinstance(error, (InputValidationError,
                                               CrashPoint))):
                     raise
-                spent = file.disk.cost if file is not None else IOCost()
                 attempts.append({
                     "method": fallback,
                     "error": f"{type(error).__name__}: {error}",
                     "faults_seen": spent.faults_seen,
                     "retries": spent.retries,
+                    "cause": ("budget"
+                              if isinstance(error, BudgetExceededError)
+                              else "fault"),
                 })
                 faults_before += spent.faults_seen
                 retries_before += spent.retries
                 last_error = error
                 continue
+            if governor is not None:
+                governor.observe(fallback, result.io_cost)
+                governor.end_attempt()
             self._annotate_degradation(
                 result, method, fallback, attempts,
                 faults_before, retries_before,
             )
+            if governor is not None:
+                result.detail["budget"] = governor.report()
             return result
         raise PredictionError(
             f"every prediction method failed "
             f"({', '.join(a['method'] for a in attempts)}); last error: "
             f"{attempts[-1]['error'] if attempts else 'none'}"
         ) from last_error
+
+    def _predict_hedged(
+        self,
+        points: np.ndarray,
+        workload: KNNWorkload | RangeWorkload,
+        *,
+        method: str,
+        h_upper: int | None,
+        sampling_fraction: float | None,
+        seed: int,
+        degrade: bool,
+        budget: Budget,
+    ) -> PredictionResult:
+        """Race the governed chain against a cheap concurrent estimate."""
+        def primary() -> PredictionResult:
+            return self._predict_governed(
+                points, workload, method=method, h_upper=h_upper,
+                sampling_fraction=sampling_fraction, seed=seed,
+                degrade=degrade, budget=budget,
+            )
+
+        def cheap() -> PredictionResult:
+            return self._hedge_estimate(
+                points, workload, h_upper=h_upper, seed=seed
+            )
+
+        outcome = run_hedged(primary, cheap, deadline_s=budget.max_seconds)
+        result = outcome.result
+        result.detail["hedge"] = {
+            "winner": outcome.winner,
+            "elapsed_s": outcome.elapsed_s,
+            "primary_completed": outcome.primary_completed,
+            "hedge_completed": outcome.hedge_completed,
+        }
+        return result
+
+    def _hedge_estimate(
+        self,
+        points: np.ndarray,
+        workload: KNNWorkload | RangeWorkload,
+        *,
+        h_upper: int | None,
+        seed: int,
+    ) -> PredictionResult:
+        """The cheap path of a hedged prediction: cutoff on its own
+        fresh disk (the two paths' ledgers never mix), closed-form if
+        even that fails.  Ungoverned -- the deadline in
+        :func:`~repro.runtime.hedge.run_hedged` bounds it."""
+        try:
+            result = self._predict_once(
+                "cutoff", points, self.new_file(points), workload,
+                h_upper=h_upper, sampling_fraction=None, seed=seed,
+                governor=None,
+            )
+            result.detail["hedge_method"] = "cutoff"
+        except ReproError:
+            result = self._closed_form_baseline(points, workload)
+            result.detail["hedge_method"] = "baseline"
+        return result
+
+    def _min_ops(
+        self,
+        method: str,
+        n_points: int,
+        workload: KNNWorkload | RangeWorkload,
+    ) -> int:
+        """Conservative lower bound on a method's charged operations.
+
+        The phased methods must read each query point and scan the whole
+        file at least once; everything else (spills, lower builds) only
+        adds to it.  The in-memory methods charge nothing."""
+        if method not in ("cutoff", "resampled"):
+            return 0
+        pages = -(-n_points // self.disk_parameters.points_per_page(self.dim))
+        queries = (len(workload.query_ids)
+                   if isinstance(workload, KNNWorkload) else 0)
+        return queries + pages + 1
 
     def _predict_once(
         self,
@@ -254,6 +429,7 @@ class IndexCostPredictor:
         h_upper: int | None,
         sampling_fraction: float | None,
         seed: int,
+        governor: Governor | None = None,
     ) -> PredictionResult:
         """One attempt of one method, on a fresh rng seeded identically
         so a fallback run is bit-identical to calling it directly."""
@@ -262,6 +438,11 @@ class IndexCostPredictor:
             fraction = sampling_fraction if sampling_fraction is not None else min(
                 1.0, self.memory / points.shape[0]
             )
+            if governor is not None:
+                governor.admit_sample(
+                    max(1, int(np.ceil(points.shape[0] * fraction))),
+                    points.shape[1], phase="mini:sample",
+                )
             model = MiniIndexModel(self.c_data, self.c_dir, config=self.config)
             return model.predict(points, workload, fraction, rng)
         if method == "cutoff":
@@ -269,13 +450,13 @@ class IndexCostPredictor:
                 self.c_data, self.c_dir, self.memory, h_upper=h_upper,
                 config=self.config,
             )
-            return cutoff.predict(file, workload, rng)
+            return cutoff.predict(file, workload, rng, governor=governor)
         if method == "resampled":
             resampled = ResampledModel(
                 self.c_data, self.c_dir, self.memory, h_upper=h_upper,
                 config=self.config,
             )
-            return resampled.predict(file, workload, rng)
+            return resampled.predict(file, workload, rng, governor=governor)
         if method == "baseline":
             return self._closed_form_baseline(points, workload)
         raise ValueError(f"unknown method {method!r}")

@@ -36,11 +36,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..disk.pagefile import PointFile
 from ..errors import TornWriteError, TransientReadError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.governor import Governor
 from ..rtree.bulkload import BulkLoadConfig, build_subtree
 from ..workload.queries import KNNWorkload, RangeWorkload
 from .compensation import compensation_side_factor, grow_corners
@@ -93,6 +97,7 @@ class ResampledModel:
         rng: np.random.Generator,
         *,
         checkpoint: dict | None = None,
+        governor: "Governor | None" = None,
     ) -> PredictionResult:
         """Run Figure 7's algorithm against the paged dataset file.
 
@@ -102,6 +107,15 @@ class ResampledModel:
         an identically seeded ``rng`` -- and the prediction continues
         from the last completed boundary instead of restarting,
         returning the same estimate the uninterrupted run would have.
+
+        ``governor`` enables budget governance: spend is checked at the
+        same phase/chunk/leaf boundaries the checkpoints use, and a
+        crossed limit raises :class:`~repro.errors.BudgetExceededError`
+        / :class:`~repro.errors.DeadlineExceededError` so the facade
+        can downgrade mid-flight.  Checks read the ledger and the
+        monotonic clock only -- no extra I/O, no RNG draws -- so a
+        governed run with an ample budget is bit-identical to this
+        method ungoverned, with an identical ledger.
         """
         ck = checkpoint
         start_cost = file.disk.cost
@@ -117,15 +131,24 @@ class ResampledModel:
             if ck is not None:
                 self._ckpt_charge(file, ck)
                 ck["queries_read"] = True
+        if governor is not None:
+            governor.check("resampled:read_query_points",
+                           file.disk.cost - start_cost)
         if ck is not None and "sample" in ck:
             sample = ck["sample"]
             rng.bit_generator.state = ck["rng_after_sample"]
         else:
+            if governor is not None:
+                governor.admit_sample(min(self.memory, n), file.dim,
+                                      phase="resampled:scan_and_sample")
             sample = scan_and_sample(file, min(self.memory, n), rng)
             if ck is not None:
                 self._ckpt_charge(file, ck)
                 ck["sample"] = sample
                 ck["rng_after_sample"] = rng.bit_generator.state
+        if governor is not None:
+            governor.check("resampled:scan_and_sample",
+                           file.disk.cost - start_cost)
 
         # Step 5: upper tree with grown leaf pages.
         upper = build_upper_tree(sample, topology, h_upper, config=self.config)
@@ -156,7 +179,9 @@ class ResampledModel:
         (
             areas, boxes_lower, boxes_upper, area_of_leaf,
             n_discarded, n_spill_resumes,
-        ) = self._resample_into_areas(file, upper, sigma_lower, rng, ck)
+        ) = self._resample_into_areas(file, upper, sigma_lower, rng, ck,
+                                      governor=governor,
+                                      start_cost=start_cost)
 
         # Steps 8-10: build each lower tree in memory on its area.
         leaf_lower: list[np.ndarray] = []
@@ -197,6 +222,9 @@ class ResampledModel:
                     "leaf_lower": list(leaf_lower),
                     "leaf_upper": list(leaf_upper),
                 }
+            if governor is not None and built:
+                governor.check("resampled:build_lower",
+                               file.disk.cost - start_cost)
         file.disk.drop_head()
 
         if leaf_lower:
@@ -270,6 +298,9 @@ class ResampledModel:
         sigma_lower: float,
         rng: np.random.Generator,
         ck: dict | None = None,
+        *,
+        governor: "Governor | None" = None,
+        start_cost=None,
     ) -> tuple[
         list[PointFile], np.ndarray, np.ndarray, list[int | None], int, int
     ]:
@@ -344,7 +375,8 @@ class ResampledModel:
             box_upper = np.stack(boxes_hi)
             areas = [
                 PointFile(file.disk, dim, self.memory, retry=file.retry,
-                          verify_checksums=file.verify_checksums)
+                          verify_checksums=file.verify_checksums,
+                          breaker=file.breaker)
                 for _ in range(n_boxes)
             ]
             n_resample = min(n, round(n * sigma_lower))
@@ -400,6 +432,11 @@ class ResampledModel:
                     areas, area_of_leaf, box_lower, box_upper, seen_per_area,
                     chosen, n_resumes, stop, rng,
                 )
+            if governor is not None:
+                # Same boundary the crash checkpoint uses: the chunk is
+                # fully applied, so a downgrade here abandons no work.
+                governor.check("resampled:spill",
+                               file.disk.cost - start_cost)
         n_discarded = int(
             np.maximum(seen_per_area - self.memory, 0).sum()
         )

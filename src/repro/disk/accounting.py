@@ -14,6 +14,9 @@ from dataclasses import dataclass
 
 __all__ = ["DiskParameters", "IOCost"]
 
+#: sentinel distinguishing "argument omitted" from an explicit ``None``
+_DEFAULT_DISK = object()
+
 
 @dataclass(frozen=True)
 class DiskParameters:
@@ -114,10 +117,32 @@ class IOCost:
             self.faults_seen * factor,
         )
 
-    def seconds(self, disk: DiskParameters | None = None) -> float:
-        """Priced cost in seconds: ``seeks * t_seek + transfers * t_xfer``."""
-        disk = disk or DiskParameters()
+    def seconds(self, disk: "DiskParameters" = _DEFAULT_DISK) -> float:
+        """Priced cost in seconds: ``seeks * t_seek + transfers * t_xfer``.
+
+        Omitting ``disk`` prices against the paper's default geometry.
+        Passing ``None`` (or anything that is not a
+        :class:`DiskParameters`) raises a naming :class:`ValueError`
+        immediately -- the old behavior silently fell back to the
+        default geometry on an explicit ``None``, mispricing ledgers
+        whose caller *meant* to pass a real disk and lost it on the
+        way (e.g. an unset optional attribute).
+        """
+        if disk is _DEFAULT_DISK:
+            disk = DiskParameters()
+        elif not isinstance(disk, DiskParameters):
+            raise ValueError(
+                f"IOCost.seconds needs a DiskParameters to price seeks and "
+                f"transfers, got {disk!r}; omit the argument for the "
+                f"default geometry"
+            )
         return self.seeks * disk.t_seek + self.transfers * disk.t_xfer
+
+    @property
+    def ops(self) -> int:
+        """Charged operations: seeks + transfers (the budget unit of
+        :class:`~repro.runtime.budget.Budget`)."""
+        return self.seeks + self.transfers
 
     @property
     def is_zero(self) -> bool:

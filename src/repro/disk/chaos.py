@@ -33,6 +33,8 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import CrashPoint, ReproError
+from ..runtime.budget import Budget
+from ..runtime.governor import Governor
 from .accounting import IOCost
 from .device import SimulatedDisk
 from .faults import FaultInjector
@@ -42,6 +44,7 @@ from .retry import RetryPolicy
 __all__ = [
     "ChaosCell",
     "ChaosOutcome",
+    "assert_budget_honored",
     "assert_no_silent_divergence",
     "chaos_grid",
     "run_cell",
@@ -56,17 +59,33 @@ _MAX_RESUMES = 8
 
 @dataclass(frozen=True)
 class ChaosCell:
-    """One point of the sweep grid."""
+    """One point of the sweep grid.
+
+    ``max_io_ops`` / ``deadline_s`` arm the budget axis: the cell's
+    prediction runs under a :class:`~repro.runtime.governor.Governor`
+    and must end within budget, explicitly degraded, or explicitly
+    ``over_budget`` -- never hung, never silently overspent
+    (:func:`assert_budget_honored`).
+    """
 
     fault_rate: float = 0.0
     corruption_rate: float = 0.0
     crash_at: int | None = None
     seed: int = 0
+    max_io_ops: int | None = None
+    deadline_s: float | None = None
+
+    def budget(self) -> Budget | None:
+        """The cell's budget, or ``None`` when the axis is unarmed."""
+        if self.max_io_ops is None and self.deadline_s is None:
+            return None
+        return Budget(max_io_ops=self.max_io_ops, max_seconds=self.deadline_s)
 
     def label(self) -> str:
         return (
             f"fault={self.fault_rate} corrupt={self.corruption_rate} "
-            f"crash_at={self.crash_at} seed={self.seed}"
+            f"crash_at={self.crash_at} seed={self.seed} "
+            f"max_io_ops={self.max_io_ops} deadline_s={self.deadline_s}"
         )
 
 
@@ -74,11 +93,14 @@ class ChaosCell:
 class ChaosOutcome:
     """What one cell did, and proof it did not lie.
 
-    ``status`` is ``"identical"``, ``"degraded"``, or ``"mismatch"``
-    (the forbidden one).  ``degradation`` is the facade's explicit
-    record when status is ``"degraded"``; ``crashes`` counts resumes
-    taken; ``io_cost`` is the cell's total charged ledger including
-    retries, backoff, checkpoints, and recovery.
+    ``status`` is ``"identical"``, ``"degraded"``, ``"over_budget"``
+    (budget-axis cells whose governed fallback still finished above a
+    limit -- explicit, with the spend report attached), or
+    ``"mismatch"`` (the forbidden one).  ``degradation`` is the
+    facade's explicit record when status is ``"degraded"`` or
+    ``"over_budget"``; ``crashes`` counts resumes taken; ``io_cost`` is
+    the cell's total charged ledger including retries, backoff,
+    checkpoints, and recovery.
     """
 
     cell: ChaosCell
@@ -87,6 +109,9 @@ class ChaosOutcome:
     crashes: int = 0
     degradation: dict | None = None
     io_cost: IOCost = field(default_factory=IOCost)
+    #: the governed spend report for budget-axis cells (``None`` when
+    #: the cell has no budget)
+    budget_report: dict | None = None
 
     @property
     def silent_divergence(self) -> bool:
@@ -98,19 +123,24 @@ def chaos_grid(
     corruption_rates: Sequence[float] = (0.0, 0.05),
     crash_points: Sequence[int | None] = (None, 1, 25),
     seeds: Sequence[int] = (0,),
+    budgets: Sequence[int | None] = (None,),
 ) -> list[ChaosCell]:
     """The full cross product, minus the all-quiet cell per extra seed.
 
     The (0, 0, None) cell is kept only for the first seed -- with no
     faults armed the seed is dead weight, and the sweep stays small.
+    ``budgets`` is the charged-I/O-op budget axis (``None`` entries run
+    ungoverned); wall-clock deadlines are left off the default grid
+    because they make outcomes timing-dependent, but individual
+    :class:`ChaosCell` objects accept ``deadline_s`` directly.
     """
     cells = []
-    for fr, cr, ca, seed in product(
-        fault_rates, corruption_rates, crash_points, seeds
+    for fr, cr, ca, seed, ops in product(
+        fault_rates, corruption_rates, crash_points, seeds, budgets
     ):
         if fr == 0.0 and cr == 0.0 and ca is None and seed != seeds[0]:
             continue
-        cells.append(ChaosCell(fr, cr, ca, seed))
+        cells.append(ChaosCell(fr, cr, ca, seed, max_io_ops=ops))
     return cells
 
 
@@ -149,24 +179,37 @@ def run_cell(
     file = PointFile.from_points(
         injector, points, retry=RetryPolicy(), verify_checksums=True
     )
+    budget = cell.budget()
+    governor = Governor(budget) if budget is not None else None
     checkpoint: dict = {}
     crashes = 0
+    folded = IOCost()
     while True:
         try:
             result = model.predict(
                 file, workload, np.random.default_rng(prediction_seed),
-                checkpoint=checkpoint,
+                checkpoint=checkpoint, governor=governor,
             )
         except CrashPoint:
             crashes += 1
             if crashes > _MAX_RESUMES:
                 raise
+            if governor is not None:
+                # The resumed attempt's ledger restarts from the file's
+                # current cost, so fold everything spent so far first --
+                # the budget governs the cell, not one attempt.
+                governor.observe("crash_resume", file.disk.cost - folded)
+                governor.end_attempt()
+                folded = file.disk.cost
             injector.reboot()
             continue
         except ReproError as error:
             return _degrade(points, workload, model, cell, crashes, error,
-                            prediction_seed)
+                            prediction_seed, budget=budget)
         break
+    if governor is not None:
+        # True up: ops charged after the model's last boundary check.
+        governor.observe("final", file.disk.cost - folded)
     identical = np.array_equal(result.per_query, reference)
     return ChaosOutcome(
         cell=cell,
@@ -174,17 +217,22 @@ def run_cell(
         per_query=result.per_query,
         crashes=crashes,
         io_cost=injector.cost,
+        budget_report=governor.report() if governor is not None else None,
     )
 
 
-def _degrade(points, workload, model, cell, crashes, error, prediction_seed):
+def _degrade(points, workload, model, cell, crashes, error, prediction_seed,
+             *, budget=None):
     """Retries exhausted: take the facade's fallback chain, loudly.
 
     The facade re-runs the method chain against fresh disks with the
     cell's fault configuration (no crash -- the crash, if any, already
     happened and was resumed); its terminal baseline touches no disk,
     so the chain always produces an estimate, and the outcome carries
-    the full degradation record.
+    the full degradation record.  Budget-axis cells hand the facade
+    the cell's budget, so the fallback chain is governed too; the
+    outcome is ``"over_budget"`` when the governed run still finished
+    above a limit, ``"degraded"`` otherwise -- explicit either way.
     """
     import warnings
 
@@ -204,19 +252,24 @@ def _degrade(points, workload, model, cell, crashes, error, prediction_seed):
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", DegradedResultWarning)
         result = facade.predict(
-            points, workload, method="resampled", seed=prediction_seed
+            points, workload, method="resampled", seed=prediction_seed,
+            budget=budget,
         )
     record = result.detail.get("degradation", {})
     record = dict(record)
     record.setdefault("attempts", [])
     record["triggering_error"] = f"{type(error).__name__}: {error}"
+    budget_report = result.detail.get("budget")
+    over = budget_report is not None and not budget_report["within_budget"]
+    status = "over_budget" if over else "degraded"
     return ChaosOutcome(
         cell=cell,
-        status="degraded",
+        status=status,
         per_query=result.per_query,
         crashes=crashes,
         degradation=record,
         io_cost=result.io_cost,
+        budget_report=budget_report,
     )
 
 
@@ -254,4 +307,50 @@ def assert_no_silent_divergence(outcomes: Sequence[ChaosOutcome]) -> None:
         if outcome.status == "degraded" and not outcome.degradation:
             raise AssertionError(
                 f"cell [{outcome.cell.label()}] degraded without a record"
+            )
+
+
+def assert_budget_honored(outcomes: Sequence[ChaosOutcome]) -> None:
+    """The budget axis's invariant: no silent overspend, no silent caps.
+
+    Every budget-axis cell must end in one of exactly three explicit
+    states -- finished within budget, degraded with a record naming the
+    budget trip, or ``over_budget`` carrying a spend report that admits
+    it.  A budgeted outcome whose charged ops exceed its cap *without*
+    saying so raises.
+    """
+    for outcome in outcomes:
+        budget = outcome.cell.budget()
+        if budget is None:
+            continue
+        label = outcome.cell.label()
+        if outcome.budget_report is None:
+            raise AssertionError(
+                f"budgeted cell [{label}] carries no spend report"
+            )
+        if outcome.status == "over_budget":
+            if outcome.budget_report["within_budget"]:
+                raise AssertionError(
+                    f"cell [{label}] claims over_budget but its report "
+                    f"says within budget"
+                )
+            continue
+        if outcome.status not in ("identical", "degraded"):
+            raise AssertionError(
+                f"budgeted cell [{label}] ended in forbidden state "
+                f"{outcome.status!r}"
+            )
+        report = outcome.budget_report
+        if (budget.max_io_ops is not None
+                and report["spent_io_ops"] > budget.max_io_ops
+                and report["within_budget"]):
+            raise AssertionError(
+                f"silent overspend in cell [{label}]: "
+                f"{report['spent_io_ops']} charged ops of "
+                f"{budget.max_io_ops} with within_budget=True"
+            )
+        if not report["within_budget"] and outcome.status == "identical":
+            raise AssertionError(
+                f"cell [{label}] finished over budget without an explicit "
+                f"over_budget or degraded verdict"
             )

@@ -34,6 +34,15 @@ bit-identically -- the property the fault-injection tests pin down.
 With all rates zero and no crash armed the injector is a strict
 pass-through: no random draws, no extra cost, byte-identical ledgers to
 the bare device (the zero-overhead guarantee).
+
+The errors surfaced here feed two recovery layers above: the
+per-access :class:`~repro.disk.retry.RetryPolicy` (charged retries with
+backoff), and -- when a :class:`~repro.runtime.breaker.CircuitBreaker`
+is attached to the :class:`~repro.disk.pagefile.PointFile` -- a
+failure-rate window that opens the circuit on a persistently faulty
+device, short-circuiting further charged attempts with
+:class:`~repro.errors.CircuitOpenError` instead of burning the retry
+budget (the facade then degrades to the disk-free methods).
 """
 
 from __future__ import annotations

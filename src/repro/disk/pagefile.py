@@ -37,11 +37,12 @@ from typing import TYPE_CHECKING, Callable, Iterator, TypeVar
 
 import numpy as np
 
-from ..errors import ChecksumError
+from ..errors import ChecksumError, DiskError
 from .device import SimulatedDisk
 from .retry import RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime.breaker import CircuitBreaker
     from .journal import WriteAheadJournal
 
 __all__ = ["PointFile"]
@@ -71,6 +72,7 @@ class PointFile:
         retry: RetryPolicy | None = None,
         verify_checksums: bool = False,
         journal: "WriteAheadJournal | None" = None,
+        breaker: "CircuitBreaker | None" = None,
     ):
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
@@ -79,6 +81,7 @@ class PointFile:
         self.capacity = capacity
         self.retry = retry
         self.journal = journal
+        self.breaker = breaker
         self.points_per_page = points_per_page or disk.parameters.points_per_page(dim)
         if self.points_per_page < 1:
             raise ValueError("a page must hold at least one point")
@@ -115,6 +118,7 @@ class PointFile:
         retry: RetryPolicy | None = None,
         verify_checksums: bool = False,
         journal: "WriteAheadJournal | None" = None,
+        breaker: "CircuitBreaker | None" = None,
     ) -> "PointFile":
         """Create a file holding ``points``.
 
@@ -127,7 +131,8 @@ class PointFile:
             raise ValueError(f"points must be (n, d), got {points.shape}")
         pf = cls(disk, points.shape[1], points.shape[0],
                  points_per_page=points_per_page, retry=retry,
-                 verify_checksums=verify_checksums, journal=journal)
+                 verify_checksums=verify_checksums, journal=journal,
+                 breaker=breaker)
         pf._ensure_rows(points.shape[0])
         pf._buffer[: points.shape[0]] = points
         pf.n_points = points.shape[0]
@@ -248,10 +253,30 @@ class PointFile:
     # ------------------------------------------------------------------
 
     def charged(self, operation: Callable[[], T]) -> T:
-        """Run a charged disk operation under this file's retry policy."""
-        if self.retry is None:
-            return operation()
-        return self.retry.run(self.disk, operation)
+        """Run a charged disk operation under this file's retry policy.
+
+        With a :class:`~repro.runtime.breaker.CircuitBreaker` attached,
+        the breaker is consulted *before* anything is issued -- an open
+        circuit raises :class:`~repro.errors.CircuitOpenError` with
+        zero charged I/O and zero retries -- and every final outcome
+        (success, or a :class:`~repro.errors.DiskError` that survived
+        the retry policy) is fed back into its failure window.
+        """
+        breaker = self.breaker
+        if breaker is not None:
+            breaker.before_attempt()
+        try:
+            if self.retry is None:
+                result = operation()
+            else:
+                result = self.retry.run(self.disk, operation)
+        except DiskError:
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        return result
 
     def _read_run(self, first: int, count: int) -> dict[int, np.ndarray]:
         """One charged, integrity-checked read attempt of a page run."""

@@ -29,6 +29,20 @@ purpose by this package derives from :class:`ReproError`:
     a prediction method could not produce an estimate (budget
     infeasible, or disk faults exhausted every retry and every
     fallback method).
+``BudgetExceededError`` / ``DeadlineExceededError``
+    a :class:`~repro.runtime.Budget` resource (charged I/O operations,
+    sample bytes) or its wall-clock deadline ran out mid-prediction.
+    Raised by the :class:`~repro.runtime.Governor` at phase/chunk/leaf
+    boundaries; the facade treats them as a *downgrade signal* -- the
+    prediction continues along the cheaper fallback chain -- unless the
+    caller asked for strict propagation (``degrade=False``).
+``CircuitOpenError``
+    a :class:`~repro.runtime.CircuitBreaker` guarding a
+    :class:`~repro.disk.pagefile.PointFile` is open: recent charged
+    operations failed at a rate above its threshold, so further disk
+    access is refused *before* any I/O or retries are spent.  A
+    :class:`DiskError` (the device is effectively unavailable), but not
+    retryable -- the breaker itself decides when to probe again.
 
 :class:`DegradedResultWarning` is a :class:`UserWarning`, not an error:
 the facade emits it when it had to fall back to a cheaper method and
@@ -48,6 +62,9 @@ __all__ = [
     "ChecksumError",
     "CrashPoint",
     "PredictionError",
+    "BudgetExceededError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
     "DegradedResultWarning",
     "validate_points",
 ]
@@ -160,6 +177,81 @@ class CrashPoint(ReproError):
 
 class PredictionError(ReproError):
     """No prediction method could produce an estimate."""
+
+
+class BudgetExceededError(ReproError):
+    """A governed resource budget ran out at a prediction boundary.
+
+    ``resource`` names what was exhausted (``"io_ops"`` or
+    ``"sample_bytes"``), ``spent`` and ``limit`` quantify it, and
+    ``phase`` is the prediction phase whose boundary check tripped.
+    Inside the facade this is a downgrade signal: the prediction
+    continues with a cheaper method and the returned estimate carries
+    the full spend report.  It only escapes to the caller under
+    ``degrade=False`` (the CLI's ``--strict-budget``), exit code 11.
+    """
+
+    def __init__(self, resource: str, spent: float, limit: float,
+                 *, phase: str = "?"):
+        self.resource = resource
+        self.spent = spent
+        self.limit = limit
+        self.phase = phase
+        super().__init__(resource, spent, limit, phase)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.resource} budget exhausted at phase {self.phase!r}: "
+            f"spent {self.spent:g} of {self.limit:g}"
+        )
+
+
+class DeadlineExceededError(BudgetExceededError):
+    """The wall-clock deadline of a governed prediction passed.
+
+    A :class:`BudgetExceededError` whose resource is time, measured on
+    the *monotonic* clock (wall-clock adjustments must never fire or
+    mask a deadline).  Distinct class -- and distinct CLI exit code 12
+    -- because callers often want to treat "too slow" differently from
+    "too expensive".
+    """
+
+    def __init__(self, elapsed: float, limit: float, *, phase: str = "?"):
+        super().__init__("deadline", elapsed, limit, phase=phase)
+        self.elapsed = elapsed
+
+    def __str__(self) -> str:
+        return (
+            f"deadline exceeded at phase {self.phase!r}: "
+            f"{self.elapsed:.3f} s elapsed of {self.limit:g} s allowed"
+        )
+
+
+class CircuitOpenError(DiskError):
+    """A circuit breaker refused the operation before it was issued.
+
+    Raised by :meth:`~repro.disk.pagefile.PointFile.charged` when the
+    attached :class:`~repro.runtime.CircuitBreaker` is open.  Nothing
+    was charged and nothing touched the disk; the retry policy never
+    runs (fail-fast is the breaker's whole point).  Not retryable --
+    the breaker transitions to half-open on its own cooldown schedule.
+    """
+
+    retryable = False
+
+    def __init__(self, failure_rate: float, window: int,
+                 *, cooldown_remaining: float = 0.0):
+        self.failure_rate = failure_rate
+        self.window = window
+        self.cooldown_remaining = cooldown_remaining
+        super().__init__(failure_rate, window)
+
+    def __str__(self) -> str:
+        return (
+            f"circuit breaker open: {self.failure_rate:.0%} of the last "
+            f"{self.window} charged operations failed; next probe in "
+            f"{self.cooldown_remaining:.3f} s"
+        )
 
 
 class DegradedResultWarning(UserWarning):

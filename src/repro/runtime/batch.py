@@ -1,0 +1,266 @@
+"""Admission-controlled batch execution for sweeps and multi-query runs.
+
+The tuning applications (page-size and dimensionality sweeps) and the
+experiment harness run many independent prediction cells.  One
+pathological cell -- a page size that makes the spill phase explode, a
+fault configuration that retries forever -- must not wedge the whole
+sweep or silently eat the global budget.  :class:`BatchRunner` gives a
+workload of named tasks:
+
+* **a global budget** -- wall-clock and charged-I/O caps across all
+  tasks; tasks arriving after exhaustion are *rejected* up front
+  (admission control), not started-and-abandoned;
+* **per-task deadlines** -- a task that overruns is reported
+  ``over_budget`` and the sweep moves on (the worker thread is
+  abandoned; results landing late are discarded);
+* **bounded concurrency** -- at most ``max_workers`` tasks in flight,
+  admission re-checked as each slot frees up, so spend observed from
+  finished tasks gates the tasks still queued;
+* **partial-result reporting** -- the report carries every task's
+  status (``ok`` / ``over_budget`` / ``failed`` / ``rejected``), its
+  result or error, its elapsed time, and its I/O ledger when the
+  result exposes one.
+
+Task I/O is accounted from results exposing an ``io_cost`` attribute
+(every :class:`~repro.core.counting.PredictionResult` does); tasks
+returning anything else simply don't contribute to the I/O ledger.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..disk.accounting import IOCost
+from ..errors import InputValidationError, ReproError
+from .budget import Budget
+
+__all__ = ["BatchTask", "TaskReport", "BatchReport", "BatchRunner"]
+
+
+@dataclass(frozen=True)
+class BatchTask:
+    """One unit of batch work: a named thunk with an optional deadline.
+
+    ``deadline_s`` overrides the runner's default per-task deadline;
+    ``None`` inherits it.
+    """
+
+    name: str
+    fn: Callable[[], Any]
+    deadline_s: float | None = None
+
+
+@dataclass
+class TaskReport:
+    """What happened to one task.
+
+    ``status``:
+
+    * ``"ok"`` -- completed; ``result`` holds the value;
+    * ``"over_budget"`` -- missed its deadline; the thread was abandoned
+      and any late result discarded;
+    * ``"failed"`` -- raised; ``error`` holds the rendered exception;
+    * ``"rejected"`` -- never started: the global budget was exhausted
+      when the task came up for admission.
+    """
+
+    name: str
+    status: str
+    result: Any = None
+    error: str | None = None
+    elapsed_s: float = 0.0
+    io_cost: IOCost | None = None
+
+
+@dataclass
+class BatchReport:
+    """All task reports plus the batch-level ledger."""
+
+    tasks: list[TaskReport]
+    elapsed_s: float
+    io_ops: int
+    budget: Budget = field(default_factory=Budget)
+
+    def by_status(self, status: str) -> list[TaskReport]:
+        return [t for t in self.tasks if t.status == status]
+
+    @property
+    def completed(self) -> list[TaskReport]:
+        return self.by_status("ok")
+
+    @property
+    def all_accounted(self) -> bool:
+        """Every task ended in an explicit state -- the no-hang invariant."""
+        return all(
+            t.status in ("ok", "over_budget", "failed", "rejected")
+            for t in self.tasks
+        )
+
+
+class _Slot:
+    """One in-flight task: its future, start time, and deadline."""
+
+    def __init__(self, task: BatchTask, future, started: float,
+                 deadline_s: float | None):
+        self.task = task
+        self.future = future
+        self.started = started
+        self.deadline_s = deadline_s
+
+
+class BatchRunner:
+    """Runs tasks under a global budget with bounded concurrency.
+
+    ``budget.max_seconds`` is the whole batch's wall-clock horizon;
+    ``budget.max_io_ops`` caps the *observed* charged ops summed over
+    completed tasks -- once crossed, no further task is admitted.
+    ``task_deadline_s`` is the default per-task deadline (``None``:
+    only the global horizon limits a task).
+    """
+
+    def __init__(
+        self,
+        *,
+        budget: Budget | None = None,
+        max_workers: int = 4,
+        task_deadline_s: float | None = None,
+        poll_s: float = 0.005,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_workers < 1:
+            raise InputValidationError("max_workers must be positive")
+        if task_deadline_s is not None and task_deadline_s <= 0:
+            raise InputValidationError("task_deadline_s must be positive")
+        self.budget = budget or Budget()
+        self.max_workers = max_workers
+        self.task_deadline_s = task_deadline_s
+        self.poll_s = poll_s
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+
+    def run(self, tasks: Sequence[BatchTask]) -> BatchReport:
+        """Run every task to an explicit verdict; never wedges.
+
+        Tasks are admitted in order as worker slots free up; admission
+        checks the global budget against spend observed so far.  The
+        report preserves input order.
+        """
+        names = [t.name for t in tasks]
+        if len(set(names)) != len(names):
+            raise InputValidationError(
+                "task names must be unique: they key the batch report"
+            )
+        start = self._clock()
+        reports: dict[str, TaskReport] = {}
+        io_ops = 0
+        queue = list(tasks)
+        in_flight: list[_Slot] = []
+        executor = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="batch"
+        )
+        try:
+            while queue or in_flight:
+                now = self._clock()
+                # Admission: fill free slots while the budget allows.
+                while queue and len(in_flight) < self.max_workers:
+                    reason = self._admission_denied(now - start, io_ops)
+                    if reason is not None:
+                        task = queue.pop(0)
+                        reports[task.name] = TaskReport(
+                            task.name, "rejected", error=reason
+                        )
+                        continue
+                    task = queue.pop(0)
+                    deadline = (
+                        task.deadline_s
+                        if task.deadline_s is not None
+                        else self.task_deadline_s
+                    )
+                    in_flight.append(_Slot(
+                        task, executor.submit(task.fn), self._clock(), deadline
+                    ))
+                if not in_flight:
+                    continue
+                # Reap: completed, failed, or over-deadline slots leave.
+                still_running: list[_Slot] = []
+                for slot in in_flight:
+                    report = self._reap(slot, start)
+                    if report is None:
+                        still_running.append(slot)
+                        continue
+                    reports[slot.task.name] = report
+                    if report.io_cost is not None:
+                        io_ops += Budget.io_ops(report.io_cost)
+                if len(still_running) == len(in_flight):
+                    time.sleep(self.poll_s)
+                in_flight = still_running
+        finally:
+            # Abandoned workers must not block the report.
+            executor.shutdown(wait=False, cancel_futures=True)
+        ordered = [reports[t.name] for t in tasks]
+        return BatchReport(
+            tasks=ordered,
+            elapsed_s=self._clock() - start,
+            io_ops=io_ops,
+            budget=self.budget,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _admission_denied(self, elapsed: float, io_ops: int) -> str | None:
+        """A human-readable denial reason, or ``None`` to admit."""
+        budget = self.budget
+        if budget.max_seconds is not None and elapsed >= budget.max_seconds:
+            return (
+                f"global deadline exhausted: {elapsed:.3f} s elapsed of "
+                f"{budget.max_seconds:g} s"
+            )
+        if budget.max_io_ops is not None and io_ops >= budget.max_io_ops:
+            return (
+                f"global I/O budget exhausted: {io_ops} charged ops of "
+                f"{budget.max_io_ops}"
+            )
+        return None
+
+    def _reap(self, slot: _Slot, batch_start: float) -> TaskReport | None:
+        """A finished slot's report, or ``None`` if it may keep running."""
+        now = self._clock()
+        elapsed = now - slot.started
+        if slot.future.done():
+            try:
+                result = slot.future.result()
+            except ReproError as error:
+                return TaskReport(
+                    slot.task.name, "failed",
+                    error=f"{type(error).__name__}: {error}",
+                    elapsed_s=elapsed,
+                )
+            except Exception as error:  # noqa: BLE001 - reported, not raised
+                return TaskReport(
+                    slot.task.name, "failed",
+                    error=f"{type(error).__name__}: {error}",
+                    elapsed_s=elapsed,
+                )
+            io_cost = getattr(result, "io_cost", None)
+            return TaskReport(
+                slot.task.name, "ok", result=result, elapsed_s=elapsed,
+                io_cost=io_cost if isinstance(io_cost, IOCost) else None,
+            )
+        over_task = slot.deadline_s is not None and elapsed > slot.deadline_s
+        over_batch = (
+            self.budget.max_seconds is not None
+            and now - batch_start > self.budget.max_seconds
+        )
+        if over_task or over_batch:
+            limit = slot.deadline_s if over_task else self.budget.max_seconds
+            scope = "task deadline" if over_task else "global deadline"
+            return TaskReport(
+                slot.task.name, "over_budget",
+                error=f"{scope} exceeded: {elapsed:.3f} s of {limit:g} s",
+                elapsed_s=elapsed,
+            )
+        return None

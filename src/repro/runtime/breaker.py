@@ -1,0 +1,154 @@
+"""Circuit breaker for charged disk access.
+
+When a device degrades -- a burst of transient read faults, checksum
+mismatches from silent corruption, torn writes -- the retry policy
+dutifully burns backoff seeks on every access, and the facade's
+degradation chain only reacts *after* a whole method attempt has died.
+A :class:`CircuitBreaker` sits in front of the charged path of a
+:class:`~repro.disk.pagefile.PointFile` and converts a sustained
+failure rate into fail-fast behavior:
+
+* **closed** -- normal operation; every charged outcome (success or
+  :class:`~repro.errors.DiskError`) lands in a sliding window.  When
+  the window holds at least ``min_calls`` outcomes and the failure
+  fraction reaches ``failure_threshold``, the breaker opens.
+* **open** -- every charged call is refused up front with
+  :class:`~repro.errors.CircuitOpenError`: no disk op, no retries, no
+  backoff.  The facade's chain then falls through to methods that do
+  not touch the disk (mini, closed-form) instead of paying the full
+  retry budget per access on a device that keeps failing.
+* **half-open** -- after ``cooldown_s`` (monotonic) the next charged
+  call is admitted as a probe.  Success closes the breaker and clears
+  the window; failure re-opens it and restarts the cooldown.
+
+The breaker is deliberately per-file (per dataset on a device), the
+granularity at which the fault injector and the checksum layer surface
+errors.  With no breaker attached, ``PointFile`` behaves exactly as
+before -- the zero-overhead rule every resilience layer here follows.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable
+
+from ..errors import CircuitOpenError, InputValidationError
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Sliding-window failure-rate breaker with monotonic cooldown."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: float = 0.5,
+        window: int = 16,
+        min_calls: int = 8,
+        cooldown_s: float = 0.05,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not 0.0 < failure_threshold <= 1.0:
+            raise InputValidationError(
+                f"failure_threshold must be in (0, 1], got {failure_threshold}"
+            )
+        if window < 1 or min_calls < 1:
+            raise InputValidationError(
+                "window and min_calls must be positive"
+            )
+        if min_calls > window:
+            raise InputValidationError(
+                f"min_calls ({min_calls}) cannot exceed window ({window})"
+            )
+        if cooldown_s < 0:
+            raise InputValidationError("cooldown_s must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.window = window
+        self.min_calls = min_calls
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._outcomes: deque[bool] = deque(maxlen=window)  # True = failure
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        #: lifetime diagnostics
+        self.opened_count = 0
+        self.short_circuited = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half_open"`` (cooldown done,
+        waiting for the probe's verdict)."""
+        if self._state == OPEN and self._cooldown_over():
+            return HALF_OPEN
+        return self._state
+
+    def failure_rate(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return sum(self._outcomes) / len(self._outcomes)
+
+    def _cooldown_over(self) -> bool:
+        return self._clock() - self._opened_at >= self.cooldown_s
+
+    # ------------------------------------------------------------------
+    # The charged-path protocol: before_attempt / record_*
+    # ------------------------------------------------------------------
+
+    def before_attempt(self) -> None:
+        """Gate one charged operation; raises when the circuit is open.
+
+        In half-open state exactly one caller is admitted as the probe;
+        anything else arriving before the probe's verdict is refused
+        like a plain open circuit.
+        """
+        if self._state != OPEN:
+            return
+        if self._cooldown_over() and not self._probe_in_flight:
+            self._probe_in_flight = True
+            return
+        self.short_circuited += 1
+        remaining = max(0.0, self.cooldown_s - (self._clock() - self._opened_at))
+        raise CircuitOpenError(
+            self.failure_rate(), len(self._outcomes),
+            cooldown_remaining=remaining,
+        )
+
+    def record_success(self) -> None:
+        if self._state == OPEN:
+            # The half-open probe came back clean: trust the device again.
+            self._state = CLOSED
+            self._probe_in_flight = False
+            self._outcomes.clear()
+            return
+        self._outcomes.append(False)
+
+    def record_failure(self) -> None:
+        if self._state == OPEN:
+            # Probe failed: stay open, restart the cooldown.
+            self._probe_in_flight = False
+            self._opened_at = self._clock()
+            return
+        self._outcomes.append(True)
+        if (
+            len(self._outcomes) >= self.min_calls
+            and self.failure_rate() >= self.failure_threshold
+        ):
+            self._state = OPEN
+            self._opened_at = self._clock()
+            self._probe_in_flight = False
+            self.opened_count += 1
+
+    def reset(self) -> None:
+        """Force-close and forget history (a new device, a new run)."""
+        self._state = CLOSED
+        self._outcomes.clear()
+        self._probe_in_flight = False

@@ -1,0 +1,137 @@
+"""Hedged execution: race a cheap estimate against the accurate one.
+
+Tail latency control straight from the "tail at scale" playbook: when a
+deadline matters more than squeezing out the last percent of accuracy,
+start the cheap path (cutoff or closed-form -- no resampling pass, no
+spill I/O) *concurrently* with the accurate resampled run and serve
+whichever lands inside the deadline, preferring the accurate one when
+both make it.  The simulated disks are independent objects, so the two
+runs share no mutable state; each thread owns its file, disk, and RNG.
+
+Python threads cannot be killed, so a loser that is still running is
+simply abandoned: its thread is a daemon, its result is discarded, and
+-- because each run charges its own private ledger -- its spend never
+pollutes the winner's reported cost.  The winner's identity, both
+completion flags, and the elapsed time are recorded so a caller can
+audit every hedged decision.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import DeadlineExceededError
+
+__all__ = ["HedgeOutcome", "run_hedged"]
+
+
+@dataclass
+class HedgeOutcome:
+    """The verdict of one hedged race.
+
+    ``winner`` is ``"primary"`` or ``"hedge"``; ``result`` is the
+    winning value.  ``primary_completed`` / ``hedge_completed`` say
+    which paths finished before the decision was taken (both can be
+    True: the primary wins ties).  ``primary_error`` / ``hedge_error``
+    carry a path's failure, if it failed rather than lost the race.
+    """
+
+    winner: str
+    result: Any
+    elapsed_s: float
+    primary_completed: bool
+    hedge_completed: bool
+    primary_error: BaseException | None = None
+    hedge_error: BaseException | None = None
+
+
+class _Run:
+    """One raced path: a daemon thread capturing result or exception."""
+
+    def __init__(self, name: str, fn: Callable[[], Any]):
+        self.name = name
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.done = threading.Event()
+        self._thread = threading.Thread(
+            target=self._main, args=(fn,), name=f"hedge-{name}", daemon=True
+        )
+
+    def _main(self, fn: Callable[[], Any]) -> None:
+        try:
+            self.result = fn()
+        except BaseException as error:  # noqa: BLE001 - relayed to caller
+            self.error = error
+        finally:
+            self.done.set()
+
+    def start(self) -> "_Run":
+        self._thread.start()
+        return self
+
+    @property
+    def succeeded(self) -> bool:
+        return self.done.is_set() and self.error is None
+
+
+def run_hedged(
+    primary: Callable[[], Any],
+    hedge: Callable[[], Any],
+    deadline_s: float,
+    *,
+    grace_s: float = 0.25,
+    clock: Callable[[], float] = time.monotonic,
+) -> HedgeOutcome:
+    """Race ``primary`` against ``hedge`` under a monotonic deadline.
+
+    The primary is preferred: if it completes within ``deadline_s`` its
+    result is served even when the hedge finished earlier.  When the
+    deadline passes with the primary still running (or failed), the
+    hedge's result is served as soon as it lands, waiting at most
+    ``grace_s`` beyond the deadline for a hedge that is *almost* there.
+    If neither path produces a result, the failure propagates --
+    preferring the primary's own error over a bare
+    :class:`~repro.errors.DeadlineExceededError` -- so a hedged call
+    never hangs and never fails silently.
+    """
+    if deadline_s <= 0:
+        raise ValueError(f"deadline_s must be positive, got {deadline_s}")
+    start = clock()
+    primary_run = _Run("primary", primary).start()
+    hedge_run = _Run("hedge", hedge).start()
+
+    remaining = deadline_s - (clock() - start)
+    primary_run.done.wait(timeout=max(0.0, remaining))
+    if primary_run.succeeded:
+        return HedgeOutcome(
+            winner="primary",
+            result=primary_run.result,
+            elapsed_s=clock() - start,
+            primary_completed=True,
+            hedge_completed=hedge_run.done.is_set(),
+            hedge_error=hedge_run.error,
+        )
+
+    # Primary missed the deadline or died: fall to the hedge, allowing
+    # it the remaining deadline plus a short grace period.
+    remaining = deadline_s + grace_s - (clock() - start)
+    hedge_run.done.wait(timeout=max(0.0, remaining))
+    if hedge_run.succeeded:
+        return HedgeOutcome(
+            winner="hedge",
+            result=hedge_run.result,
+            elapsed_s=clock() - start,
+            primary_completed=primary_run.done.is_set(),
+            hedge_completed=True,
+            primary_error=primary_run.error,
+        )
+
+    elapsed = clock() - start
+    if primary_run.error is not None:
+        raise primary_run.error
+    if hedge_run.error is not None:
+        raise hedge_run.error
+    raise DeadlineExceededError(elapsed, deadline_s, phase="hedge")

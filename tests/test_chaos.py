@@ -21,6 +21,7 @@ from repro.core.resampled import ResampledModel
 from repro.disk.chaos import (
     ChaosCell,
     ChaosOutcome,
+    assert_budget_honored,
     assert_no_silent_divergence,
     chaos_grid,
     run_cell,
@@ -206,3 +207,112 @@ class TestBuilderChaos:
             for leaf in index.tree.leaves if leaf.mbr is not None
         )
         assert mbrs == build_reference
+
+
+class TestBudgetAxis:
+    """The budget axis: within budget, degraded, or over_budget --
+    never hung, never silently overspent."""
+
+    def test_grid_crosses_budget_axis(self):
+        cells = chaos_grid(
+            fault_rates=(0.0, 0.1),
+            corruption_rates=(0.0,),
+            crash_points=(None,),
+            seeds=(0,),
+            budgets=(None, 50),
+        )
+        # (2 rates x 2 budgets); the quiet dedup drops nothing here
+        # because there is only one seed.
+        assert len(cells) == 4
+        assert ChaosCell(0.0, 0.0, None, 0, max_io_ops=50) in cells
+        assert ChaosCell(0.1, 0.0, None, 0, max_io_ops=None) in cells
+
+    def test_ample_budget_cell_stays_identical(
+        self, clustered_points, workload, model, reference
+    ):
+        ungoverned = run_cell(
+            clustered_points, workload, model,
+            ChaosCell(seed=CHAOS_SEED), reference.per_query,
+        )
+        cell = ChaosCell(seed=CHAOS_SEED, max_io_ops=10**9)
+        outcome = run_cell(
+            clustered_points, workload, model, cell, reference.per_query
+        )
+        assert outcome.status == "identical"
+        assert np.array_equal(outcome.per_query, reference.per_query)
+        # Zero extra charge versus the same cell run ungoverned.
+        assert outcome.io_cost == ungoverned.io_cost
+        report = outcome.budget_report
+        assert report is not None and report["within_budget"]
+        assert report["spent_io_ops"] == outcome.io_cost.ops
+
+    def test_tight_budget_cell_is_explicit(
+        self, clustered_points, workload, model, reference
+    ):
+        cell = ChaosCell(seed=CHAOS_SEED, max_io_ops=10)
+        outcome = run_cell(
+            clustered_points, workload, model, cell, reference.per_query
+        )
+        assert outcome.status in ("degraded", "over_budget")
+        assert outcome.budget_report is not None
+        assert outcome.degradation is not None
+        assert_budget_honored([outcome])
+
+    def test_budgeted_sweep_honors_invariants(
+        self, clustered_points, workload, model
+    ):
+        """Budget x fault sweep: both invariants on every cell."""
+        cells = chaos_grid(
+            fault_rates=(0.0, 0.05),
+            corruption_rates=(0.0,),
+            crash_points=(None, 10),
+            seeds=(CHAOS_SEED,),
+            budgets=(None, 10, 10**6),
+        )
+        outcomes = run_sweep(clustered_points, workload, model, cells)
+        assert len(outcomes) == len(cells)  # every cell accounted for
+        assert_no_silent_divergence(outcomes)
+        assert_budget_honored(outcomes)
+        # The amply budgeted quiet cell is identical, like the
+        # ungoverned quiet cell.
+        ample_quiet = next(
+            o for o in outcomes
+            if o.cell == ChaosCell(0.0, 0.0, None, CHAOS_SEED,
+                                   max_io_ops=10**6)
+        )
+        assert ample_quiet.status == "identical"
+
+    def test_budget_with_crash_resume_accounts_all_attempts(
+        self, clustered_points, workload, model, reference
+    ):
+        """Crash-resume spend folds into one ledger across reboots."""
+        cell = ChaosCell(crash_at=10, seed=CHAOS_SEED, max_io_ops=10**9)
+        outcome = run_cell(
+            clustered_points, workload, model, cell, reference.per_query
+        )
+        assert outcome.status == "identical"
+        report = outcome.budget_report
+        assert report is not None
+        # Resuming re-reads state, so the governed total must cover at
+        # least the fault-free cost -- and the report must match the
+        # cell's own ledger exactly (no charge lost across reboots).
+        assert report["spent_io_ops"] == outcome.io_cost.ops
+        assert report["spent_io_ops"] >= reference.io_cost.ops
+
+    def test_invariant_rejects_reportless_budget_cell(self):
+        bad = ChaosOutcome(
+            cell=ChaosCell(max_io_ops=10), status="degraded",
+            per_query=np.zeros(3), degradation={"method_used": "mini"},
+            budget_report=None,
+        )
+        with pytest.raises(AssertionError, match="no spend report"):
+            assert_budget_honored([bad])
+
+    def test_invariant_rejects_silent_overspend(self):
+        bad = ChaosOutcome(
+            cell=ChaosCell(max_io_ops=10), status="degraded",
+            per_query=np.zeros(3), degradation={"method_used": "mini"},
+            budget_report={"spent_io_ops": 99, "within_budget": True},
+        )
+        with pytest.raises(AssertionError, match="silent overspend"):
+            assert_budget_honored([bad])

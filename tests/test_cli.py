@@ -137,3 +137,64 @@ class TestFailureExitCodes:
     def test_invalid_crash_at_exits_3(self, capsys):
         assert main(["predict", *FAST, "--crash-at", "0"]) == 3
         assert "InputValidationError" in capsys.readouterr().err
+
+
+class TestBudgetFlags:
+    def test_budget_exhaustion_exits_11_in_strict_mode(self, capsys):
+        code = main(["predict", *FAST, "--max-io-ops", "10",
+                     "--strict-budget"])
+        assert code == 11
+        assert "BudgetExceededError" in capsys.readouterr().err
+
+    def test_deadline_exits_12_in_strict_mode(self, capsys):
+        code = main(["predict", *FAST, "--deadline-s", "0.000001",
+                     "--strict-budget"])
+        assert code == 12
+        assert "DeadlineExceededError" in capsys.readouterr().err
+
+    def test_tight_budget_degrades_to_zero_by_default(self, capsys):
+        # Without --strict-budget a blown budget is an anytime answer,
+        # not an error: exit 0 and a spend report on stdout.
+        with pytest.warns(Warning):
+            assert main(["predict", *FAST, "--max-io-ops", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "within budget" in out
+
+    def test_ample_budget_reports_spend(self, capsys):
+        assert main(["predict", *FAST, "--max-io-ops", "1000000"]) == 0
+        out = capsys.readouterr().out
+        assert "budget:" in out
+        assert "within budget: True" in out
+
+    def test_hedge_requires_deadline(self, capsys):
+        assert main(["predict", *FAST, "--hedge"]) == 3
+        assert "InputValidationError" in capsys.readouterr().err
+
+    def test_hedge_reports_winner(self, capsys):
+        code = main(["predict", *FAST, "--deadline-s", "60", "--hedge"])
+        assert code == 0
+        assert "path answered" in capsys.readouterr().out
+
+    def test_invalid_budget_values_exit_3(self, capsys):
+        assert main(["predict", *FAST, "--max-io-ops", "-5"]) == 3
+        assert "InputValidationError" in capsys.readouterr().err
+
+
+class TestVersionAndHelp:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_help_lists_exit_codes(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for code in ("3 ", "10 ", "11 ", "12 "):
+            assert code in out
+        assert "resource budget exhausted" in out
+        assert "deadline exceeded" in out

@@ -23,6 +23,7 @@ EXAMPLE_NAMES = [
     "predict_dynamic_index",
     "index_anatomy",
     "resilient_prediction",
+    "budgeted_prediction",
 ]
 
 

@@ -476,3 +476,80 @@ class TestCLIErrorMapping:
             "--fault-rate", "0.02", "--fault-seed", "9",
         ]) == 0
         assert "predicted leaf accesses" in capsys.readouterr().out
+
+
+class TestBudgetFaultInterplay:
+    """Budget-triggered and fault-triggered downgrades in one chain."""
+
+    @pytest.fixture
+    def workload(self, clustered_points):
+        return density_biased_knn_workload(
+            clustered_points, 10, 5, np.random.default_rng(0)
+        )
+
+    def test_degradation_records_appear_in_causal_order(
+        self, clustered_points, workload
+    ):
+        """Resampled dies on a fault, cutoff is refused by the budget,
+        mini answers: the attempt log tells that story in order, each
+        entry tagged with its cause."""
+        from repro.runtime import Budget
+
+        # 140 ops admits resampled (10 query reads + 125 pages + 1) but
+        # what its aborted attempt burns before the torn write leaves
+        # too little for cutoff's admission bound.
+        predictor = IndexCostPredictor(
+            dim=16, memory=400, c_data=32, c_dir=16,
+            torn_write_rate=1.0, fault_seed=3,
+        )
+        with pytest.warns(DegradedResultWarning):
+            result = predictor.predict(
+                clustered_points, workload, method="resampled",
+                budget=Budget(max_io_ops=140),
+            )
+        record = result.detail["degradation"]
+        assert record["method_used"] == "mini"
+
+        attempts = record["attempts"]
+        assert [a["method"] for a in attempts] == ["resampled", "cutoff"]
+        # First downgrade: a disk fault, after real spend.
+        assert attempts[0]["cause"] == "fault"
+        assert "TornWriteError" in attempts[0]["error"]
+        assert not attempts[0].get("skipped")
+        # Second downgrade: the governor refused admission up front.
+        assert attempts[1]["cause"] == "budget"
+        assert attempts[1]["skipped"]
+        assert "BudgetExceededError" in attempts[1]["error"]
+
+        # The spend report accounts for the aborted attempt's I/O and
+        # attributes it to resampled's phases.
+        report = result.detail["budget"]
+        assert report["spent_io_ops"] > 0
+        assert any(phase.startswith("resampled")
+                   for phase in report["phase_spend"])
+        assert report["exhausted"]["resource"] == "io_ops"
+
+    def test_pure_budget_chain_orders_skips(
+        self, clustered_points, workload
+    ):
+        """With no faults and a budget below every disk method's
+        admission bound, the skips appear in fallback order."""
+        from repro.runtime import Budget
+
+        predictor = IndexCostPredictor(dim=16, memory=400,
+                                       c_data=32, c_dir=16)
+        with pytest.warns(DegradedResultWarning):
+            result = predictor.predict(
+                clustered_points, workload, method="resampled",
+                budget=Budget(max_io_ops=5),
+            )
+        record = result.detail["degradation"]
+        assert record["method_used"] == "mini"
+        assert [a["method"] for a in record["attempts"]] == [
+            "resampled", "cutoff"
+        ]
+        assert all(a["cause"] == "budget" and a["skipped"]
+                   for a in record["attempts"])
+        # Nothing was spent: admission beat abortion.
+        assert result.detail["budget"]["spent_io_ops"] == 0
+        assert result.detail["budget"]["within_budget"]

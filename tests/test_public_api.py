@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.apps",
     "repro.experiments",
+    "repro.runtime",
 ]
 
 

@@ -1,0 +1,485 @@
+"""Tests for the budget-governed runtime layer.
+
+Covers the four pieces of :mod:`repro.runtime` -- budgets/governor,
+circuit breaker, hedged execution, batch admission control -- plus
+their integration into the facade: the ample-budget zero-interference
+guarantee (bit-identical estimate, zero extra charged I/O), mid-flight
+downgrade on exhaustion, and the anytime annotation.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import IndexCostPredictor
+from repro.disk.accounting import IOCost
+from repro.errors import (
+    BudgetExceededError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    DegradedResultWarning,
+    InputValidationError,
+)
+from repro.runtime import (
+    BatchRunner,
+    BatchTask,
+    Budget,
+    CircuitBreaker,
+    Governor,
+    run_hedged,
+)
+
+N, DIM, MEMORY = 800, 8, 250
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(42).random((N, DIM))
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return IndexCostPredictor(dim=DIM, memory=MEMORY)
+
+
+@pytest.fixture(scope="module")
+def workload(points, predictor):
+    return predictor.make_workload(points, n_queries=12, k=5, seed=1)
+
+
+@pytest.fixture(scope="module")
+def reference(points, predictor, workload):
+    return predictor.predict(points, workload, method="resampled", seed=2)
+
+
+class TestBudget:
+    def test_defaults_unlimited(self):
+        assert Budget().unlimited
+        assert not Budget(max_io_ops=10).unlimited
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_io_ops": -1},
+        {"max_seconds": 0.0}, {"max_seconds": -2.0},
+        {"max_sample_bytes": -1},
+    ])
+    def test_rejects_invalid_limits(self, kwargs):
+        with pytest.raises(InputValidationError):
+            Budget(**kwargs)
+
+    def test_io_ops_counts_seeks_plus_transfers(self):
+        cost = IOCost(seeks=3, transfers=7, retries=5, faults_seen=2)
+        assert Budget.io_ops(cost) == 10
+        assert cost.ops == 10
+
+
+class TestGovernor:
+    def test_check_attributes_spend_per_phase(self):
+        governor = Governor(Budget(max_io_ops=100))
+        governor.check("read", IOCost(seeks=2, transfers=3))
+        governor.check("scan", IOCost(seeks=4, transfers=6))
+        assert governor.phase_spend == {"read": 5, "scan": 5}
+        assert governor.spent_ops == 10
+
+    def test_budget_equal_to_spend_never_trips(self):
+        governor = Governor(Budget(max_io_ops=10))
+        governor.check("scan", IOCost(seeks=5, transfers=5))
+        assert governor.report()["within_budget"]
+
+    def test_one_op_over_trips(self):
+        governor = Governor(Budget(max_io_ops=10))
+        with pytest.raises(BudgetExceededError) as excinfo:
+            governor.check("scan", IOCost(seeks=5, transfers=6))
+        assert excinfo.value.resource == "io_ops"
+        assert excinfo.value.phase == "scan"
+        assert not governor.report()["within_budget"]
+
+    def test_deadline_uses_injected_monotonic_clock(self):
+        fake = iter([0.0, 0.5, 1.5]).__next__
+        governor = Governor(Budget(max_seconds=1.0), clock=fake)
+        governor.check("ok")  # t=0.5: inside
+        with pytest.raises(DeadlineExceededError):
+            governor.check("late")  # t=1.5: past the deadline
+
+    def test_end_attempt_folds_spend_across_attempts(self):
+        governor = Governor(Budget(max_io_ops=100))
+        governor.check("a", IOCost(seeks=5))
+        governor.end_attempt()
+        governor.check("b", IOCost(seeks=3))
+        assert governor.spent_ops == 8
+
+    def test_require_ops_refuses_unaffordable_attempt(self):
+        governor = Governor(Budget(max_io_ops=10))
+        governor.require_ops(10, phase="fits")  # exactly affordable
+        with pytest.raises(BudgetExceededError):
+            governor.require_ops(11, phase="admit")
+
+    def test_check_deadline_ignores_blown_op_budget(self):
+        governor = Governor(Budget(max_io_ops=5))
+        with pytest.raises(BudgetExceededError):
+            governor.check("scan", IOCost(seeks=6))
+        governor.check_deadline("admit:mini")  # must not raise
+
+    def test_admit_sample_blocks_before_scan(self):
+        governor = Governor(Budget(max_sample_bytes=1000))
+        with pytest.raises(BudgetExceededError) as excinfo:
+            governor.admit_sample(100, 8, phase="scan")
+        assert excinfo.value.resource == "sample_bytes"
+        assert governor.sample_bytes == 0  # nothing was admitted
+
+    def test_end_attempt_releases_sample_bytes(self):
+        governor = Governor(Budget(max_sample_bytes=10_000))
+        governor.admit_sample(100, 8)
+        assert governor.sample_bytes == 6400
+        governor.end_attempt()
+        governor.admit_sample(100, 8)  # a second attempt's sample fits
+
+    def test_report_shape(self):
+        governor = Governor(Budget(max_io_ops=50, max_seconds=60.0))
+        governor.check("scan", IOCost(seeks=1, transfers=2))
+        report = governor.report()
+        assert report["spent_io_ops"] == 3
+        assert report["remaining_io_ops"] == 47
+        assert report["within_budget"] is True
+        assert report["exhausted"] is None
+        assert report["phase_spend"] == {"scan": 3}
+
+
+class TestGovernedFacade:
+    def test_ample_budget_bit_identical_zero_extra_io(
+        self, points, predictor, workload, reference
+    ):
+        governed = predictor.predict(
+            points, workload, method="resampled", seed=2,
+            budget=Budget(max_io_ops=10**9, max_seconds=3600.0,
+                          max_sample_bytes=2**40),
+        )
+        assert np.array_equal(governed.per_query, reference.per_query)
+        assert governed.io_cost == reference.io_cost
+        report = governed.detail["budget"]
+        assert report["within_budget"] and report["exhausted"] is None
+        assert report["spent_io_ops"] == reference.io_cost.ops
+        assert "degradation" not in governed.detail
+
+    def test_exact_budget_never_trips(
+        self, points, predictor, workload, reference
+    ):
+        governed = predictor.predict(
+            points, workload, method="resampled", seed=2,
+            budget=Budget(max_io_ops=reference.io_cost.ops),
+        )
+        assert np.array_equal(governed.per_query, reference.per_query)
+        assert governed.detail["budget"]["within_budget"]
+
+    def test_admission_denial_skips_without_spending(
+        self, points, predictor, workload
+    ):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedResultWarning)
+            result = predictor.predict(
+                points, workload, method="resampled", seed=2,
+                budget=Budget(max_io_ops=3),
+            )
+        record = result.detail["degradation"]
+        assert record["method_used"] == "mini"
+        skipped = [a for a in record["attempts"] if a.get("skipped")]
+        assert {a["method"] for a in skipped} == {"resampled", "cutoff"}
+        assert all(a["cause"] == "budget" for a in record["attempts"])
+        report = result.detail["budget"]
+        assert report["spent_io_ops"] == 0
+        assert report["within_budget"]  # admission prevented overspend
+        assert report["exhausted"]["resource"] == "io_ops"
+
+    def test_midflight_trip_downgrades_and_annotates(
+        self, points, predictor, workload, reference
+    ):
+        # Enough to be admitted (query reads + scan lower bound), not
+        # enough to finish resampled: trips at a phase boundary.
+        budget = Budget(max_io_ops=reference.io_cost.ops - 1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedResultWarning)
+            result = predictor.predict(
+                points, workload, method="resampled", seed=2, budget=budget,
+            )
+        record = result.detail["degradation"]
+        assert record["attempts"][0]["method"] == "resampled"
+        assert record["attempts"][0]["cause"] == "budget"
+        assert result.detail["budget"]["exhausted"] is not None
+
+    def test_deadline_degrades_to_baseline(self, points, predictor, workload):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedResultWarning)
+            result = predictor.predict(
+                points, workload, method="resampled", seed=2,
+                budget=Budget(max_seconds=1e-9),
+            )
+        record = result.detail["degradation"]
+        assert record["method_used"] == "baseline"
+        assert not result.detail["budget"]["within_budget"]
+        assert np.isfinite(result.mean_accesses)
+
+    def test_sample_cap_degrades(self, points, predictor, workload):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedResultWarning)
+            result = predictor.predict(
+                points, workload, method="resampled", seed=2,
+                budget=Budget(max_sample_bytes=64),
+            )
+        assert result.detail["degradation"]["method_used"] == "baseline"
+
+    def test_strict_budget_raises_typed_errors(
+        self, points, predictor, workload
+    ):
+        with pytest.raises(BudgetExceededError):
+            predictor.predict(points, workload, method="resampled", seed=2,
+                              budget=Budget(max_io_ops=3), degrade=False)
+        with pytest.raises(DeadlineExceededError):
+            predictor.predict(points, workload, method="resampled", seed=2,
+                              budget=Budget(max_seconds=1e-9), degrade=False)
+
+    def test_unlimited_budget_adds_no_annotation(
+        self, points, predictor, workload, reference
+    ):
+        result = predictor.predict(points, workload, method="resampled",
+                                   seed=2, budget=Budget())
+        assert "budget" not in result.detail
+        assert np.array_equal(result.per_query, reference.per_query)
+
+    def test_hedge_requires_deadline(self, points, predictor, workload):
+        with pytest.raises(InputValidationError):
+            predictor.predict(points, workload, hedge=True)
+        with pytest.raises(InputValidationError):
+            predictor.predict(points, workload, hedge=True,
+                              budget=Budget(max_io_ops=100))
+
+    def test_hedge_serves_primary_inside_deadline(
+        self, points, predictor, workload, reference
+    ):
+        result = predictor.predict(
+            points, workload, method="resampled", seed=2,
+            budget=Budget(max_seconds=60.0), hedge=True,
+        )
+        assert result.detail["hedge"]["winner"] == "primary"
+        assert np.array_equal(result.per_query, reference.per_query)
+
+
+class TestCircuitBreaker:
+    def _trip(self, breaker):
+        for _ in range(breaker.min_calls):
+            breaker.before_attempt()
+            breaker.record_failure()
+
+    def test_opens_at_failure_threshold(self):
+        breaker = CircuitBreaker(min_calls=4, window=8, cooldown_s=60.0)
+        self._trip(breaker)
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            breaker.before_attempt()
+        assert breaker.short_circuited == 1
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(min_calls=4, window=8, cooldown_s=1.0,
+                                 clock=lambda: clock[0])
+        self._trip(breaker)
+        clock[0] = 1.5  # cooldown over: one probe admitted
+        breaker.before_attempt()
+        assert breaker.state == "half_open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.failure_rate() == 0.0  # window cleared
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(min_calls=4, window=8, cooldown_s=1.0,
+                                 clock=lambda: clock[0])
+        self._trip(breaker)
+        clock[0] = 1.5
+        breaker.before_attempt()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            breaker.before_attempt()
+
+    def test_healthy_device_never_opens(self):
+        breaker = CircuitBreaker(min_calls=4, window=8)
+        for _ in range(100):
+            breaker.before_attempt()
+            breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.opened_count == 0
+
+    def test_breaker_on_faulty_predictor_degrades_to_memory_methods(
+        self, points, workload
+    ):
+        breaker = CircuitBreaker(min_calls=1, window=4, cooldown_s=300.0)
+        predictor = IndexCostPredictor(
+            dim=DIM, memory=MEMORY, fault_rate=1.0, retry=None,
+            breaker=breaker,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedResultWarning)
+            result = predictor.predict(points, workload, method="resampled",
+                                       seed=2)
+        assert result.detail["degradation"]["method_used"] == "mini"
+        assert breaker.state == "open"
+        # The second attempt (cutoff) hit the open circuit instead of
+        # burning charged I/O on a device known to be bad.
+        errors = [a["error"] for a in
+                  result.detail["degradation"]["attempts"]]
+        assert any("CircuitOpenError" in e for e in errors)
+        assert breaker.short_circuited >= 1
+
+
+class TestHedge:
+    def test_primary_wins_when_fast(self):
+        outcome = run_hedged(lambda: "primary", lambda: "hedge",
+                             deadline_s=5.0)
+        assert outcome.winner == "primary"
+        assert outcome.result == "primary"
+
+    def test_hedge_wins_when_primary_stalls(self):
+        import threading
+        release = threading.Event()
+
+        def slow():
+            release.wait(10.0)
+            return "primary"
+
+        outcome = run_hedged(slow, lambda: "hedge", deadline_s=0.2)
+        release.set()
+        assert outcome.winner == "hedge"
+        assert outcome.result == "hedge"
+
+    def test_raises_when_both_miss_deadline(self):
+        import threading
+        release = threading.Event()
+
+        def stall():
+            release.wait(10.0)
+            return "late"
+
+        with pytest.raises(DeadlineExceededError):
+            run_hedged(stall, stall, deadline_s=0.1, grace_s=0.05)
+        release.set()
+
+    def test_primary_error_propagates_when_hedge_also_fails(self):
+        def boom():
+            raise BudgetExceededError("io_ops", 5, 1, phase="test")
+
+        with pytest.raises(BudgetExceededError):
+            run_hedged(boom, boom, deadline_s=1.0, grace_s=0.1)
+
+
+class TestBatchRunner:
+    def test_all_complete_under_ample_budget(self):
+        runner = BatchRunner(budget=Budget(max_seconds=60.0), max_workers=2)
+        report = runner.run([
+            BatchTask(f"t{i}", lambda i=i: i * i) for i in range(5)
+        ])
+        assert [t.status for t in report.tasks] == ["ok"] * 5
+        assert [t.result for t in report.tasks] == [0, 1, 4, 9, 16]
+        assert report.all_accounted
+
+    def test_failed_task_reported_not_raised(self):
+        def boom():
+            raise ValueError("cell exploded")
+
+        report = BatchRunner(max_workers=1).run([
+            BatchTask("good", lambda: 1), BatchTask("bad", boom),
+        ])
+        by_name = {t.name: t for t in report.tasks}
+        assert by_name["good"].status == "ok"
+        assert by_name["bad"].status == "failed"
+        assert "cell exploded" in by_name["bad"].error
+
+    def test_over_deadline_task_abandoned(self):
+        import threading
+        release = threading.Event()
+
+        def wedge():
+            release.wait(10.0)
+            return "late"
+
+        # Two workers: the wedged cell's abandoned thread must not
+        # stop the healthy cell from running to completion.
+        runner = BatchRunner(task_deadline_s=0.1, max_workers=2)
+        report = runner.run([BatchTask("wedged", wedge),
+                             BatchTask("quick", lambda: 7)])
+        release.set()
+        by_name = {t.name: t for t in report.tasks}
+        assert by_name["wedged"].status == "over_budget"
+        assert by_name["quick"].status == "ok"
+        assert report.all_accounted
+
+    def test_global_io_budget_rejects_later_tasks(self):
+        class Result:
+            io_cost = IOCost(seeks=50, transfers=50)
+
+        runner = BatchRunner(budget=Budget(max_io_ops=10), max_workers=1)
+        report = runner.run([BatchTask("first", Result),
+                             BatchTask("second", Result)])
+        assert report.tasks[0].status == "ok"
+        assert report.tasks[1].status == "rejected"
+        assert "I/O budget exhausted" in report.tasks[1].error
+        assert report.io_ops == 100
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(InputValidationError):
+            BatchRunner().run([BatchTask("x", lambda: 1),
+                               BatchTask("x", lambda: 2)])
+
+    def test_io_ledger_read_from_prediction_results(
+        self, points, predictor, workload, reference
+    ):
+        from repro.experiments.runner import run_prediction_grid
+
+        report = run_prediction_grid(
+            predictor, points, workload, methods=("resampled", "mini"),
+            budget=Budget(max_seconds=120.0), max_workers=2, seed=2,
+        )
+        assert {t.status for t in report.tasks} == {"ok"}
+        assert report.io_ops == reference.io_cost.ops  # mini charges none
+
+
+class TestBudgetedSweeps:
+    def test_pagesize_batch_matches_serial(self, points, workload):
+        from repro.apps.pagesize import sweep_page_sizes
+
+        sizes = (4096, 8192, 16384)
+        serial = sweep_page_sizes(points, workload, memory=MEMORY,
+                                  page_sizes=sizes, seed=2)
+        batched = sweep_page_sizes(points, workload, memory=MEMORY,
+                                   page_sizes=sizes, seed=2,
+                                   budget=Budget(max_seconds=120.0))
+        for a, b in zip(serial.points, batched.points):
+            assert b.status == "ok"
+            assert a.predicted_accesses == b.predicted_accesses
+        assert (serial.predicted_optimum.page_bytes
+                == batched.predicted_optimum.page_bytes)
+
+    def test_pagesize_tight_budget_marks_cells(self, points, workload):
+        from repro.apps.pagesize import sweep_page_sizes
+
+        sweep = sweep_page_sizes(points, workload, memory=MEMORY,
+                                 page_sizes=(4096, 8192, 16384), seed=2,
+                                 budget=Budget(max_io_ops=1), max_workers=1)
+        statuses = [p.status for p in sweep.points]
+        assert statuses[0] == "ok"
+        assert set(statuses[1:]) == {"rejected"}
+        optimum = sweep.predicted_optimum
+        assert optimum is not None and optimum.status == "ok"
+
+    def test_dimension_sweep_batch_matches_serial(self, points, workload):
+        from repro.apps.dimensions import sweep_index_dimensions
+
+        serial = sweep_index_dimensions(points, workload, (2, 4, 8),
+                                        memory=MEMORY, seed=2)
+        batched = sweep_index_dimensions(points, workload, (2, 4, 8),
+                                         memory=MEMORY, seed=2,
+                                         budget=Budget(max_seconds=120.0))
+        assert len(batched.completed) == 3
+        for a, b in zip(serial.points, batched.points):
+            assert a.predicted_accesses == b.predicted_accesses
