@@ -1,0 +1,129 @@
+"""Self-healing storage: replication, parity, repair-on-read, scrubbing.
+
+Disks do not only fail in transit -- bits rot on the platter while
+nobody is looking.  This example injects deterministic at-rest
+corruption into the simulated device and walks the escalation ladder
+the storage layer guarantees:
+
+1. with no redundancy, rot on a data page is detected (checksums) but
+   unrecoverable: the facade degrades explicitly, never silently;
+2. with a mirror plus a parity stripe, the same rot is repaired the
+   moment the page is read -- the answer is bit-identical to a clean
+   disk, and every repair is priced in a separate redundancy ledger;
+3. a background scrub sweeps the whole file, healing rot *before* a
+   query ever touches it, and reports exactly what it found.
+
+Run:  python examples/self_healing.py
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro import DegradedResultWarning, IndexCostPredictor, RetryPolicy
+from repro.data import datasets
+
+
+def describe(label: str, result) -> None:
+    cost = result.io_cost
+    line = (
+        f"{label:>26}: {result.mean_accesses:7.2f} accesses/query | "
+        f"{cost.seeks:4d} seeks {cost.transfers:5d} transfers"
+    )
+    redundancy = result.detail.get("redundancy")
+    if redundancy:
+        line += (
+            f" | {redundancy['repairs']} repaired, upkeep "
+            f"{redundancy['redundancy_seeks']} sk "
+            f"{redundancy['redundancy_transfers']} tr"
+        )
+    degradation = result.detail.get("degradation")
+    if degradation and degradation["method_used"] != degradation["method_requested"]:
+        line += (
+            f" | degraded {degradation['method_requested']} -> "
+            f"{degradation['method_used']}"
+        )
+    print(line)
+
+
+def main() -> None:
+    points = datasets.texture60(scale=0.03, seed=5)
+    n, dim = points.shape
+    memory = 1_000
+    rate = 0.05
+    print(f"dataset: {n:,} x {dim}-d; M = {memory:,} points in memory")
+    print(f"at-rest corruption: {rate:.0%} of pages rot on first touch\n")
+
+    clean = IndexCostPredictor(dim=dim, memory=memory)
+    workload = clean.make_workload(points, 50, 21, seed=8)
+    baseline = clean.predict(points, workload)
+    describe("clean disk", baseline)
+
+    # Rot with a single copy of every page: checksums catch it, but
+    # there is nothing to rebuild from.  The facade records the media
+    # failure and falls back rather than returning flipped bits.
+    bare = IndexCostPredictor(
+        dim=dim, memory=memory,
+        at_rest_corruption_rate=rate, fault_seed=3,
+        verify_checksums=True, retry=RetryPolicy(max_attempts=4),
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedResultWarning)
+        degraded = bare.predict(points, workload)
+    describe("rot, no redundancy", degraded)
+    record = degraded.detail.get("degradation")
+    if record:
+        causes = {a.get("cause") for a in record["attempts"]}
+        print(f"{'':>28}  failure causes on record: {sorted(causes)}")
+
+    # Same rot, but every page has a mirror and each stripe a parity
+    # page.  Repair-on-read rebuilds the rotten page from a clean copy
+    # and rewrites it, so the estimate matches the clean disk exactly.
+    healed = IndexCostPredictor(
+        dim=dim, memory=memory,
+        at_rest_corruption_rate=rate, fault_seed=3,
+        replication_factor=2, parity=True,
+        retry=RetryPolicy(max_attempts=4),
+    )
+    repaired = healed.predict(points, workload)
+    describe("rot + mirror + parity", repaired)
+    identical = np.array_equal(repaired.per_query, baseline.per_query)
+    print(f"{'':>28}  bit-identical to clean disk: {identical}")
+
+    # The scrubber sweeps every data page (and the redundant copies)
+    # in the background, so rot is healed before queries ever see it.
+    scrubbed = IndexCostPredictor(
+        dim=dim, memory=memory,
+        at_rest_corruption_rate=rate, fault_seed=3,
+        replication_factor=2, parity=True, scrub=True,
+        retry=RetryPolicy(max_attempts=4),
+    )
+    swept = scrubbed.predict(points, workload)
+    describe("... with background scrub", swept)
+    report = swept.detail["scrub"]
+    print(
+        f"{'':>28}  scrub report: {report['pages_scanned']}/"
+        f"{report['pages_total']} pages scanned, "
+        f"{report['repaired']} repaired, "
+        f"{report['copies_repaired']} copies rewritten, "
+        f"unrecoverable: {report['unrecoverable'] or 'none'}"
+    )
+
+    upkeep = repaired.detail["redundancy"]
+    print(
+        "\nredundancy is never free -- it is billed separately so the\n"
+        "paper's cost model stays clean: this run charged "
+        f"{upkeep['redundancy_seeks']} seeks and "
+        f"{upkeep['redundancy_transfers']} transfers of upkeep on top of\n"
+        f"the {repaired.io_cost.seeks} seeks / "
+        f"{repaired.io_cost.transfers} transfers the prediction itself "
+        "cost.\n"
+        "the invariant: answers are bit-identical, repaired-bit-identical,\n"
+        "or explicitly degraded -- never silently wrong."
+    )
+
+
+if __name__ == "__main__":
+    main()

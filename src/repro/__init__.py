@@ -42,7 +42,9 @@ from .disk import (
     FaultInjector,
     IOCost,
     PointFile,
+    RedundancyPolicy,
     RetryPolicy,
+    ScrubReport,
     SimulatedDisk,
 )
 from .errors import (
@@ -56,6 +58,7 @@ from .errors import (
     ReproError,
     TornWriteError,
     TransientReadError,
+    UnrecoverableCorruptionError,
 )
 from .ondisk import MeasurementResult, OnDiskBuilder, OnDiskIndex, measure_knn
 from .runtime import (
@@ -99,7 +102,9 @@ __all__ = [
     "FaultInjector",
     "IOCost",
     "PointFile",
+    "RedundancyPolicy",
     "RetryPolicy",
+    "ScrubReport",
     "SimulatedDisk",
     "BudgetExceededError",
     "CircuitOpenError",
@@ -111,6 +116,7 @@ __all__ = [
     "ReproError",
     "TornWriteError",
     "TransientReadError",
+    "UnrecoverableCorruptionError",
     "MeasurementResult",
     "OnDiskBuilder",
     "OnDiskIndex",

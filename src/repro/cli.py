@@ -10,6 +10,8 @@ Thin wrappers over the library for the workflows the paper motivates:
                    resampled vs. measured
 ``tune-pagesize``  the Section 6.1 application: sweep page sizes
 ``costs``          evaluate the analytical Eqs. 1-5 for a dataset shape
+``scrub``          sweep the dataset file for at-rest corruption,
+                   repairing from replicas/parity where provisioned
 
 Data comes from a named synthetic analogue (``--dataset TEXTURE60
 --scale 0.1``) or any ``.npy`` file holding an ``(n, d)`` float matrix
@@ -41,6 +43,7 @@ from .errors import (
     ReproError,
     TornWriteError,
     TransientReadError,
+    UnrecoverableCorruptionError,
 )
 from .experiments.tables import format_signed_percent, format_table
 from .runtime.budget import Budget
@@ -54,6 +57,7 @@ _EXIT_CODES: tuple[tuple[type[ReproError], int], ...] = (
     (TransientReadError, 4),
     (TornWriteError, 5),
     (ChecksumError, 9),
+    (UnrecoverableCorruptionError, 13),
     (DeadlineExceededError, 12),
     (BudgetExceededError, 11),
     (DiskError, 6),
@@ -76,6 +80,8 @@ exit codes:
   10  simulated crash point hit (resume via checkpoint APIs)
   11  resource budget exhausted (--max-io-ops, --strict-budget)
   12  deadline exceeded (--deadline-s, --strict-budget)
+  13  unrecoverable at-rest corruption: every copy of a page failed
+      verification (raise --replication-factor or enable --parity)
 """
 
 
@@ -137,6 +143,23 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
                         help="simulate a crash before the N-th charged "
                              "disk operation (1-based; the process exits "
                              "with code 10)")
+    parser.add_argument("--at-rest-rate", type=float, default=0.0,
+                        dest="at_rest_rate",
+                        help="at-rest bit-rot rate in [0, 1]: pages decay "
+                             "persistently on the platter (default 0; "
+                             "pair with --replication-factor/--parity "
+                             "so repair-on-read can heal them)")
+    parser.add_argument("--replication-factor", type=int, default=1,
+                        dest="replication_factor",
+                        help="copies kept of every page, primary included "
+                             "(default 1: no replicas); extra copies feed "
+                             "repair-on-read and are billed separately")
+    parser.add_argument("--parity", action="store_true",
+                        help="keep XOR parity stripes as a single-failure "
+                             "fallback (cheaper than a full replica)")
+    parser.add_argument("--scrub", action="store_true",
+                        help="sweep the file for rot after a successful "
+                             "prediction and print the scrub report")
 
 
 def _load_points(args: argparse.Namespace) -> np.ndarray:
@@ -156,6 +179,10 @@ def _context(args: argparse.Namespace):
         fault_rate=getattr(args, "fault_rate", 0.0),
         fault_seed=getattr(args, "fault_seed", 0),
         silent_corruption_rate=getattr(args, "corruption_rate", 0.0),
+        at_rest_corruption_rate=getattr(args, "at_rest_rate", 0.0),
+        replication_factor=getattr(args, "replication_factor", 1),
+        parity=getattr(args, "parity", False),
+        scrub=getattr(args, "scrub", False),
         verify_checksums=getattr(args, "verify_checksums", False),
         crash_at=getattr(args, "crash_at", None),
     )
@@ -204,7 +231,32 @@ def _cmd_predict(args: argparse.Namespace) -> int:
               f"{hedge['elapsed_s']:.3f} s (primary completed: "
               f"{hedge['primary_completed']}, hedge completed: "
               f"{hedge['hedge_completed']})")
+    redundancy = result.detail.get("redundancy")
+    if redundancy:
+        print(f"redundancy: {redundancy['replication_factor']}-way"
+              + (" + parity" if redundancy["parity"] else "")
+              + f", {redundancy['repairs']} page"
+              + ("s" if redundancy["repairs"] != 1 else "")
+              + f" repaired on read; upkeep "
+              + f"{redundancy['redundancy_seeks']:,} seeks, "
+              + f"{redundancy['redundancy_transfers']:,} transfers")
+    scrub = result.detail.get("scrub")
+    if scrub:
+        print(_format_scrub(scrub))
     return 0
+
+
+def _format_scrub(report: dict) -> str:
+    line = (f"scrub: {report['pages_scanned']}/{report['pages_total']} "
+            f"pages scanned, {report['repaired']} repaired, "
+            f"{report['copies_repaired']} redundant cop"
+            f"{'y' if report['copies_repaired'] == 1 else 'ies'} rewritten")
+    if report["unrecoverable"]:
+        line += (f"; UNRECOVERABLE pages: "
+                 f"{', '.join(map(str, report['unrecoverable']))}")
+    if not report["completed"]:
+        line += " (stopped early: budget exhausted)"
+    return line
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:
@@ -273,6 +325,36 @@ def _cmd_tune_pagesize(args: argparse.Namespace) -> int:
     if args.verify and sweep.measured_optimum is not None:
         print(f"measured optimum:  "
               f"{sweep.measured_optimum.page_bytes // 1024} KB")
+    return 0
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    points = _load_points(args)
+    predictor = IndexCostPredictor(
+        dim=points.shape[1], memory=args.memory,
+        fault_rate=args.fault_rate,
+        fault_seed=args.fault_seed,
+        silent_corruption_rate=args.corruption_rate,
+        at_rest_corruption_rate=args.at_rest_rate,
+        replication_factor=args.replication_factor,
+        parity=args.parity,
+        scrub=True,
+        crash_at=args.crash_at,
+    )
+    file = predictor.new_file(points)
+    report = file.scrub()
+    print(f"dataset: {points.shape[0]:,} x {points.shape[1]}-d on "
+          f"{file.n_pages:,} pages")
+    print(_format_scrub(report.as_dict()))
+    print(f"scrub I/O: {report.io_cost.seeks:,} seeks, "
+          f"{report.io_cost.transfers:,} transfers; redundancy upkeep: "
+          f"{report.redundancy_cost.seeks:,} seeks, "
+          f"{report.redundancy_cost.transfers:,} transfers")
+    if report.unrecoverable and args.strict:
+        print(f"repro: {len(report.unrecoverable)} page"
+              f"{'s' if len(report.unrecoverable) != 1 else ''} "
+              f"unrecoverable under --strict", file=sys.stderr)
+        return 13
     return 0
 
 
@@ -352,6 +434,16 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--verify", action="store_true",
                       help="also measure with fully built indexes")
     tune.set_defaults(run=_cmd_tune_pagesize)
+
+    scrub = commands.add_parser(
+        "scrub", help="sweep the dataset file for at-rest corruption"
+    )
+    _add_data_arguments(scrub)
+    _add_workload_arguments(scrub)
+    scrub.add_argument("--strict", action="store_true",
+                       help="exit with code 13 if any page is "
+                            "unrecoverable (no clean copy survives)")
+    scrub.set_defaults(run=_cmd_scrub)
 
     costs = commands.add_parser("costs", help="analytical Eqs. 1-5")
     costs.add_argument("--n", type=int, default=1_000_000)

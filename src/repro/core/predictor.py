@@ -20,6 +20,14 @@ finish -- retries exhausted mid-phase -- :meth:`predict` degrades along
 ``resampled -> cutoff -> mini -> closed-form baseline``, annotating the
 returned estimate with a ``degradation`` record and emitting a
 :class:`~repro.errors.DegradedResultWarning`.
+
+Self-healing: ``at_rest_corruption_rate`` lets pages rot on the
+platter while ``replication_factor`` / ``parity`` provision the copies
+repair-on-read heals from; ``scrub=True`` sweeps the file after each
+successful prediction and attaches the scrub report.  A rotten page
+with no surviving copy raises the non-retryable
+:class:`~repro.errors.UnrecoverableCorruptionError`, which degrades
+with ``cause="media"``.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from ..disk.accounting import DiskParameters, IOCost
 from ..disk.device import SimulatedDisk
 from ..disk.faults import FaultInjector
 from ..disk.pagefile import PointFile
+from ..disk.redundancy import RedundancyPolicy
 from ..disk.retry import RetryPolicy
 from ..errors import (
     BudgetExceededError,
@@ -42,6 +51,7 @@ from ..errors import (
     InputValidationError,
     PredictionError,
     ReproError,
+    UnrecoverableCorruptionError,
     validate_points,
 )
 from ..ondisk.builder import OnDiskBuilder, OnDiskIndex
@@ -105,7 +115,19 @@ class IndexCostPredictor:
     torn_write_rate: float = 0.0
     latency_spike_rate: float = 0.0
     silent_corruption_rate: float = 0.0
+    #: pages rot on the platter: a persistent seed-deterministic bit
+    #: flip, surviving retries and reboots, healed only by a rewrite
+    at_rest_corruption_rate: float = 0.0
     fault_seed: int = 0
+    #: keep this many copies of every page (1 = just the primary);
+    #: extra copies feed repair-on-read and are billed separately as
+    #: ``redundancy_cost``
+    replication_factor: int = 1
+    #: keep XOR parity stripes as a cheaper single-failure fallback
+    parity: bool = False
+    #: sweep the file for rot after each successful prediction and
+    #: attach the report as ``result.detail["scrub"]``
+    scrub: bool = False
     #: verify per-page CRC32 sidecar checksums on every charged read
     verify_checksums: bool = False
     #: simulated crash before the N-th charged disk operation (1-based)
@@ -122,6 +144,7 @@ class IndexCostPredictor:
             ("torn_write_rate", self.torn_write_rate),
             ("latency_spike_rate", self.latency_spike_rate),
             ("silent_corruption_rate", self.silent_corruption_rate),
+            ("at_rest_corruption_rate", self.at_rest_corruption_rate),
         ):
             if not 0.0 <= rate <= 1.0:
                 raise InputValidationError(
@@ -131,6 +154,16 @@ class IndexCostPredictor:
             raise InputValidationError(
                 f"crash_at is a 1-based charged-op index, got {self.crash_at}"
             )
+        if self.replication_factor < 1:
+            raise InputValidationError(
+                f"replication_factor counts copies including the primary, "
+                f"so it must be >= 1, got {self.replication_factor}"
+            )
+        if self.replication_factor > 1 or self.parity or self.scrub:
+            # repair and scrubbing both need the CRC sidecar to tell a
+            # clean page from a rotten one; checksums charge no I/O, so
+            # forcing them on costs nothing
+            self.verify_checksums = True
         default_data, default_dir = page_capacities(
             self.disk_parameters.page_bytes,
             self.dim,
@@ -161,6 +194,7 @@ class IndexCostPredictor:
         device = disk
         if (self.fault_rate or self.torn_write_rate
                 or self.latency_spike_rate or self.silent_corruption_rate
+                or self.at_rest_corruption_rate
                 or self.crash_at is not None):
             device = FaultInjector(
                 disk,
@@ -168,6 +202,7 @@ class IndexCostPredictor:
                 torn_write_rate=self.torn_write_rate,
                 latency_spike_rate=self.latency_spike_rate,
                 silent_corruption_rate=self.silent_corruption_rate,
+                at_rest_corruption_rate=self.at_rest_corruption_rate,
                 seed=self.fault_seed,
                 crash_at=self.crash_at,
             )
@@ -175,6 +210,16 @@ class IndexCostPredictor:
             device, points, retry=self.retry,
             verify_checksums=self.verify_checksums,
             breaker=self.breaker,
+            redundancy=self._redundancy_policy(),
+        )
+
+    def _redundancy_policy(self) -> RedundancyPolicy | None:
+        """The configured redundancy, or ``None`` when it is unarmed
+        (``None`` keeps the file byte-for-byte on the PR 3 cost path)."""
+        if self.replication_factor <= 1 and not self.parity:
+            return None
+        return RedundancyPolicy(
+            replication_factor=self.replication_factor, parity=self.parity
         )
 
     # ------------------------------------------------------------------
@@ -313,14 +358,18 @@ class IndexCostPredictor:
                         or isinstance(error, (InputValidationError,
                                               CrashPoint))):
                     raise
+                if isinstance(error, BudgetExceededError):
+                    cause = "budget"
+                elif isinstance(error, UnrecoverableCorruptionError):
+                    cause = "media"
+                else:
+                    cause = "fault"
                 attempts.append({
                     "method": fallback,
                     "error": f"{type(error).__name__}: {error}",
                     "faults_seen": spent.faults_seen,
                     "retries": spent.retries,
-                    "cause": ("budget"
-                              if isinstance(error, BudgetExceededError)
-                              else "fault"),
+                    "cause": cause,
                 })
                 faults_before += spent.faults_seen
                 retries_before += spent.retries
@@ -329,6 +378,20 @@ class IndexCostPredictor:
             if governor is not None:
                 governor.observe(fallback, result.io_cost)
                 governor.end_attempt()
+            if file is not None and file.redundancy is not None:
+                rc = file.redundancy.redundancy_cost
+                result.detail["redundancy"] = {
+                    "replication_factor": self.replication_factor,
+                    "parity": self.parity,
+                    "repairs": file.redundancy.repairs,
+                    "redundancy_seeks": rc.seeks,
+                    "redundancy_transfers": rc.transfers,
+                }
+            if self.scrub and file is not None:
+                report = file.scrub(governor=governor)
+                if governor is not None:
+                    governor.end_attempt()
+                result.detail["scrub"] = report.as_dict()
             self._annotate_degradation(
                 result, method, fallback, attempts,
                 faults_before, retries_before,

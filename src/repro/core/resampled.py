@@ -376,7 +376,8 @@ class ResampledModel:
             areas = [
                 PointFile(file.disk, dim, self.memory, retry=file.retry,
                           verify_checksums=file.verify_checksums,
-                          breaker=file.breaker)
+                          breaker=file.breaker,
+                          redundancy=file.redundancy_policy)
                 for _ in range(n_boxes)
             ]
             n_resample = min(n, round(n * sigma_lower))

@@ -1,6 +1,7 @@
 """Simulated disk: seek/transfer accounting, paged point files,
 fault injection, retry policies, checksummed pages, write-ahead
-journaling, and the chaos harness exercising them."""
+journaling, self-healing redundancy (mirrors, parity stripes, and the
+background scrubber), and the chaos harness exercising them."""
 
 from .accounting import DiskParameters, IOCost
 from .bufferpool import BufferedDisk
@@ -8,6 +9,7 @@ from .device import SimulatedDisk
 from .faults import FaultInjector
 from .journal import JournalEntry, RecoveryReport, WriteAheadJournal
 from .pagefile import PointFile
+from .redundancy import RedundancyManager, RedundancyPolicy, ScrubReport
 from .retry import RetryPolicy
 
 __all__ = [
@@ -19,6 +21,9 @@ __all__ = [
     "JournalEntry",
     "PointFile",
     "RecoveryReport",
+    "RedundancyManager",
+    "RedundancyPolicy",
     "RetryPolicy",
+    "ScrubReport",
     "WriteAheadJournal",
 ]

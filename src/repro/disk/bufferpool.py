@@ -11,13 +11,21 @@ coalesce into one physical run, as a real scheduler would issue them.
 The buffer-pool ablation benchmark replays a measured workload through
 pools of increasing size, quantifying how conservative the paper's
 cold-read pricing is.
+
+The pool also stacks *under* a :class:`~repro.disk.pagefile.PointFile`
+(over a bare disk or a :class:`~repro.disk.faults.FaultInjector`): the
+full device API is passed through, and :meth:`invalidate` evicts page
+runs whose served content changed out from under the cache -- atomic
+installs, truncation, and repair rewrites all route through it via
+``PointFile.invalidate_cached``, so a repaired page is never served
+stale.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 
-from .accounting import IOCost
+from .accounting import DiskParameters, IOCost
 from .device import SimulatedDisk
 
 __all__ = ["BufferedDisk"]
@@ -72,6 +80,18 @@ class BufferedDisk:
             return IOCost()
         return self.disk.write(start_page, n_pages)
 
+    def invalidate(self, start_page: int, n_pages: int) -> None:
+        """Evict a page run: its cached content is no longer current.
+
+        Uncharged -- eviction is bookkeeping, not I/O.  The next read
+        of an evicted page is a miss and pays the physical cost of
+        fetching the (new) content.
+        """
+        if start_page < 0 or n_pages < 0:
+            raise ValueError("page addresses and counts must be non-negative")
+        for page in range(start_page, start_page + n_pages):
+            self._pages.pop(page, None)
+
     def drop_head(self) -> None:
         self.disk.drop_head()
 
@@ -102,3 +122,56 @@ class BufferedDisk:
         self._pages.move_to_end(page)
         while len(self._pages) > self.capacity_pages:
             self._pages.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Pass-through of the rest of the device API, so the pool stacks
+    # under a PointFile (reads/writes above take the cached paths)
+    # ------------------------------------------------------------------
+
+    access = read
+
+    @property
+    def parameters(self) -> DiskParameters:
+        return self.disk.parameters
+
+    def allocate(self, n_pages: int) -> int:
+        return self.disk.allocate(n_pages)
+
+    @property
+    def allocated_pages(self) -> int:
+        return self.disk.allocated_pages
+
+    @property
+    def cost(self) -> IOCost:
+        return self.disk.cost
+
+    def seconds(self) -> float:
+        return self.disk.seconds()
+
+    def reset_counters(self) -> IOCost:
+        return self.disk.reset_counters()
+
+    def charge_penalty(self, penalty: IOCost) -> None:
+        self.disk.charge_penalty(penalty)
+
+    def note_retry(self, backoff: IOCost) -> None:
+        self.disk.note_retry(backoff)
+
+    def note_fault(self) -> None:
+        self.disk.note_fault()
+
+    def consume_corruption(
+        self, start_page: int, n_pages: int
+    ) -> list[tuple[int, int, int]]:
+        consume = getattr(self.disk, "consume_corruption", None)
+        return consume(start_page, n_pages) if consume is not None else []
+
+    def at_rest_flips(
+        self, start_page: int, n_pages: int
+    ) -> list[tuple[int, int, int]]:
+        flips = getattr(self.disk, "at_rest_flips", None)
+        return flips(start_page, n_pages) if flips is not None else []
+
+    def is_rotten(self, page: int) -> bool:
+        rotten = getattr(self.disk, "is_rotten", None)
+        return bool(rotten(page)) if rotten is not None else False

@@ -4,14 +4,18 @@ The harness sweeps a grid of *cells* -- (fault rate, corruption rate,
 crash point, seed) combinations -- and runs the resampled predictor
 under each, with checksum verification on and crash resume via the
 checkpoint protocol of :meth:`repro.core.resampled.ResampledModel.predict`.
-Every cell must end in one of exactly two states:
+Every cell must end in one of exactly three states:
 
 * ``identical`` -- the prediction, possibly after any number of retries
   and crash resumes, is **bit-identical** to the fault-free reference;
-* ``degraded`` -- the run could not finish (retry budget exhausted) and
-  says so explicitly: the outcome carries the facade's degradation
-  record naming the error, the methods attempted, and the method that
-  produced the returned estimate.
+* ``repaired`` -- bit-identical too, but only because repair-on-read
+  rebuilt at-rest-corrupted pages from replicas or parity (the outcome
+  counts the repairs, so healing is never invisible);
+* ``degraded`` -- the run could not finish (retry budget exhausted, or
+  media corruption with no surviving copy) and says so explicitly: the
+  outcome carries the facade's degradation record naming the error, the
+  methods attempted, and the method that produced the returned
+  estimate.
 
 The third state -- a prediction that *differs* from the reference
 without announcing degradation -- is the one durability exists to
@@ -39,6 +43,7 @@ from .accounting import IOCost
 from .device import SimulatedDisk
 from .faults import FaultInjector
 from .pagefile import PointFile
+from .redundancy import RedundancyPolicy
 from .retry import RetryPolicy
 
 __all__ = [
@@ -66,6 +71,11 @@ class ChaosCell:
     and must end within budget, explicitly degraded, or explicitly
     ``over_budget`` -- never hung, never silently overspent
     (:func:`assert_budget_honored`).
+
+    ``at_rest_rate`` arms the media-rot axis: pages decay while the
+    predictor is not looking.  ``replication_factor`` / ``parity`` arm
+    the redundancy that repair-on-read draws on; with neither, a rotten
+    page is unrecoverable and the cell must end explicitly degraded.
     """
 
     fault_rate: float = 0.0
@@ -74,6 +84,9 @@ class ChaosCell:
     seed: int = 0
     max_io_ops: int | None = None
     deadline_s: float | None = None
+    at_rest_rate: float = 0.0
+    replication_factor: int = 1
+    parity: bool = False
 
     def budget(self) -> Budget | None:
         """The cell's budget, or ``None`` when the axis is unarmed."""
@@ -81,11 +94,21 @@ class ChaosCell:
             return None
         return Budget(max_io_ops=self.max_io_ops, max_seconds=self.deadline_s)
 
+    def redundancy_policy(self) -> RedundancyPolicy | None:
+        """The cell's redundancy, or ``None`` when the axis is unarmed."""
+        if self.replication_factor <= 1 and not self.parity:
+            return None
+        return RedundancyPolicy(
+            replication_factor=self.replication_factor, parity=self.parity
+        )
+
     def label(self) -> str:
         return (
             f"fault={self.fault_rate} corrupt={self.corruption_rate} "
             f"crash_at={self.crash_at} seed={self.seed} "
-            f"max_io_ops={self.max_io_ops} deadline_s={self.deadline_s}"
+            f"max_io_ops={self.max_io_ops} deadline_s={self.deadline_s} "
+            f"at_rest={self.at_rest_rate} rf={self.replication_factor} "
+            f"parity={self.parity}"
         )
 
 
@@ -93,20 +116,23 @@ class ChaosCell:
 class ChaosOutcome:
     """What one cell did, and proof it did not lie.
 
-    ``status`` is ``"identical"``, ``"degraded"``, ``"over_budget"``
+    ``status`` is ``"identical"``, ``"repaired"`` (bit-identical, but
+    only after repair-on-read rebuilt at-rest-corrupted pages --
+    ``repairs`` says how many), ``"degraded"``, ``"over_budget"``
     (budget-axis cells whose governed fallback still finished above a
     limit -- explicit, with the spend report attached), or
     ``"mismatch"`` (the forbidden one).  ``degradation`` is the
     facade's explicit record when status is ``"degraded"`` or
     ``"over_budget"``; ``crashes`` counts resumes taken; ``io_cost`` is
     the cell's total charged ledger including retries, backoff,
-    checkpoints, and recovery.
+    checkpoints, recovery, and redundancy upkeep.
     """
 
     cell: ChaosCell
     status: str
     per_query: np.ndarray
     crashes: int = 0
+    repairs: int = 0
     degradation: dict | None = None
     io_cost: IOCost = field(default_factory=IOCost)
     #: the governed spend report for budget-axis cells (``None`` when
@@ -124,6 +150,8 @@ def chaos_grid(
     crash_points: Sequence[int | None] = (None, 1, 25),
     seeds: Sequence[int] = (0,),
     budgets: Sequence[int | None] = (None,),
+    at_rest_rates: Sequence[float] = (0.0,),
+    replication_factors: Sequence[int] = (1,),
 ) -> list[ChaosCell]:
     """The full cross product, minus the all-quiet cell per extra seed.
 
@@ -133,14 +161,22 @@ def chaos_grid(
     ungoverned); wall-clock deadlines are left off the default grid
     because they make outcomes timing-dependent, but individual
     :class:`ChaosCell` objects accept ``deadline_s`` directly.
+    ``at_rest_rates`` and ``replication_factors`` arm the media-rot
+    axis; both default to single inert entries so the default grid is
+    unchanged.
     """
     cells = []
-    for fr, cr, ca, seed, ops in product(
-        fault_rates, corruption_rates, crash_points, seeds, budgets
+    for fr, cr, ca, seed, ops, ar, rf in product(
+        fault_rates, corruption_rates, crash_points, seeds, budgets,
+        at_rest_rates, replication_factors,
     ):
-        if fr == 0.0 and cr == 0.0 and ca is None and seed != seeds[0]:
+        if (fr == 0.0 and cr == 0.0 and ca is None and ar == 0.0
+                and seed != seeds[0]):
             continue
-        cells.append(ChaosCell(fr, cr, ca, seed, max_io_ops=ops))
+        cells.append(ChaosCell(
+            fr, cr, ca, seed, max_io_ops=ops,
+            at_rest_rate=ar, replication_factor=rf,
+        ))
     return cells
 
 
@@ -173,11 +209,13 @@ def run_cell(
         SimulatedDisk(),
         read_fault_rate=cell.fault_rate,
         silent_corruption_rate=cell.corruption_rate,
+        at_rest_corruption_rate=cell.at_rest_rate,
         seed=cell.seed,
         crash_at=cell.crash_at,
     )
     file = PointFile.from_points(
-        injector, points, retry=RetryPolicy(), verify_checksums=True
+        injector, points, retry=RetryPolicy(), verify_checksums=True,
+        redundancy=cell.redundancy_policy(),
     )
     budget = cell.budget()
     governor = Governor(budget) if budget is not None else None
@@ -211,11 +249,17 @@ def run_cell(
         # True up: ops charged after the model's last boundary check.
         governor.observe("final", file.disk.cost - folded)
     identical = np.array_equal(result.per_query, reference)
+    repairs = file.redundancy.repairs if file.redundancy is not None else 0
+    if identical:
+        status = "repaired" if repairs else "identical"
+    else:
+        status = "mismatch"
     return ChaosOutcome(
         cell=cell,
-        status="identical" if identical else "mismatch",
+        status=status,
         per_query=result.per_query,
         crashes=crashes,
+        repairs=repairs,
         io_cost=injector.cost,
         budget_report=governor.report() if governor is not None else None,
     )
@@ -246,6 +290,9 @@ def _degrade(points, workload, model, cell, crashes, error, prediction_seed,
         c_dir=model.c_dir,
         fault_rate=cell.fault_rate,
         silent_corruption_rate=cell.corruption_rate,
+        at_rest_corruption_rate=cell.at_rest_rate,
+        replication_factor=cell.replication_factor,
+        parity=cell.parity,
         fault_seed=cell.seed,
         verify_checksums=True,
     )
@@ -294,8 +341,10 @@ def assert_no_silent_divergence(outcomes: Sequence[ChaosOutcome]) -> None:
     """The sweep's single invariant, as an assertion.
 
     Every outcome either reproduced the fault-free prediction
-    bit-identically or carries an explicit degradation record; a
-    ``mismatch`` -- or a degraded outcome with no record -- raises.
+    bit-identically (``identical``, or ``repaired`` with a repair
+    count admitting the healing) or carries an explicit degradation
+    record; a ``mismatch`` -- or a degraded outcome with no record, or
+    a repaired outcome with no repairs -- raises.
     """
     for outcome in outcomes:
         if outcome.silent_divergence:
@@ -307,6 +356,11 @@ def assert_no_silent_divergence(outcomes: Sequence[ChaosOutcome]) -> None:
         if outcome.status == "degraded" and not outcome.degradation:
             raise AssertionError(
                 f"cell [{outcome.cell.label()}] degraded without a record"
+            )
+        if outcome.status == "repaired" and outcome.repairs <= 0:
+            raise AssertionError(
+                f"cell [{outcome.cell.label()}] claims repaired with a "
+                f"zero repair count"
             )
 
 
@@ -335,7 +389,7 @@ def assert_budget_honored(outcomes: Sequence[ChaosOutcome]) -> None:
                     f"says within budget"
                 )
             continue
-        if outcome.status not in ("identical", "degraded"):
+        if outcome.status not in ("identical", "repaired", "degraded"):
             raise AssertionError(
                 f"budgeted cell [{label}] ended in forbidden state "
                 f"{outcome.status!r}"
@@ -349,7 +403,8 @@ def assert_budget_honored(outcomes: Sequence[ChaosOutcome]) -> None:
                 f"{report['spent_io_ops']} charged ops of "
                 f"{budget.max_io_ops} with within_budget=True"
             )
-        if not report["within_budget"] and outcome.status == "identical":
+        if (not report["within_budget"]
+                and outcome.status in ("identical", "repaired")):
             raise AssertionError(
                 f"cell [{label}] finished over budget without an explicit "
                 f"over_budget or degraded verdict"

@@ -21,6 +21,21 @@ injects seed-driven fault classes with independent rates:
   payload.  Without checksum verification the caller silently consumes
   corrupted data; with it, the flip is caught as
   :class:`~repro.errors.ChecksumError`.
+* **at-rest corruption** -- rot on the platter, not the wire.  On the
+  *first* read of each page a seed-deterministic verdict is drawn at
+  ``at_rest_corruption_rate``; a rotten page carries a persistent bit
+  flip that every subsequent read returns, so retries cannot help and
+  the flip survives :meth:`reboot` and :meth:`reset_counters` alike.
+  Only a *write* to the page heals it (re-magnetizing the platter) --
+  which is exactly what the repair-on-read path of a redundant
+  :class:`~repro.disk.pagefile.PointFile` does, reconstructing the
+  payload from a mirrored replica or a parity stripe
+  (:mod:`repro.disk.redundancy`).  The registry is queried
+  non-destructively via :meth:`at_rest_flips` / :meth:`is_rotten`,
+  unlike the consume-once in-transit flips.  A freshly written page is
+  considered durably clean: its verdict is settled as "not rotten" and
+  later reads draw nothing, keeping replay deterministic (no
+  heal-then-re-rot loops).
 
 Crash scheduling is orthogonal to the rates: ``crash_at=N`` raises
 :class:`~repro.errors.CrashPoint` when the N-th charged operation
@@ -72,6 +87,7 @@ class FaultInjector:
         torn_write_rate: float = 0.0,
         latency_spike_rate: float = 0.0,
         silent_corruption_rate: float = 0.0,
+        at_rest_corruption_rate: float = 0.0,
         seed: int = 0,
         spike_seeks: int = 2,
         crash_at: int | None = None,
@@ -81,6 +97,7 @@ class FaultInjector:
             ("torn_write_rate", torn_write_rate),
             ("latency_spike_rate", latency_spike_rate),
             ("silent_corruption_rate", silent_corruption_rate),
+            ("at_rest_corruption_rate", at_rest_corruption_rate),
         ):
             if not 0.0 <= rate <= 1.0:
                 raise InputValidationError(
@@ -97,6 +114,7 @@ class FaultInjector:
         self.torn_write_rate = torn_write_rate
         self.latency_spike_rate = latency_spike_rate
         self.silent_corruption_rate = silent_corruption_rate
+        self.at_rest_corruption_rate = at_rest_corruption_rate
         self.seed = seed
         self.spike_seeks = spike_seeks
         self.crash_at = crash_at
@@ -106,6 +124,13 @@ class FaultInjector:
         #: (absolute page, byte offset within payload, bit) flips recorded
         #: by the last corrupted read, awaiting pickup by the data layer
         self._pending_corruption: list[tuple[int, int, int]] = []
+        #: absolute page -> (byte, bit) persistent flip on the media;
+        #: unlike pending corruption this is the state of the platter,
+        #: surviving reboots, counter resets, and any number of rereads
+        self._rotten: dict[int, tuple[int, int]] = {}
+        #: pages whose at-rest verdict is settled (rotten or durably
+        #: clean); a page is only ever drawn against the rate once
+        self._rot_decided: set[int] = set()
 
     @property
     def _inert(self) -> bool:
@@ -114,6 +139,7 @@ class FaultInjector:
             and self.torn_write_rate == 0.0
             and self.latency_spike_rate == 0.0
             and self.silent_corruption_rate == 0.0
+            and self.at_rest_corruption_rate == 0.0
         )
 
     # ------------------------------------------------------------------
@@ -151,7 +177,8 @@ class FaultInjector:
         position is forgotten -- a rebooted machine has no idea where
         the arm sits -- so recovery I/O pays its first seek honestly.
         Fault rates and the fault RNG stream are left untouched: the
-        world stays as hostile as it was before the crash.
+        world stays as hostile as it was before the crash.  At-rest rot
+        survives too -- a reboot spins the same rusty platter back up.
         """
         self._crashed = False
         self._ops_issued = 0
@@ -180,6 +207,8 @@ class FaultInjector:
             self.inner.note_fault()
             raise TransientReadError(start_page, n_pages)
         cost = self.inner.read(start_page, n_pages)
+        if self.at_rest_corruption_rate > 0.0:
+            self._decide_rot(start_page, n_pages)
         if (
             self.silent_corruption_rate > 0.0
             and self._rng.random() < self.silent_corruption_rate
@@ -199,6 +228,7 @@ class FaultInjector:
         if self._inert:
             if self.crash_at is not None or self._crashed:
                 self._count_op()
+            self._settle_write(start_page, n_pages)
             return self.inner.write(start_page, n_pages)
         self._count_op()
         if (
@@ -208,9 +238,12 @@ class FaultInjector:
         ):
             pages_written = int(self._rng.integers(1, n_pages))
             self.inner.write(start_page, pages_written)
+            # only the landed prefix was re-magnetized
+            self._settle_write(start_page, pages_written)
             self.inner.note_fault()
             raise TornWriteError(start_page, n_pages, pages_written)
         cost = self.inner.write(start_page, n_pages)
+        self._settle_write(start_page, n_pages)
         return cost + self._maybe_spike()
 
     # ``SimulatedDisk`` exposes a direction-agnostic ``access``; callers
@@ -237,6 +270,61 @@ class FaultInjector:
                 c for c in self._pending_corruption if not start_page <= c[0] < end
             ]
         return taken
+
+    # ------------------------------------------------------------------
+    # At-rest corruption (rot on the platter)
+    # ------------------------------------------------------------------
+
+    def _decide_rot(self, start_page: int, n_pages: int) -> None:
+        """Draw the one-time at-rest verdict for undecided pages of a run."""
+        for page in range(start_page, start_page + n_pages):
+            if page in self._rot_decided:
+                continue
+            self._rot_decided.add(page)
+            if self._rng.random() < self.at_rest_corruption_rate:
+                byte = int(
+                    self._rng.integers(0, self.inner.parameters.page_bytes)
+                )
+                bit = int(self._rng.integers(0, 8))
+                self._rotten[page] = (byte, bit)
+                self.inner.note_fault()
+
+    def _settle_write(self, start_page: int, n_pages: int) -> None:
+        """A landed write re-magnetizes its pages: rot is healed and the
+        verdict is settled as durably clean."""
+        if self.at_rest_corruption_rate > 0.0:
+            self._rot_decided.update(range(start_page, start_page + n_pages))
+        if self._rotten:
+            for page in range(start_page, start_page + n_pages):
+                self._rotten.pop(page, None)
+
+    def at_rest_flips(
+        self, start_page: int, n_pages: int
+    ) -> list[tuple[int, int, int]]:
+        """Persistent ``(page, byte, bit)`` flips within the run.
+
+        Non-destructive, unlike :meth:`consume_corruption`: the rot is
+        on the platter and stays until the page is rewritten.  The data
+        layer calls this after every charged read to overlay the
+        media's true state on the returned payload.
+        """
+        if not self._rotten:
+            return []
+        end = start_page + n_pages
+        return [
+            (page, byte, bit)
+            for page, (byte, bit) in self._rotten.items()
+            if start_page <= page < end
+        ]
+
+    def is_rotten(self, page: int) -> bool:
+        """Whether ``page`` currently carries an at-rest flip."""
+        return page in self._rotten
+
+    @property
+    def rotten_pages(self) -> int:
+        """Number of pages currently rotten on the media."""
+        return len(self._rotten)
 
     def _maybe_spike(self) -> IOCost:
         if (
@@ -283,8 +371,9 @@ class FaultInjector:
         transfers, retries, and faults_seen together, and the injector
         drops corruption flips recorded but never consumed -- a flip
         from phase A materializing in phase B would charge B for A's
-        fault.  The fault RNG stream and the crash schedule are *not*
-        reset: they model the hostile world, not the ledger.
+        fault.  The fault RNG stream, the crash schedule, and the
+        at-rest rot registry are *not* reset: they model the hostile
+        world (and the physical media), not the ledger.
         """
         self._pending_corruption.clear()
         return self.inner.reset_counters()

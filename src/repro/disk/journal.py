@@ -171,8 +171,11 @@ class WriteAheadJournal:
         """
         file = entry.file
         stop = entry.start + entry.points.shape[0]
-        first, count = file.page_span(entry.start, stop)
-        file.charged(lambda: file.disk.write(first, count))
+        # install_pages carries the charged write plus everything a
+        # write must propagate: replica/parity copies and buffer-pool
+        # invalidation (a cached pre-install page is stale the moment
+        # the install lands)
+        file.install_pages(entry.start, stop)
         file.place(entry.start, entry.points)
 
     def _retire(self, entry: JournalEntry) -> None:

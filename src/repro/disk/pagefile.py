@@ -27,6 +27,17 @@ Durability layers (both off by default and zero-overhead when off):
   :meth:`write_range_atomic` then commits multi-page writes
   journal-first, so a crash or torn write mid-install is *repaired* on
   recovery instead of merely detected.
+* ``redundancy`` attaches a
+  :class:`~repro.disk.redundancy.RedundancyPolicy` (k-way mirrors
+  and/or parity stripes); writes propagate to every copy (charged,
+  tracked separately in ``redundancy_cost``), and a checksum failure
+  caused by *at-rest* rot triggers **repair-on-read**: one charged
+  probe reread (the single honest retry -- backoff cannot fix the
+  platter), reconstruction from a surviving copy, and an atomic
+  rewrite of the healed page.  Only when every copy is bad does the
+  read surface :class:`~repro.errors.UnrecoverableCorruptionError`.
+  :meth:`scrub` runs the same machinery proactively over the whole
+  file.
 """
 
 from __future__ import annotations
@@ -37,12 +48,21 @@ from typing import TYPE_CHECKING, Callable, Iterator, TypeVar
 
 import numpy as np
 
-from ..errors import ChecksumError, DiskError
+from ..errors import (
+    BudgetExceededError,
+    ChecksumError,
+    DiskError,
+    InputValidationError,
+    UnrecoverableCorruptionError,
+)
+from .accounting import IOCost
 from .device import SimulatedDisk
+from .redundancy import RedundancyManager, RedundancyPolicy, ScrubReport
 from .retry import RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..runtime.breaker import CircuitBreaker
+    from ..runtime.governor import Governor
     from .journal import WriteAheadJournal
 
 __all__ = ["PointFile"]
@@ -73,6 +93,7 @@ class PointFile:
         verify_checksums: bool = False,
         journal: "WriteAheadJournal | None" = None,
         breaker: "CircuitBreaker | None" = None,
+        redundancy: RedundancyPolicy | None = None,
     ):
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
@@ -86,6 +107,14 @@ class PointFile:
         if self.points_per_page < 1:
             raise ValueError("a page must hold at least one point")
         self.start_page = disk.allocate(self._pages_for(capacity))
+        #: the policy as configured (propagated to derived files, e.g.
+        #: spill areas) and the manager actually doing the work --
+        #: ``None`` unless the policy is active, so an inactive policy
+        #: is provably zero-overhead
+        self.redundancy_policy = redundancy
+        self.redundancy: RedundancyManager | None = None
+        if redundancy is not None and redundancy.is_active:
+            self.redundancy = RedundancyManager(self, redundancy)
         # The in-process buffer grows on demand: a file's *capacity*
         # reserves disk pages (address arithmetic), not host memory --
         # spill areas are sized for the worst case but usually stay
@@ -119,6 +148,7 @@ class PointFile:
         verify_checksums: bool = False,
         journal: "WriteAheadJournal | None" = None,
         breaker: "CircuitBreaker | None" = None,
+        redundancy: RedundancyPolicy | None = None,
     ) -> "PointFile":
         """Create a file holding ``points``.
 
@@ -132,7 +162,7 @@ class PointFile:
         pf = cls(disk, points.shape[1], points.shape[0],
                  points_per_page=points_per_page, retry=retry,
                  verify_checksums=verify_checksums, journal=journal,
-                 breaker=breaker)
+                 breaker=breaker, redundancy=redundancy)
         pf._ensure_rows(points.shape[0])
         pf._buffer[: points.shape[0]] = points
         pf.n_points = points.shape[0]
@@ -204,22 +234,37 @@ class PointFile:
         """Post-read integrity step for the charged run ``[first, first+count)``.
 
         Collects any silent bit flips the (fault-injecting) disk
-        recorded against this run and applies each to a *copy* of its
-        page's payload -- the transit view of the data, distinct from
-        the authoritative buffer.  When checksum verification is on,
-        every page of the run is then CRC-checked against the sidecar;
-        a flipped page fails and raises
-        :class:`~repro.errors.ChecksumError` (inside the retry scope,
-        so a retry re-reads cleanly).  Returns the corrupted payloads
-        by relative page, for the caller to surface to its reader when
-        verification is off.
+        recorded against this run -- the consume-once *in-transit*
+        flips and the persistent *at-rest* rot -- and applies each to a
+        *copy* of its page's payload: the as-read view of the data,
+        distinct from the authoritative buffer.  When checksum
+        verification is on, every page of the run is then CRC-checked
+        against the sidecar.  A failing page splits by failure class:
+
+        * flipped **in transit only** -- raises
+          :class:`~repro.errors.ChecksumError` (inside the retry scope,
+          so a retry re-reads cleanly);
+        * **rotten at rest** -- a reread cannot help, so the page goes
+          straight to :meth:`_repair_rotten` (one charged probe, then
+          replica/parity reconstruction), raising
+          :class:`~repro.errors.UnrecoverableCorruptionError` only when
+          every copy is bad.  If the wire *also* flipped this read, the
+          platter is healed first and one retryable
+          :class:`~repro.errors.ChecksumError` is raised so the retry
+          fetches the clean bits.
+
+        Returns the corrupted payloads by relative page, for the caller
+        to surface to its reader when verification is off.
         """
         consume = getattr(self.disk, "consume_corruption", None)
         events = consume(first, count) if consume is not None else []
+        rot_query = getattr(self.disk, "at_rest_flips", None)
+        rot_events = rot_query(first, count) if rot_query is not None else []
         corrupted: dict[int, np.ndarray] = {}
-        for abs_page, byte, bit in events:
+        for abs_page, byte, bit in [*events, *rot_events]:
             rel = abs_page - self.start_page
-            payload = self._page_payload(rel).copy()
+            payload = (corrupted[rel] if rel in corrupted
+                       else self._page_payload(rel).copy())
             raw = bytearray(payload.tobytes())
             if not raw:
                 continue  # flip landed in unused page padding
@@ -228,6 +273,10 @@ class PointFile:
                 payload.shape
             )
         if self._crc is not None:
+            transit_rels = {abs_page - self.start_page
+                            for abs_page, _byte, _bit in events}
+            rot_rels = {abs_page - self.start_page
+                        for abs_page, _byte, _bit in rot_events}
             rel_first = first - self.start_page
             for rel in range(rel_first, rel_first + count):
                 if rel in corrupted:
@@ -243,10 +292,41 @@ class PointFile:
                     )
                     expected = self._crc[rel]
                 if actual != expected:
+                    if rel in rot_rels:
+                        self._repair_rotten(rel)
+                        corrupted.pop(rel, None)
+                        if rel in transit_rels:
+                            raise ChecksumError(
+                                self.start_page + rel, expected, actual
+                            )
+                        continue
                     raise ChecksumError(
                         self.start_page + rel, expected, actual
                     )
         return corrupted
+
+    def _repair_rotten(self, rel: int) -> None:
+        """Repair-on-read for a page whose corruption is on the platter.
+
+        Charges exactly one probe reread (seek + transfer, counted as
+        the single honest retry round) -- confirming the mismatch
+        persists -- instead of burning the exponential backoff schedule
+        on an error rereads cannot fix.  Then hands the page to the
+        redundancy manager; with no redundancy, or with every copy bad,
+        raises :class:`~repro.errors.UnrecoverableCorruptionError`
+        (non-retryable) for the caller's degradation machinery.
+        """
+        note_retry = getattr(self.disk, "note_retry", None)
+        if note_retry is not None:
+            note_retry(IOCost(seeks=1, transfers=1))
+        manager = self.redundancy
+        if manager is None:
+            raise UnrecoverableCorruptionError(self.start_page + rel)
+        if manager.repair(rel) is None:
+            raise UnrecoverableCorruptionError(
+                self.start_page + rel,
+                copies_tried=manager.copies_per_page,
+            )
 
     # ------------------------------------------------------------------
     # Charged access
@@ -328,10 +408,26 @@ class PointFile:
             raise IndexError(f"write past capacity: [{start}, {stop})")
         first, count = self.page_span(start, stop)
         self.charged(lambda: self.disk.write(first, count))
+        if self.redundancy is not None:
+            self.redundancy.on_write(first - self.start_page, count)
         self._ensure_rows(stop)
         self._buffer[start:stop] = points
         self.n_points = max(self.n_points, stop)
         self._refresh_crc(start, stop)
+
+    def install_pages(self, start: int, stop: int) -> None:
+        """Charged in-place install of the pages covering points
+        ``[start, stop)``: primary write, replica/parity propagation,
+        and buffer-pool invalidation -- everything a write path must do
+        to leave no stale copy anywhere.  Used by the journal's install
+        step; the payload itself is placed by the caller (installs are
+        charged here, mutated there, preserving crash ordering).
+        """
+        first, count = self.page_span(start, stop)
+        self.charged(lambda: self.disk.write(first, count))
+        if self.redundancy is not None:
+            self.redundancy.on_write(first - self.start_page, count)
+        self.invalidate_cached(first, count)
 
     def write_range_atomic(self, start: int, points: np.ndarray) -> None:
         """Overwrite points starting at ``start`` as one atomic commit.
@@ -345,7 +441,10 @@ class PointFile:
         plain (detect-only) :meth:`write_range`.
         """
         if self.journal is None:
+            points = np.asarray(points, dtype=np.float64)
             self.write_range(start, points)
+            first, count = self.page_span(start, start + points.shape[0])
+            self.invalidate_cached(first, count)
             return
         self.journal.commit(self, start, points)
 
@@ -378,6 +477,14 @@ class PointFile:
             for rel in range(self._pages_for(old)):
                 self._crc.pop(rel, None)
             self._refresh_crc(0, n_points)
+        if old > n_points:
+            # pages past (and including) the new trailing page changed
+            # meaning; a buffer pool must not serve them as current
+            first_dead = n_points // self.points_per_page
+            last_dead = (old - 1) // self.points_per_page
+            self.invalidate_cached(
+                self.start_page + first_dead, last_dead - first_dead + 1
+            )
 
     def scan(self, chunk_points: int | None = None) -> Iterator[tuple[int, np.ndarray]]:
         """Sequential full scan: yields ``(start_index, block)`` chunks.
@@ -391,6 +498,99 @@ class PointFile:
         for start in range(0, self.n_points, chunk):
             stop = min(start + chunk, self.n_points)
             yield start, self.read_range(start, stop)
+
+    def invalidate_cached(self, first_page: int, count: int) -> None:
+        """Drop a page run from any buffer pool stacked under this file.
+
+        No-op on pool-less devices.  Called wherever a page's served
+        content changes out from under a cache: atomic installs,
+        truncation, and repair rewrites -- a repaired page must never
+        be served stale.
+        """
+        invalidate = getattr(self.disk, "invalidate", None)
+        if invalidate is not None:
+            invalidate(first_page, count)
+
+    @property
+    def redundancy_cost(self) -> IOCost:
+        """Extra I/O spent on replicas and parity (zero when inactive)."""
+        if self.redundancy is None:
+            return IOCost()
+        return self.redundancy.redundancy_cost
+
+    def scrub(self, *, governor: "Governor | None" = None) -> ScrubReport:
+        """Background scrub: verify and repair every page proactively.
+
+        Walks the file's data pages through the normal charged,
+        checksum-verified read path -- so repair-on-read does the
+        healing -- then sweeps the replica and parity regions,
+        rewriting rotten copies from the healed primary.  Pages whose
+        every copy is bad are recorded as ``unrecoverable`` (the scrub
+        continues; a scrub inventories damage, it does not abort on
+        it); transient faults that survive the retry policy are counted
+        and skipped likewise.
+
+        ``governor`` makes the pass budget-aware: the op budget and
+        deadline are checked before every page, and the scrub stops
+        explicitly -- ``completed=False`` with the exhaustion recorded
+        -- rather than overspending.  Requires ``verify_checksums``:
+        without the sidecar there is nothing to verify against.
+        """
+        if self._crc is None:
+            raise InputValidationError(
+                "scrub requires verify_checksums=True: without the CRC "
+                "sidecar there is nothing to verify pages against"
+            )
+        start_cost = self.disk.cost
+        manager = self.redundancy
+        repairs_before = manager.repairs if manager is not None else 0
+        copies_before = manager.copies_repaired if manager is not None else 0
+        red_before = (manager.redundancy_cost if manager is not None
+                      else IOCost())
+        scanned = 0
+        unrecoverable: list[int] = []
+        transient = 0
+        exhausted: dict | None = None
+        self.disk.drop_head()  # a background pass starts cold
+        for rel in range(self.n_pages):
+            if governor is not None:
+                try:
+                    governor.check("scrub", self.disk.cost - start_cost)
+                except BudgetExceededError as error:
+                    exhausted = {
+                        "error": type(error).__name__,
+                        "phase": "scrub:data",
+                        "after_pages": rel,
+                        "detail": str(error),
+                    }
+                    break
+            page = self.start_page + rel
+            try:
+                self.charged(lambda p=page: self._read_run(p, 1))
+            except UnrecoverableCorruptionError:
+                unrecoverable.append(page)
+            except DiskError:
+                transient += 1
+            scanned += 1
+        if manager is not None and exhausted is None:
+            exhausted = manager.scrub_copies(
+                governor=governor, ledger_base=start_cost
+            )
+        return ScrubReport(
+            pages_total=self.n_pages,
+            pages_scanned=scanned,
+            repaired=(manager.repairs - repairs_before
+                      if manager is not None else 0),
+            copies_repaired=(manager.copies_repaired - copies_before
+                             if manager is not None else 0),
+            unrecoverable=tuple(unrecoverable),
+            transient_failures=transient,
+            io_cost=self.disk.cost - start_cost,
+            redundancy_cost=(manager.redundancy_cost - red_before
+                             if manager is not None else IOCost()),
+            completed=exhausted is None,
+            exhausted=exhausted,
+        )
 
     # ------------------------------------------------------------------
     # Uncharged access (bookkeeping that a real system would do in RAM)

@@ -1,0 +1,360 @@
+"""Page redundancy under :class:`~repro.disk.pagefile.PointFile`.
+
+PR 2's CRC32 sidecar *detects* a corrupted page; retry helps only when
+the flip happened in transit.  Rot on the platter
+(``at_rest_corruption_rate`` in :mod:`repro.disk.faults`) fails every
+reread the same way, so detection alone leaves the page -- and any
+prediction that needs it -- unrecoverable.  This module closes the
+detect-to-repair gap with two interchangeable redundancy schemes:
+
+* **k-way mirroring** (``replication_factor=k``): ``k - 1`` replica
+  regions of the file's pages, each write propagated to every copy;
+* **RAID-4-style parity** (``parity=True``): one parity page per
+  ``stripe_width`` data pages in a dedicated region, updated on every
+  data write; a lost data page is reconstructed by XOR-ing the
+  surviving stripe members with the parity page.
+
+Both schemes charge their extra I/O through the owning file's
+``charged`` path (same retry policy, same circuit breaker, same
+:class:`~repro.disk.accounting.IOCost` pricing) and additionally track
+it in a separate ``redundancy_cost`` ledger, mirroring how journal I/O
+is reported -- so the redundancy tax is always visible, never smeared
+into the data cost.  With ``replication_factor=1`` and parity off no
+manager is created at all: zero allocations, zero charges, bit-identical
+ledgers to an unreplicated file.
+
+Because the simulated device stores no bytes (the authoritative payload
+lives in the file's buffer; see :mod:`repro.disk.device`), a copy's
+goodness is modeled through the fault injector's rot registry: a
+replica page is usable iff it is not rotten and its verification read
+was not flipped in transit, and a parity reconstruction succeeds iff
+*every* surviving stripe member (data and parity pages alike) is clean
+-- any flip in any member corrupts the XOR, which the CRC check would
+catch.  Repair rewrites the healed page through
+``write_range_atomic`` (journal-protected when a journal is attached),
+which also refreshes every copy of that page: after a repair the page
+is healthy across the whole redundancy group.
+
+The **scrubber** (:meth:`PointFile.scrub
+<repro.disk.pagefile.PointFile.scrub>`) turns repair-on-read into a
+background pass: walk every data page through the verified read path
+(repairing as it goes), then sweep the replica and parity regions,
+rewriting any rotten copy from the authoritative primary.  The walk is
+budget-aware -- handed a :class:`~repro.runtime.governor.Governor` it
+checks the op budget and deadline at every page and stops explicitly,
+reporting how far it got -- and returns a structured
+:class:`ScrubReport`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..errors import BudgetExceededError, InputValidationError
+from .accounting import IOCost
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime.governor import Governor
+    from .pagefile import PointFile
+
+__all__ = ["RedundancyPolicy", "RedundancyManager", "ScrubReport"]
+
+
+@dataclass(frozen=True)
+class RedundancyPolicy:
+    """What redundancy a file carries; ``is_active`` False costs nothing.
+
+    ``replication_factor`` counts the primary: 1 means no mirrors.
+    ``parity`` adds one RAID-4-style parity page per ``stripe_width``
+    data pages, usable alone (pure parity) or on top of mirroring
+    (mirrors are tried first on repair -- one page read beats a stripe
+    reconstruction).
+    """
+
+    replication_factor: int = 1
+    parity: bool = False
+    stripe_width: int = 8
+
+    def __post_init__(self) -> None:
+        if (not isinstance(self.replication_factor, int)
+                or self.replication_factor < 1):
+            raise InputValidationError(
+                f"replication_factor must be a positive integer, got "
+                f"{self.replication_factor!r}"
+            )
+        if not isinstance(self.stripe_width, int) or self.stripe_width < 2:
+            raise InputValidationError(
+                f"stripe_width must be an integer >= 2, got "
+                f"{self.stripe_width!r}"
+            )
+
+    @property
+    def is_active(self) -> bool:
+        return self.replication_factor > 1 or self.parity
+
+
+@dataclass(frozen=True)
+class ScrubReport:
+    """What one scrub pass found, fixed, and spent.
+
+    ``unrecoverable`` lists absolute page numbers whose every copy was
+    bad -- the pages a subsequent read would fail on with
+    :class:`~repro.errors.UnrecoverableCorruptionError`.  ``completed``
+    is False when a governed scrub stopped at a budget or deadline
+    boundary; ``exhausted`` then records where.
+    """
+
+    pages_total: int
+    pages_scanned: int
+    repaired: int
+    copies_repaired: int
+    unrecoverable: tuple[int, ...]
+    transient_failures: int
+    io_cost: IOCost = field(default_factory=IOCost)
+    redundancy_cost: IOCost = field(default_factory=IOCost)
+    completed: bool = True
+    exhausted: dict | None = None
+
+    @property
+    def clean(self) -> bool:
+        """True when the media needed nothing: no repairs, no losses."""
+        return (not self.unrecoverable and self.repaired == 0
+                and self.copies_repaired == 0)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form for result details and CLI output."""
+        return {
+            "pages_total": self.pages_total,
+            "pages_scanned": self.pages_scanned,
+            "repaired": self.repaired,
+            "copies_repaired": self.copies_repaired,
+            "unrecoverable": list(self.unrecoverable),
+            "transient_failures": self.transient_failures,
+            "io_seeks": self.io_cost.seeks,
+            "io_transfers": self.io_cost.transfers,
+            "redundancy_seeks": self.redundancy_cost.seeks,
+            "redundancy_transfers": self.redundancy_cost.transfers,
+            "completed": self.completed,
+            "exhausted": self.exhausted,
+        }
+
+
+class RedundancyManager:
+    """Owns a file's replica and parity regions and the repair protocol.
+
+    Created by :class:`~repro.disk.pagefile.PointFile` when its policy
+    ``is_active``; the regions are allocated up front from the same
+    disk (capacity errors surface at file creation, like a real
+    pre-provisioned RAID group).  All charged I/O flows through the
+    owning file's retry policy and breaker; ``redundancy_cost``
+    accumulates it separately, and ``repairs`` / ``copies_repaired``
+    count pages healed on the primary and in the copy regions.
+    """
+
+    def __init__(self, file: "PointFile", policy: RedundancyPolicy):
+        self.file = file
+        self.policy = policy
+        self.redundancy_cost = IOCost()
+        self.repairs = 0
+        self.copies_repaired = 0
+        pages = file._pages_for(file.capacity)
+        self._region_pages = pages
+        self.replica_bases = [
+            file.disk.allocate(pages)
+            for _ in range(policy.replication_factor - 1)
+        ]
+        self.parity_base: int | None = None
+        if policy.parity and pages > 0:
+            self.parity_base = file.disk.allocate(
+                math.ceil(pages / policy.stripe_width)
+            )
+
+    @property
+    def copies_per_page(self) -> int:
+        """Primary plus every way a page's payload can be recovered."""
+        return (1 + len(self.replica_bases)
+                + (1 if self.parity_base is not None else 0))
+
+    # ------------------------------------------------------------------
+    # Write propagation
+    # ------------------------------------------------------------------
+
+    def on_write(self, rel_first: int, count: int) -> None:
+        """Propagate a landed primary write to every copy.
+
+        One charged write run per replica region, plus one charged
+        single-page write per touched parity stripe.  Charged through
+        the file (retry + breaker) and billed to ``redundancy_cost``.
+        """
+        if count <= 0:
+            return
+        for base in self.replica_bases:
+            self._charged_write(base + rel_first, count)
+        if self.parity_base is not None:
+            width = self.policy.stripe_width
+            last = (rel_first + count - 1) // width
+            for stripe in range(rel_first // width, last + 1):
+                self._charged_write(self.parity_base + stripe, 1)
+
+    def _charged_write(self, page: int, n_pages: int) -> None:
+        def op() -> IOCost:
+            self.file.disk.drop_head()  # the copy region is elsewhere
+            return self.file.disk.write(page, n_pages)
+
+        self.redundancy_cost = self.redundancy_cost + self.file.charged(op)
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+
+    def repair(self, rel: int) -> str | None:
+        """Reconstruct relative page ``rel`` from any surviving copy.
+
+        Tries mirrored replicas first (one page read each), then parity
+        reconstruction.  On success the healed payload is rewritten
+        through ``write_range_atomic`` -- journal-protected when the
+        file has a journal, and propagated back to every copy by the
+        write path -- so the whole redundancy group is healthy
+        afterwards.  Returns the source that served the repair
+        (``"replica-i"`` / ``"parity"``), or ``None`` when every copy
+        was bad; the caller then raises
+        :class:`~repro.errors.UnrecoverableCorruptionError`.
+        """
+        file = self.file
+        disk = file.disk
+        source: str | None = None
+        for i, base in enumerate(self.replica_bases):
+            if self._copy_is_clean(base + rel, 1):
+                source = f"replica-{i}"
+                break
+        if source is None and self.parity_base is not None:
+            if self._parity_reconstructs(rel):
+                source = "parity"
+        if source is None:
+            return None
+        lo, hi = file._page_rows(rel)
+        payload = file.peek(lo, hi).copy()
+        file.write_range_atomic(lo, payload)
+        file.invalidate_cached(file.start_page + rel, 1)
+        self.repairs += 1
+        return source
+
+    def _copy_is_clean(self, page: int, n_pages: int) -> bool:
+        """Charged verification read of a copy run; True iff usable.
+
+        A copy is unusable when it is rotten on the platter, or when
+        this very verification read was flipped in transit -- a real
+        repairer cannot trust bits it cannot verify, so it moves on to
+        the next copy rather than recursing into rereads.
+        """
+        disk = self.file.disk
+        disk.drop_head()
+        self.redundancy_cost = self.redundancy_cost + disk.read(page, n_pages)
+        consume = getattr(disk, "consume_corruption", None)
+        transit = consume(page, n_pages) if consume is not None else []
+        if transit:
+            return False
+        is_rotten = getattr(disk, "is_rotten", None)
+        if is_rotten is None:
+            return True
+        return not any(
+            is_rotten(p) for p in range(page, page + n_pages)
+        )
+
+    def _parity_reconstructs(self, rel: int) -> bool:
+        """Whether XOR over the stripe's survivors yields the lost page.
+
+        Reads the stripe's data run and its parity page (charged);
+        the reconstruction is clean iff every member other than the
+        lost page is clean -- one flipped member poisons the XOR, and
+        the CRC check against the sidecar would reject it.
+        """
+        file = self.file
+        disk = file.disk
+        width = self.policy.stripe_width
+        stripe = rel // width
+        first_rel = stripe * width
+        count = min(width, self._region_pages - first_rel)
+        consume = getattr(disk, "consume_corruption", None)
+        is_rotten = getattr(disk, "is_rotten", None)
+
+        disk.drop_head()
+        self.redundancy_cost = self.redundancy_cost + disk.read(
+            file.start_page + first_rel, count
+        )
+        data_transit = (consume(file.start_page + first_rel, count)
+                        if consume is not None else [])
+        parity_clean = self._copy_is_clean(self.parity_base + stripe, 1)
+
+        lost = file.start_page + rel
+        if any(page != lost for page, _b, _t in data_transit):
+            return False
+        if not parity_clean:
+            return False
+        if is_rotten is not None:
+            for p in range(first_rel, first_rel + count):
+                if p != rel and is_rotten(file.start_page + p):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Copy-region scrub
+    # ------------------------------------------------------------------
+
+    def scrub_copies(
+        self,
+        *,
+        governor: "Governor | None" = None,
+        ledger_base: IOCost | None = None,
+    ) -> dict | None:
+        """Sweep replica and parity regions, rewriting rotten copies.
+
+        Runs after the primary pages were scrubbed (so the primary is
+        the authoritative clean source).  Returns ``None`` on
+        completion, or the exhaustion record when the governor stopped
+        the sweep at a region boundary.
+        """
+        file = self.file
+        disk = file.disk
+        pages = file.n_pages
+        if pages == 0:
+            return None
+        base_cost = ledger_base if ledger_base is not None else disk.cost
+        regions = [(base, pages) for base in self.replica_bases]
+        if self.parity_base is not None:
+            regions.append(
+                (self.parity_base,
+                 math.ceil(pages / self.policy.stripe_width))
+            )
+        is_rotten = getattr(disk, "is_rotten", None)
+        for base, n_pages in regions:
+            if governor is not None:
+                try:
+                    governor.check("scrub", disk.cost - base_cost)
+                except BudgetExceededError as error:
+                    return {
+                        "error": type(error).__name__,
+                        "phase": "scrub:copies",
+                        "detail": str(error),
+                    }
+            def read_region(base=base, n=n_pages) -> IOCost:
+                disk.drop_head()
+                return disk.read(base, n)
+
+            self.redundancy_cost = (
+                self.redundancy_cost + file.charged(read_region)
+            )
+            consume = getattr(disk, "consume_corruption", None)
+            if consume is not None:
+                # copies carry no checksummed reader of their own; a
+                # wire flip on the sweep read is noise, not state
+                consume(base, n_pages)
+            if is_rotten is None:
+                continue
+            for page in range(base, base + n_pages):
+                if is_rotten(page):
+                    self._charged_write(page, 1)
+                    self.copies_repaired += 1
+        return None

@@ -18,7 +18,11 @@ purpose by this package derives from :class:`ReproError`:
     retryable), :class:`TornWriteError` (a multi-page write only
     partially landed; retryable by rewriting the full range), and
     :class:`ChecksumError` (a page's payload failed CRC verification --
-    silent corruption caught on the wire; retryable by re-reading).
+    silent corruption caught on the wire; retryable by re-reading), and
+    :class:`UnrecoverableCorruptionError` (a page rotted *at rest* and
+    every replica and parity copy is bad too; not retryable -- rereads
+    fetch the same rotten bits -- so the facade degrades with
+    ``cause=media``).
 ``CrashPoint``
     the simulated process was killed at a scheduled charged disk
     operation.  Deliberately *not* a :class:`DiskError`: nothing inside
@@ -60,6 +64,7 @@ __all__ = [
     "TransientReadError",
     "TornWriteError",
     "ChecksumError",
+    "UnrecoverableCorruptionError",
     "CrashPoint",
     "PredictionError",
     "BudgetExceededError",
@@ -153,6 +158,38 @@ class ChecksumError(DiskError):
             f"{self.expected:#010x}, payload reads {self.actual:#010x} "
             f"after {self.attempts} attempt"
             f"{'s' if self.attempts != 1 else ''}"
+        )
+
+
+class UnrecoverableCorruptionError(DiskError):
+    """A page rotted on the platter and no copy could reconstruct it.
+
+    Raised by a checksum-verifying
+    :class:`~repro.disk.pagefile.PointFile` when a charged read hits
+    *at-rest* corruption (the fault injector's
+    ``at_rest_corruption_rate``) and repair-on-read found every
+    mirrored replica and parity reconstruction corrupted as well --
+    or no redundancy was configured at all.  Deliberately **not** a
+    subclass of :class:`ChecksumError` and **not** retryable:
+    re-reading rotten media returns the same rotten bits, so the retry
+    policy must not burn its backoff schedule here.  The facade treats
+    it as a degradation trigger with ``cause="media"``; the CLI maps
+    it to exit code 13.
+    """
+
+    retryable = False
+
+    def __init__(self, page: int, *, copies_tried: int = 1):
+        self.page = page
+        self.copies_tried = copies_tried
+        super().__init__(page, copies_tried)
+
+    def __str__(self) -> str:
+        return (
+            f"unrecoverable at-rest corruption on page {self.page}: "
+            f"all {self.copies_tried} "
+            f"cop{'ies' if self.copies_tried != 1 else 'y'} failed "
+            f"verification"
         )
 
 

@@ -2,11 +2,16 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.disk.accounting import IOCost
 from repro.disk.bufferpool import BufferedDisk
 from repro.disk.device import SimulatedDisk
+from repro.disk.faults import FaultInjector
+from repro.disk.pagefile import PointFile
+from repro.disk.redundancy import RedundancyPolicy
+from repro.disk.retry import RetryPolicy
 
 
 @pytest.fixture
@@ -84,3 +89,101 @@ class TestCaching:
         pool.read(0, 3)
         pool.read(8, 1)
         assert pool.disk.cost.transfers == pool.misses
+
+
+class TestInvalidation:
+    def test_invalidate_evicts_the_run(self, pool):
+        pool.read(0, 3)
+        assert pool.read(1, 1).is_zero
+        pool.invalidate(1, 1)
+        assert pool.read(1, 1).transfers == 1  # miss: page was evicted
+        assert pool.read(0, 1).is_zero         # neighbors untouched
+
+    def test_invalidate_is_uncharged(self, pool):
+        pool.read(0, 2)
+        before = pool.disk.cost
+        pool.invalidate(0, 2)
+        assert pool.disk.cost == before
+
+    def test_invalidate_of_uncached_pages_is_a_noop(self, pool):
+        pool.invalidate(40, 3)  # nothing cached there; must not raise
+        with pytest.raises(ValueError):
+            pool.invalidate(-1, 1)
+
+
+class TestStackingUnderPointFile:
+    """The pool between a PointFile and the (fault-injecting) device."""
+
+    def test_pointfile_reads_hit_the_pool(self):
+        points = np.random.default_rng(0).random((300, 8))
+        pool = BufferedDisk(SimulatedDisk(), capacity_pages=64)
+        file = PointFile.from_points(pool, points, verify_checksums=True)
+        file.read_range(0, file.n_points)
+        cold = pool.disk.cost
+        file.read_range(0, file.n_points)
+        assert pool.disk.cost == cold  # fully cached: no physical I/O
+        assert pool.hits > 0
+
+    def test_atomic_write_invalidates_cached_pages(self):
+        points = np.random.default_rng(0).random((300, 8))
+        pool = BufferedDisk(SimulatedDisk(), capacity_pages=64)
+        file = PointFile.from_points(pool, points, verify_checksums=True)
+        file.read_range(0, file.n_points)  # warm the cache
+        file.write_range_atomic(0, points[:file.points_per_page] + 1.0)
+        misses_before = pool.misses
+        file.read_range(0, file.points_per_page)
+        assert pool.misses > misses_before  # rewritten page re-fetched
+
+    def test_truncate_invalidates_dropped_pages(self):
+        points = np.random.default_rng(0).random((300, 8))
+        pool = BufferedDisk(SimulatedDisk(), capacity_pages=64)
+        file = PointFile.from_points(pool, points, verify_checksums=True)
+        file.read_range(0, file.n_points)
+        dropped = file.start_page + 1
+        assert dropped in pool._pages  # warmed by the full read
+        file.truncate(file.points_per_page)  # drops page 1's contents
+        assert dropped not in pool._pages
+        assert file.start_page in pool._pages  # surviving page stays
+
+    def test_repaired_page_is_never_served_stale(self):
+        """The satellite regression: repair rewrites through the pool's
+        invalidation hook, so the next read fetches the healed page."""
+        points = np.random.default_rng(0).random((300, 8))
+        injector = FaultInjector(SimulatedDisk(), seed=1)
+        pool = BufferedDisk(injector, capacity_pages=64)
+        file = PointFile.from_points(
+            pool, points, retry=RetryPolicy(), verify_checksums=True,
+            redundancy=RedundancyPolicy(replication_factor=2),
+        )
+        # Rot the primary page before anything is cached.
+        injector.at_rest_corruption_rate = 1.0
+        injector.read(file.start_page, 1)
+        injector.at_rest_corruption_rate = 0.0
+        assert injector.is_rotten(file.start_page)
+
+        data = file.read_range(0, file.n_points)
+        assert np.array_equal(data, points)
+        assert file.redundancy.repairs == 1
+        assert not injector.is_rotten(file.start_page)
+        # The healed page was re-admitted on the repair write and is
+        # clean on reread -- same bits, no second repair.
+        again = file.read_range(0, file.n_points)
+        assert np.array_equal(again, points)
+        assert file.redundancy.repairs == 1
+
+    def test_device_api_passthrough(self):
+        injector = FaultInjector(SimulatedDisk(), seed=0)
+        pool = BufferedDisk(injector, capacity_pages=4)
+        assert pool.parameters is injector.parameters
+        start = pool.allocate(3)
+        assert pool.allocated_pages == injector.allocated_pages
+        pool.read(start, 2)
+        assert pool.cost == injector.cost
+        assert pool.seconds() == injector.seconds()
+        assert pool.is_rotten(start) is False
+        assert pool.at_rest_flips(start, 2) == []
+        assert pool.consume_corruption(start, 2) == []
+        bare = BufferedDisk(SimulatedDisk(), capacity_pages=4)
+        assert bare.consume_corruption(0, 1) == []  # bare disks: no-op
+        assert bare.at_rest_flips(0, 1) == []
+        assert bare.is_rotten(0) is False

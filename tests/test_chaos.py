@@ -316,3 +316,95 @@ class TestBudgetAxis:
         )
         with pytest.raises(AssertionError, match="silent overspend"):
             assert_budget_honored([bad])
+
+
+class TestMediaAxis:
+    """At-rest rot x redundancy: repaired-bit-identical or explicitly
+    degraded -- never silently wrong."""
+
+    def test_grid_crosses_media_axes(self):
+        cells = chaos_grid(
+            fault_rates=(0.0,),
+            corruption_rates=(0.0,),
+            crash_points=(None,),
+            seeds=(0, 1),
+            at_rest_rates=(0.0, 0.05),
+            replication_factors=(1, 2),
+        )
+        # 2 seeds x 2 rates x 2 factors = 8, minus the two all-quiet
+        # cells of seed 1 (ar=0 for both replication factors).
+        assert len(cells) == 6
+        assert ChaosCell(0.0, 0.0, None, 0,
+                         at_rest_rate=0.05, replication_factor=2) in cells
+        assert ChaosCell(0.0, 0.0, None, 1, replication_factor=2) not in cells
+
+    def test_invariant_rejects_repairless_repaired(self):
+        bad = ChaosOutcome(
+            cell=ChaosCell(at_rest_rate=0.05, replication_factor=2),
+            status="repaired", per_query=np.zeros(3), repairs=0,
+        )
+        with pytest.raises(AssertionError, match="zero repair count"):
+            assert_no_silent_divergence([bad])
+
+    def test_redundant_cell_is_bit_identical(
+        self, clustered_points, workload, model, reference
+    ):
+        """Rot under mirrors + parity: the prediction must equal the
+        fault-free reference bit for bit, with repairs on the record."""
+        cell = ChaosCell(
+            seed=CHAOS_SEED, at_rest_rate=0.05,
+            replication_factor=2, parity=True,
+        )
+        outcome = run_cell(
+            clustered_points, workload, model, cell, reference.per_query
+        )
+        assert outcome.status in ("identical", "repaired"), cell.label()
+        assert np.array_equal(outcome.per_query, reference.per_query)
+        if outcome.status == "repaired":
+            assert outcome.repairs >= 1
+
+    def test_unreplicated_rot_degrades_explicitly(
+        self, clustered_points, workload, model, reference
+    ):
+        cell = ChaosCell(seed=CHAOS_SEED, at_rest_rate=0.3)
+        outcome = run_cell(
+            clustered_points, workload, model, cell, reference.per_query
+        )
+        assert outcome.status == "degraded", cell.label()
+        assert outcome.degradation["triggering_error"].startswith(
+            "UnrecoverableCorruptionError"
+        )
+        causes = {a["cause"] for a in outcome.degradation["attempts"]}
+        assert "media" in causes
+
+    def test_media_sweep_honors_the_invariant(
+        self, clustered_points, workload, model
+    ):
+        cells = chaos_grid(
+            fault_rates=(0.0, 0.05),
+            corruption_rates=(0.0,),
+            crash_points=(None,),
+            seeds=(CHAOS_SEED,),
+            at_rest_rates=(0.0, 0.05),
+            replication_factors=(2,),
+        )
+        cells = [ChaosCell(
+            c.fault_rate, c.corruption_rate, c.crash_at, c.seed,
+            at_rest_rate=c.at_rest_rate,
+            replication_factor=c.replication_factor, parity=True,
+        ) for c in cells]
+        outcomes = run_sweep(clustered_points, workload, model, cells)
+        assert len(outcomes) == len(cells)
+        assert_no_silent_divergence(outcomes)
+
+    def test_media_cells_are_deterministic(
+        self, clustered_points, workload, model
+    ):
+        cells = [ChaosCell(seed=CHAOS_SEED, at_rest_rate=0.05,
+                           replication_factor=2, parity=True)]
+        first = run_sweep(clustered_points, workload, model, cells)
+        second = run_sweep(clustered_points, workload, model, cells)
+        assert first[0].status == second[0].status
+        assert first[0].repairs == second[0].repairs
+        assert np.array_equal(first[0].per_query, second[0].per_query)
+        assert first[0].io_cost == second[0].io_cost

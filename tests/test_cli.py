@@ -180,6 +180,81 @@ class TestBudgetFlags:
         assert "InputValidationError" in capsys.readouterr().err
 
 
+class TestSelfHealingFlags:
+    def test_parser_accepts_redundancy_flags(self):
+        args = build_parser().parse_args(
+            ["predict", "--at-rest-rate", "0.1",
+             "--replication-factor", "3", "--parity", "--scrub"]
+        )
+        assert args.at_rest_rate == 0.1
+        assert args.replication_factor == 3
+        assert args.parity is True
+        assert args.scrub is True
+
+    def test_rot_healed_by_replication(self, capsys):
+        assert main(
+            ["predict", *FAST, "--at-rest-rate", "0.05",
+             "--replication-factor", "2", "--parity"]
+        ) == 0
+        assert "redundancy: 2-way + parity" in capsys.readouterr().out
+
+    def test_scrub_report_printed_after_predict(self, capsys):
+        assert main(
+            ["predict", *FAST, "--at-rest-rate", "0.05",
+             "--replication-factor", "2", "--parity", "--scrub"]
+        ) == 0
+        assert "scrub:" in capsys.readouterr().out
+
+    def test_unreplicated_rot_exits_13_without_degradation(self, capsys):
+        # --strict-budget disables the degradation chain, so the
+        # non-retryable media error surfaces with its own exit code.
+        code = main(
+            ["predict", *FAST, "--at-rest-rate", "0.9",
+             "--verify-checksums", "--strict-budget"]
+        )
+        assert code == 13
+        assert "UnrecoverableCorruptionError" in capsys.readouterr().err
+
+    def test_unreplicated_rot_degrades_to_zero_by_default(self, capsys):
+        with pytest.warns(Warning):
+            assert main(
+                ["predict", *FAST, "--at-rest-rate", "0.9",
+                 "--verify-checksums"]
+            ) == 0
+        assert "resilience:" in capsys.readouterr().out
+
+    def test_invalid_replication_factor_exits_3(self, capsys):
+        assert main(["predict", *FAST, "--replication-factor", "0"]) == 3
+        assert "InputValidationError" in capsys.readouterr().err
+
+
+class TestScrubCommand:
+    def test_clean_scrub(self, capsys):
+        assert main(["scrub", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "pages scanned" in out
+        assert "scrub I/O" in out
+
+    def test_scrub_repairs_with_redundancy(self, capsys):
+        assert main(
+            ["scrub", *FAST, "--at-rest-rate", "0.1",
+             "--replication-factor", "2", "--parity",
+             "--fault-seed", "1", "--strict"]
+        ) == 0
+        assert "repaired" in capsys.readouterr().out
+
+    def test_strict_scrub_exits_13_on_unrecoverable_rot(self, capsys):
+        code = main(["scrub", *FAST, "--at-rest-rate", "0.9", "--strict"])
+        assert code == 13
+        captured = capsys.readouterr()
+        assert "UNRECOVERABLE" in captured.out
+        assert "unrecoverable under --strict" in captured.err
+
+    def test_unstrict_scrub_inventories_without_failing(self, capsys):
+        assert main(["scrub", *FAST, "--at-rest-rate", "0.9"]) == 0
+        assert "UNRECOVERABLE" in capsys.readouterr().out
+
+
 class TestVersionAndHelp:
     def test_version_flag(self, capsys):
         import repro
@@ -194,7 +269,8 @@ class TestVersionAndHelp:
             main(["--help"])
         assert excinfo.value.code == 0
         out = capsys.readouterr().out
-        for code in ("3 ", "10 ", "11 ", "12 "):
+        for code in ("3 ", "10 ", "11 ", "12 ", "13 "):
             assert code in out
         assert "resource budget exhausted" in out
         assert "deadline exceeded" in out
+        assert "unrecoverable at-rest corruption" in out

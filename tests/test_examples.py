@@ -24,6 +24,7 @@ EXAMPLE_NAMES = [
     "index_anatomy",
     "resilient_prediction",
     "budgeted_prediction",
+    "self_healing",
 ]
 
 

@@ -1,0 +1,352 @@
+"""Self-healing storage: at-rest rot, mirrors, parity, scrub.
+
+At-rest corruption is the failure class retry cannot fix: the flip is
+on the platter, so every reread returns the same bad bits.  These tests
+pin the whole detect-to-repair pipeline -- rot persistence, honest
+retry classification (exactly one probe, never the backoff schedule),
+repair-on-read from replicas and parity, the explicit
+``UnrecoverableCorruptionError`` when every copy is bad, the background
+scrubber, and the zero-overhead guarantee when redundancy is off.
+
+The recipe for deterministic rot: raise ``at_rest_corruption_rate`` to
+1.0, issue one raw read of exactly the pages that should rot (the
+sticky per-page verdict is drawn on first read), then drop the rate to
+0.0 so undecided pages stay clean forever.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import IndexCostPredictor
+from repro.disk.accounting import IOCost
+from repro.disk.device import SimulatedDisk
+from repro.disk.faults import FaultInjector
+from repro.disk.pagefile import PointFile
+from repro.disk.redundancy import RedundancyPolicy
+from repro.disk.retry import RetryPolicy
+from repro.errors import (
+    DegradedResultWarning,
+    InputValidationError,
+    UnrecoverableCorruptionError,
+)
+from repro.runtime.budget import Budget
+from repro.runtime.governor import Governor
+
+
+def make_points(n=300, d=8, seed=0):
+    return np.random.default_rng(seed).random((n, d))
+
+
+def rot_pages(injector, first, count=1):
+    """Deterministically rot exactly ``[first, first + count)``."""
+    saved = injector.at_rest_corruption_rate
+    injector.at_rest_corruption_rate = 1.0
+    injector.read(first, count)
+    injector.at_rest_corruption_rate = saved
+    for page in range(first, first + count):
+        assert injector.is_rotten(page)
+
+
+def healing_file(points, *, redundancy, seed=1):
+    injector = FaultInjector(SimulatedDisk(), seed=seed)
+    file = PointFile.from_points(
+        injector, points, retry=RetryPolicy(), verify_checksums=True,
+        redundancy=redundancy,
+    )
+    return injector, file
+
+
+class TestAtRestRot:
+    def test_rot_is_sticky_across_rereads_and_reboot(self):
+        injector = FaultInjector(
+            SimulatedDisk(), at_rest_corruption_rate=1.0, seed=3
+        )
+        injector.read(0, 1)
+        assert injector.is_rotten(0)
+        flip = injector.at_rest_flips(0, 1)
+        assert len(flip) == 1
+        # A reread returns the same damage, not a fresh draw.
+        injector.read(0, 1)
+        assert injector.at_rest_flips(0, 1) == flip
+        # Rot is media state: it survives a process reboot.
+        injector.reboot()
+        assert injector.is_rotten(0)
+        assert injector.at_rest_flips(0, 1) == flip
+        assert injector.rotten_pages == 1
+
+    def test_write_heals_and_settles_the_verdict(self):
+        injector = FaultInjector(
+            SimulatedDisk(), at_rest_corruption_rate=1.0, seed=3
+        )
+        injector.read(0, 2)
+        assert injector.rotten_pages == 2
+        injector.write(0, 2)
+        assert injector.rotten_pages == 0
+        # The rewritten pages are durably clean: even at rate 1.0 a
+        # later read must not re-rot them (no heal/re-rot livelock).
+        injector.read(0, 2)
+        assert injector.rotten_pages == 0
+
+    def test_queries_are_non_destructive(self):
+        injector = FaultInjector(
+            SimulatedDisk(), at_rest_corruption_rate=1.0, seed=3
+        )
+        injector.read(4, 1)
+        before = injector.at_rest_flips(4, 1)
+        assert injector.at_rest_flips(4, 1) == before  # not consume-once
+
+    def test_zero_rate_never_rots(self):
+        injector = FaultInjector(SimulatedDisk(), seed=3)
+        injector.read(0, 8)
+        assert injector.rotten_pages == 0
+        assert injector.at_rest_flips(0, 8) == []
+
+    def test_rate_validation(self):
+        with pytest.raises(Exception):
+            FaultInjector(SimulatedDisk(), at_rest_corruption_rate=1.5)
+
+
+class TestRepairOnRead:
+    def test_mirror_repair_returns_exact_bits(self):
+        points = make_points()
+        injector, file = healing_file(
+            points, redundancy=RedundancyPolicy(replication_factor=2)
+        )
+        rot_pages(injector, file.start_page)
+        data = file.read_range(0, file.n_points)
+        assert np.array_equal(data, points)
+        assert file.redundancy.repairs == 1
+        assert not injector.is_rotten(file.start_page)
+
+    def test_parity_repair_returns_exact_bits(self):
+        points = make_points()
+        injector, file = healing_file(
+            points, redundancy=RedundancyPolicy(parity=True)
+        )
+        rot_pages(injector, file.start_page + 1)
+        data = file.read_range(0, file.n_points)
+        assert np.array_equal(data, points)
+        assert file.redundancy.repairs == 1
+
+    def test_repair_heals_durably(self):
+        points = make_points()
+        injector, file = healing_file(
+            points, redundancy=RedundancyPolicy(replication_factor=2)
+        )
+        rot_pages(injector, file.start_page)
+        file.read_range(0, file.n_points)
+        assert file.redundancy.repairs == 1
+        # The healed page was rewritten (and its verdict settled):
+        # rereads need no further repair.
+        again = file.read_range(0, file.n_points)
+        assert np.array_equal(again, points)
+        assert file.redundancy.repairs == 1
+
+    def test_unreplicated_rot_is_unrecoverable(self):
+        points = make_points()
+        injector, file = healing_file(points, redundancy=None)
+        rot_pages(injector, file.start_page)
+        with pytest.raises(UnrecoverableCorruptionError) as info:
+            file.read_range(0, file.n_points)
+        assert info.value.page == file.start_page
+        assert info.value.retryable is False
+
+    def test_all_copies_bad_is_unrecoverable(self):
+        points = make_points()
+        injector, file = healing_file(
+            points, redundancy=RedundancyPolicy(replication_factor=2)
+        )
+        replica_base = file.redundancy.replica_bases[0]
+        rot_pages(injector, file.start_page)
+        rot_pages(injector, replica_base)
+        with pytest.raises(UnrecoverableCorruptionError) as info:
+            file.read_range(0, file.n_points)
+        assert info.value.copies_tried == 2
+
+    def test_redundancy_cost_is_a_separate_ledger(self):
+        points = make_points()
+        injector, file = healing_file(
+            points, redundancy=RedundancyPolicy(replication_factor=3)
+        )
+        base = file.redundancy_cost
+        assert base.is_zero
+        file.write_range(0, points[: file.points_per_page])
+        cost = file.redundancy_cost
+        # Two replicas, one single-page write each.
+        assert cost.transfers == 2
+        assert cost.seeks == 2
+
+
+class TestHonestRetryClassification:
+    """At-rest failures charge exactly one probe, never the backoff."""
+
+    def test_repairable_rot_charges_one_retry(self):
+        points = make_points()
+        injector, file = healing_file(
+            points, redundancy=RedundancyPolicy(replication_factor=2)
+        )
+        rot_pages(injector, file.start_page)
+        file.read_range(0, file.n_points)
+        assert injector.cost.retries == 1
+
+    def test_unrecoverable_rot_charges_one_retry(self):
+        points = make_points()
+        injector, file = healing_file(points, redundancy=None)
+        rot_pages(injector, file.start_page)
+        with pytest.raises(UnrecoverableCorruptionError):
+            file.read_range(0, file.n_points)
+        assert injector.cost.retries == 1
+
+    def test_in_transit_corruption_still_retries_as_before(self):
+        points = make_points()
+        injector = FaultInjector(
+            SimulatedDisk(), silent_corruption_rate=0.8, seed=0
+        )
+        file = PointFile.from_points(
+            injector, points, retry=RetryPolicy(), verify_checksums=True
+        )
+        data = file.read_range(0, file.n_points)
+        assert np.array_equal(data, points)
+        # Transit flips were caught and re-read through the normal
+        # retry path; none of them is platter damage.
+        assert injector.cost.retries > 0
+        assert injector.rotten_pages == 0
+
+
+class TestZeroOverhead:
+    def test_inactive_policy_matches_no_policy_exactly(self):
+        points = make_points()
+        plain_disk, rf1_disk = SimulatedDisk(), SimulatedDisk()
+        plain = PointFile.from_points(
+            plain_disk, points, verify_checksums=True
+        )
+        rf1 = PointFile.from_points(
+            rf1_disk, points, verify_checksums=True,
+            redundancy=RedundancyPolicy(replication_factor=1),
+        )
+        assert rf1.redundancy is None  # no manager, no allocations
+        assert plain_disk.allocated_pages == rf1_disk.allocated_pages
+        for file in (plain, rf1):
+            file.read_range(0, file.n_points)
+            file.write_range(0, points[:10])
+            file.truncate(len(points) - 5)
+        assert plain_disk.cost == rf1_disk.cost
+        assert rf1.redundancy_cost.is_zero
+
+    def test_facade_replication_factor_one_is_free(self):
+        points = make_points(n=400, d=6, seed=2)
+        plain = IndexCostPredictor(dim=6, memory=200)
+        rf1 = IndexCostPredictor(dim=6, memory=200, replication_factor=1)
+        workload = plain.make_workload(points, 10, 5, seed=3)
+        a = plain.predict(points, workload, seed=0)
+        b = rf1.predict(points, workload, seed=0)
+        assert np.array_equal(a.per_query, b.per_query)
+        assert a.io_cost == b.io_cost
+        assert "redundancy" not in b.detail
+
+
+class TestScrub:
+    def test_scrub_repairs_everything_then_reports_clean(self):
+        points = make_points(n=1200)
+        injector, file = healing_file(
+            points,
+            redundancy=RedundancyPolicy(replication_factor=2, parity=True),
+        )
+        injector.at_rest_corruption_rate = 0.4
+        report = file.scrub()
+        assert report.pages_total == file.n_pages
+        assert report.pages_scanned == file.n_pages
+        assert report.completed
+        assert not report.unrecoverable
+        assert report.repaired >= 1
+        assert not report.clean
+        second = file.scrub()
+        assert second.clean and second.completed
+
+    def test_scrub_requires_checksums(self):
+        file = PointFile.from_points(SimulatedDisk(), make_points())
+        with pytest.raises(InputValidationError, match="verify_checksums"):
+            file.scrub()
+
+    def test_scrub_inventories_unrecoverable_without_raising(self):
+        points = make_points()
+        injector, file = healing_file(points, redundancy=None)
+        rot_pages(injector, file.start_page, 2)
+        report = file.scrub()
+        assert report.completed
+        assert report.unrecoverable == (file.start_page,
+                                        file.start_page + 1)
+
+    def test_governed_scrub_stops_explicitly(self):
+        points = make_points(n=1200)
+        injector, file = healing_file(
+            points, redundancy=RedundancyPolicy(replication_factor=2)
+        )
+        governor = Governor(Budget(max_io_ops=4))
+        report = file.scrub(governor=governor)
+        assert not report.completed
+        assert report.exhausted is not None
+        assert report.exhausted["error"] == "BudgetExceededError"
+        assert report.pages_scanned < report.pages_total
+
+    def test_scrub_charges_the_ledger(self):
+        points = make_points()
+        injector, file = healing_file(
+            points, redundancy=RedundancyPolicy(replication_factor=2)
+        )
+        before = injector.cost
+        report = file.scrub()
+        assert report.io_cost == injector.cost - before
+        assert report.io_cost.transfers >= file.n_pages
+
+
+class TestFacadeIntegration:
+    def test_healed_prediction_is_bit_identical(self):
+        points = make_points(n=800, d=6, seed=4)
+        clean = IndexCostPredictor(dim=6, memory=200)
+        workload = clean.make_workload(points, 10, 5, seed=3)
+        reference = clean.predict(points, workload, seed=0)
+        healed = IndexCostPredictor(
+            dim=6, memory=200, at_rest_corruption_rate=0.05,
+            replication_factor=2, parity=True, fault_seed=0,
+        )
+        result = healed.predict(points, workload, seed=0)
+        assert np.array_equal(result.per_query, reference.per_query)
+        detail = result.detail["redundancy"]
+        assert detail["replication_factor"] == 2 and detail["parity"]
+        assert detail["redundancy_transfers"] >= 0
+
+    def test_unreplicated_rot_degrades_with_media_cause(self):
+        points = make_points(n=800, d=6, seed=4)
+        predictor = IndexCostPredictor(
+            dim=6, memory=200, at_rest_corruption_rate=0.5,
+            verify_checksums=True, fault_seed=0,
+        )
+        workload = predictor.make_workload(points, 10, 5, seed=3)
+        with pytest.warns(DegradedResultWarning):
+            result = predictor.predict(points, workload, seed=0)
+        record = result.detail["degradation"]
+        causes = {a["cause"] for a in record["attempts"]}
+        assert "media" in causes
+        assert record["method_used"] in ("mini", "baseline")
+
+    def test_scrub_report_attached_to_prediction(self):
+        points = make_points(n=800, d=6, seed=4)
+        predictor = IndexCostPredictor(
+            dim=6, memory=200, at_rest_corruption_rate=0.05,
+            replication_factor=2, parity=True, scrub=True, fault_seed=0,
+        )
+        assert predictor.verify_checksums  # auto-enabled by scrub
+        workload = predictor.make_workload(points, 10, 5, seed=3)
+        result = predictor.predict(points, workload, seed=0)
+        report = result.detail["scrub"]
+        assert report["completed"]
+        assert report["unrecoverable"] == []
+
+    def test_replication_factor_validation(self):
+        with pytest.raises(InputValidationError, match="replication_factor"):
+            IndexCostPredictor(dim=4, replication_factor=0)
+        with pytest.raises(InputValidationError, match="at_rest"):
+            IndexCostPredictor(dim=4, at_rest_corruption_rate=2.0)
