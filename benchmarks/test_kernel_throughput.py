@@ -1,0 +1,125 @@
+"""Counting-kernel throughput: reference loop vs. tiled numpy backend.
+
+The refactor's performance claim, measured: for each (queries, leaves)
+grid cell the same sphere-counting problem runs through every available
+kernel, counts are asserted bit-identical, and the speedup of
+``numpy_batched`` over ``reference`` is recorded.  The 5k x 20k cell --
+a paper-scale workload against a paper-scale leaf set -- must come out
+at least 5x faster; results land in ``BENCH_kernels.json`` at the repo
+root so the claim is pinned in version control.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data import generators
+from repro.experiments import format_table
+from repro.kernels import LeafGeometry, available_kernels, get_kernel
+
+DIM = 16
+GRID = ((100, 1_000), (1_000, 5_000), (5_000, 20_000))
+RESULT_PATH = Path(__file__).parents[1] / "BENCH_kernels.json"
+
+
+def _workbench(n_queries: int, n_leaves: int, seed: int = 0):
+    """A clustered leaf set and k-NN-like spheres probing it.
+
+    Clustered boxes with small local radii keep per-query selectivity
+    realistic (most leaves pruned), which is exactly the regime the
+    batched kernel's per-dimension compaction is built for.
+    """
+    gen = np.random.default_rng(seed)
+    centers = generators.gaussian_mixture(
+        n_leaves, DIM, gen, n_clusters=8, cluster_std=0.05
+    )
+    half = gen.random((n_leaves, DIM)) * 0.02
+    geometry = LeafGeometry.from_corners(centers - half, centers + half)
+    queries = centers[gen.choice(n_leaves, n_queries)] + (
+        gen.standard_normal((n_queries, DIM)) * 0.01
+    )
+    radii = gen.random(n_queries) * 0.08
+    return geometry, queries, radii
+
+
+def _time_kernel(kernel, geometry, queries, radii, repeats: int = 3):
+    kernel.count_knn(geometry, queries, radii)  # warm-up / JIT
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        counts = kernel.count_knn(geometry, queries, radii)
+        best = min(best, time.perf_counter() - start)
+    return counts, best
+
+
+def test_kernel_throughput(report):
+    cells = []
+    rows = []
+    for n_queries, n_leaves in GRID:
+        geometry, queries, radii = _workbench(n_queries, n_leaves)
+        timings: dict[str, float] = {}
+        baseline = None
+        for name in available_kernels():
+            counts, seconds = _time_kernel(
+                get_kernel(name), geometry, queries, radii
+            )
+            if baseline is None:
+                baseline_counts = counts
+            else:
+                np.testing.assert_array_equal(counts, baseline_counts, name)
+            baseline = baseline_counts
+            timings[name] = seconds
+        pairs = n_queries * n_leaves
+        speedup = timings["reference"] / timings["numpy_batched"]
+        cells.append({
+            "n_queries": n_queries,
+            "n_leaves": n_leaves,
+            "dim": DIM,
+            "seconds": {k: round(v, 6) for k, v in timings.items()},
+            "pairs_per_second": {
+                k: round(pairs / v) for k, v in timings.items()
+            },
+            "speedup_vs_reference": {
+                k: round(timings["reference"] / v, 2) for k, v in timings.items()
+            },
+        })
+        rows.append([
+            f"{n_queries:,} x {n_leaves:,}",
+            *(f"{timings[k] * 1e3:,.1f}" for k in sorted(timings)),
+            f"{speedup:.1f}x",
+        ])
+
+    report(format_table(
+        ["cell (q x leaves)",
+         *(f"{name} (ms)" for name in sorted(available_kernels())),
+         "batched speedup"],
+        rows,
+        title=f"Counting-kernel throughput (d={DIM}, best of 3)",
+    ))
+    RESULT_PATH.write_text(json.dumps({
+        "dim": DIM,
+        "kernels": list(available_kernels()),
+        "cells": cells,
+    }, indent=2) + "\n")
+
+    headline = cells[-1]["speedup_vs_reference"]["numpy_batched"]
+    assert headline >= 5.0, (
+        f"numpy_batched only {headline:.1f}x faster than reference "
+        f"on the {GRID[-1]} cell"
+    )
+
+
+@pytest.mark.skipif(
+    "numba" not in available_kernels(), reason="numba not installed"
+)
+def test_numba_matches_on_benchmark_cell():
+    geometry, queries, radii = _workbench(*GRID[0])
+    np.testing.assert_array_equal(
+        get_kernel("numba").count_knn(geometry, queries, radii),
+        get_kernel("reference").count_knn(geometry, queries, radii),
+    )

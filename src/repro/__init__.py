@@ -58,8 +58,10 @@ from .errors import (
     ReproError,
     TornWriteError,
     TransientReadError,
+    UnknownKernelError,
     UnrecoverableCorruptionError,
 )
+from .kernels import LeafGeometry, available_kernels, get_kernel
 from .ondisk import MeasurementResult, OnDiskBuilder, OnDiskIndex, measure_knn
 from .runtime import (
     BatchReport,
@@ -116,7 +118,11 @@ __all__ = [
     "ReproError",
     "TornWriteError",
     "TransientReadError",
+    "UnknownKernelError",
     "UnrecoverableCorruptionError",
+    "LeafGeometry",
+    "available_kernels",
+    "get_kernel",
     "MeasurementResult",
     "OnDiskBuilder",
     "OnDiskIndex",

@@ -25,6 +25,8 @@ import numpy as np
 
 from ..core.predictor import IndexCostPredictor
 from ..disk.accounting import DiskParameters, IOCost
+from ..kernels.geometry import LeafGeometry
+from ..kernels.registry import get_kernel
 from ..runtime.batch import BatchRunner, BatchTask
 from ..runtime.budget import Budget
 from ..rtree.tree import RTree
@@ -104,6 +106,7 @@ def sweep_index_dimensions(
     budget: Budget | None = None,
     cell_deadline_s: float | None = None,
     max_workers: int = 4,
+    kernel: str | None = None,
 ) -> DimensionSweep:
     """Predict index page accesses for each candidate prefix length.
 
@@ -123,10 +126,16 @@ def sweep_index_dimensions(
         if not 1 <= m <= data.shape[1]:
             raise ValueError(f"cannot index {m} of {data.shape[1]} dimensions")
 
+    # Distinct prefixes can still share (m, c_data): the measured tree's
+    # cached geometry is reused across such cells.
+    measured_geometry: dict[tuple[int, int], LeafGeometry] = {}
+
     def cell(m: int) -> DimensionPoint:
         projected = np.ascontiguousarray(data[:, :m])
         reduced_workload = _projected_workload(workload, m)
-        predictor = IndexCostPredictor(dim=m, memory=memory, disk_parameters=disk)
+        predictor = IndexCostPredictor(
+            dim=m, memory=memory, disk_parameters=disk, kernel=kernel
+        )
         prediction = predictor.predict(
             projected, reduced_workload, method=method, seed=seed
         )
@@ -134,9 +143,15 @@ def sweep_index_dimensions(
         measured_candidates: float | None = None
         predicted_candidates: float | None = None
         if measure:
-            tree = RTree.bulk_load(projected, predictor.c_data, predictor.c_dir)
-            counts = tree.leaf_accesses_for_radius(
-                reduced_workload.queries, reduced_workload.radii
+            key = (m, predictor.c_data)
+            geometry = measured_geometry.get(key)
+            if geometry is None:
+                geometry = RTree.bulk_load(
+                    projected, predictor.c_data, predictor.c_dir
+                ).leaf_geometry
+                measured_geometry[key] = geometry
+            counts = get_kernel(kernel).count_knn(
+                geometry, reduced_workload.queries, reduced_workload.radii
             )
             measured_accesses = float(np.mean(counts))
         if candidates:

@@ -23,6 +23,8 @@ import numpy as np
 
 from ..core.predictor import IndexCostPredictor
 from ..disk.accounting import DiskParameters, IOCost
+from ..kernels.geometry import LeafGeometry
+from ..kernels.registry import get_kernel
 from ..runtime.batch import BatchRunner, BatchTask
 from ..runtime.budget import Budget
 from ..rtree.tree import RTree
@@ -99,6 +101,7 @@ def sweep_page_sizes(
     budget: Budget | None = None,
     cell_deadline_s: float | None = None,
     max_workers: int = 4,
+    kernel: str | None = None,
 ) -> PageSizeSweep:
     """Predict per-query I/O cost across candidate page sizes.
 
@@ -117,21 +120,41 @@ def sweep_page_sizes(
     sweep, and :attr:`PageSizeSweep.predicted_optimum` skips them.
     Without either, cells run serially and the sweep is bit-identical to
     the ungoverned behavior.
+
+    ``kernel`` selects the counting backend for both the predictions and
+    the measured curve; all kernels count identically, so it only
+    changes the sweep's speed.
     """
     data = np.asarray(data, dtype=np.float64)
     base_disk = base_disk or DiskParameters()
 
+    # Candidate page sizes frequently round to the same (c_data, c_dir)
+    # capacities; the measured path shares one built tree's cached leaf
+    # geometry across those cells instead of rebuilding and restacking.
+    # (LeafGeometry is immutable, so concurrent cells may share it; a
+    # rare duplicate build under races is only wasted work.)
+    measured_geometry: dict[tuple[int, int], LeafGeometry] = {}
+
+    def measured_counts(c_data: int, c_dir: int) -> np.ndarray:
+        geometry = measured_geometry.get((c_data, c_dir))
+        if geometry is None:
+            geometry = RTree.bulk_load(data, c_data, c_dir).leaf_geometry
+            measured_geometry[(c_data, c_dir)] = geometry
+        return get_kernel(kernel).count_knn(
+            geometry, workload.queries, workload.radii
+        )
+
     def cell(page_bytes: int) -> PageSizePoint:
         disk = base_disk.with_page_bytes(page_bytes)
         predictor = IndexCostPredictor(
-            dim=data.shape[1], memory=memory, disk_parameters=disk
+            dim=data.shape[1], memory=memory, disk_parameters=disk,
+            kernel=kernel,
         )
         prediction = predictor.predict(data, workload, method=method, seed=seed)
         measured_accesses: float | None = None
         measured_seconds: float | None = None
         if measure:
-            tree = RTree.bulk_load(data, predictor.c_data, predictor.c_dir)
-            counts = tree.leaf_accesses_for_radius(workload.queries, workload.radii)
+            counts = measured_counts(predictor.c_data, predictor.c_dir)
             measured_accesses = float(np.mean(counts))
             measured_seconds = _query_seconds(measured_accesses, disk)
         return PageSizePoint(

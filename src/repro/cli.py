@@ -43,9 +43,11 @@ from .errors import (
     ReproError,
     TornWriteError,
     TransientReadError,
+    UnknownKernelError,
     UnrecoverableCorruptionError,
 )
 from .experiments.tables import format_signed_percent, format_table
+from .kernels.registry import KERNEL_ENV_VAR, available_kernels
 from .runtime.budget import Budget
 
 __all__ = ["main"]
@@ -53,6 +55,7 @@ __all__ = ["main"]
 # Distinct non-zero exit codes per failure class (argparse owns 2).
 # Ordered most-specific-first; the first matching class wins.
 _EXIT_CODES: tuple[tuple[type[ReproError], int], ...] = (
+    (UnknownKernelError, 14),
     (InputValidationError, 3),
     (TransientReadError, 4),
     (TornWriteError, 5),
@@ -82,6 +85,8 @@ exit codes:
   12  deadline exceeded (--deadline-s, --strict-budget)
   13  unrecoverable at-rest corruption: every copy of a page failed
       verification (raise --replication-factor or enable --parity)
+  14  unknown counting kernel (--kernel / REPRO_KERNEL did not match a
+      registered backend)
 """
 
 
@@ -160,6 +165,12 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scrub", action="store_true",
                         help="sweep the file for rot after a successful "
                              "prediction and print the scrub report")
+    parser.add_argument("--kernel", default=None,
+                        help="counting kernel backend "
+                             f"({', '.join(available_kernels())}; default "
+                             f"from ${KERNEL_ENV_VAR}, then numpy_batched); "
+                             "all kernels count identically, this only "
+                             "changes speed")
 
 
 def _load_points(args: argparse.Namespace) -> np.ndarray:
@@ -185,6 +196,7 @@ def _context(args: argparse.Namespace):
         scrub=getattr(args, "scrub", False),
         verify_checksums=getattr(args, "verify_checksums", False),
         crash_at=getattr(args, "crash_at", None),
+        kernel=getattr(args, "kernel", None),
     )
     workload = predictor.make_workload(points, args.queries, args.k,
                                        seed=args.seed)
@@ -305,7 +317,7 @@ def _cmd_tune_pagesize(args: argparse.Namespace) -> int:
     points, _, workload = _context(args)
     sweep = sweep_page_sizes(
         points, workload, memory=args.memory, measure=args.verify,
-        seed=args.seed,
+        seed=args.seed, kernel=getattr(args, "kernel", None),
     )
     rows = []
     for p in sweep.points:
@@ -340,6 +352,7 @@ def _cmd_scrub(args: argparse.Namespace) -> int:
         parity=args.parity,
         scrub=True,
         crash_at=args.crash_at,
+        kernel=getattr(args, "kernel", None),
     )
     file = predictor.new_file(points)
     report = file.scrub()

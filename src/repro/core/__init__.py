@@ -4,10 +4,11 @@ from .compensation import (
     compensation_side_factor,
     compensation_volume_factor,
     grow_corners,
+    grow_geometry,
     volume_shrinkage,
 )
 from .costmodel import AnalyticalCostModel
-from .counting import PredictionResult
+from .counting import PredictionResult, count_accesses
 from .cutoff import CutoffModel
 from .dynamic import DynamicMiniIndexModel, measure_dynamic_index
 from .kdb_model import KDBMiniIndexModel
@@ -22,9 +23,11 @@ __all__ = [
     "compensation_side_factor",
     "compensation_volume_factor",
     "grow_corners",
+    "grow_geometry",
     "volume_shrinkage",
     "AnalyticalCostModel",
     "PredictionResult",
+    "count_accesses",
     "CutoffModel",
     "DynamicMiniIndexModel",
     "measure_dynamic_index",

@@ -18,11 +18,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels.geometry import LeafGeometry
+
 __all__ = [
     "volume_shrinkage",
     "compensation_volume_factor",
     "compensation_side_factor",
     "grow_corners",
+    "grow_geometry",
 ]
 
 _MIN_SAMPLED_POINTS = 1.0 + 1e-9
@@ -80,3 +83,15 @@ def grow_corners(
     center = (lower + upper) / 2.0
     half = (upper - lower) / 2.0 * factor
     return center - half, center + half
+
+
+def grow_geometry(
+    geometry: LeafGeometry, capacity: float, zeta: float
+) -> LeafGeometry:
+    """Grow a whole :class:`LeafGeometry` by the compensation factor.
+
+    Vectorized over all pages at once; per-leaf occupancy counts are
+    carried through unchanged (compensation rescales boxes, not
+    contents).
+    """
+    return geometry.scaled(compensation_side_factor(capacity, zeta))

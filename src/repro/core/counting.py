@@ -4,7 +4,10 @@ Every prediction method in the paper ends the same way: given the
 (estimated, compensation-grown) leaf pages and the query workload,
 count for each query how many pages its region intersects and report
 the average (Figures 5 and 7, last steps).  This module is that shared
-final step, for both k-NN spheres and range boxes.
+final step, for both k-NN spheres and range boxes -- now a thin
+dispatch through the counting-kernel registry
+(:mod:`repro.kernels`), so every predictor runs the same batched fast
+path and the backend is selected in exactly one place.
 """
 
 from __future__ import annotations
@@ -14,10 +17,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..disk.accounting import IOCost
-from ..rtree.geometry import intersects_box, mindist_sq_point_to_boxes
+from ..kernels.geometry import LeafGeometry
+from ..kernels.registry import get_kernel
 from ..workload.queries import KNNWorkload, RangeWorkload
 
-__all__ = ["PredictionResult", "knn_accesses_per_query", "range_accesses_per_query"]
+__all__ = [
+    "PredictionResult",
+    "count_accesses",
+    "knn_accesses_per_query",
+    "range_accesses_per_query",
+]
 
 
 @dataclass(frozen=True)
@@ -29,7 +38,7 @@ class PredictionResult:
     ``io_cost`` is the seek/transfer count the *prediction itself*
     incurred on the simulated disk (zero for the unrestricted-memory
     model).  ``detail`` carries method-specific diagnostics such as the
-    sampling ratios used.
+    sampling ratios and counting kernel used.
     """
 
     per_query: np.ndarray
@@ -49,28 +58,45 @@ class PredictionResult:
         return (self.mean_accesses - measured_mean) / measured_mean
 
 
+def count_accesses(
+    geometry: LeafGeometry,
+    workload: KNNWorkload | RangeWorkload,
+    *,
+    kernel: str | None = None,
+) -> np.ndarray:
+    """Per-query count of leaf pages each query region intersects.
+
+    Dispatches on the workload type (k-NN spheres vs. range boxes) and
+    on the selected counting kernel; all kernels return bit-identical
+    counts, so ``kernel`` is purely a performance choice.
+    """
+    backend = get_kernel(kernel)
+    if isinstance(workload, KNNWorkload):
+        return backend.count_knn(geometry, workload.queries, workload.radii)
+    return backend.count_range(geometry, workload.lower, workload.upper)
+
+
 def knn_accesses_per_query(
-    lower: np.ndarray, upper: np.ndarray, workload: KNNWorkload
+    lower: np.ndarray,
+    upper: np.ndarray,
+    workload: KNNWorkload,
+    *,
+    kernel: str | None = None,
 ) -> np.ndarray:
     """Per-query count of leaf boxes intersecting each k-NN sphere."""
-    counts = np.zeros(workload.n_queries, dtype=np.int64)
-    if lower.shape[0] == 0:
-        return counts
-    radii_sq = workload.radii * workload.radii
-    for i, query in enumerate(workload.queries):
-        dists = mindist_sq_point_to_boxes(query, lower, upper)
-        counts[i] = int(np.count_nonzero(dists <= radii_sq[i]))
-    return counts
+    return get_kernel(kernel).count_knn(
+        LeafGeometry.from_corners(lower, upper), workload.queries, workload.radii
+    )
 
 
 def range_accesses_per_query(
-    lower: np.ndarray, upper: np.ndarray, workload: RangeWorkload
+    lower: np.ndarray,
+    upper: np.ndarray,
+    workload: RangeWorkload,
+    *,
+    kernel: str | None = None,
 ) -> np.ndarray:
     """Per-query count of leaf boxes intersecting each range box."""
-    counts = np.zeros(workload.n_queries, dtype=np.int64)
-    if lower.shape[0] == 0:
-        return counts
-    for i in range(workload.n_queries):
-        hits = intersects_box(lower, upper, workload.lower[i], workload.upper[i])
-        counts[i] = int(np.count_nonzero(hits))
-    return counts
+    return get_kernel(kernel).count_range(
+        LeafGeometry.from_corners(lower, upper), workload.lower, workload.upper
+    )

@@ -28,13 +28,11 @@ from ..disk.pagefile import PointFile
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.governor import Governor
+from ..kernels.geometry import LeafGeometry
+from ..kernels.registry import get_kernel
 from ..rtree.bulkload import BulkLoadConfig
 from ..workload.queries import KNNWorkload, RangeWorkload
-from .counting import (
-    PredictionResult,
-    knn_accesses_per_query,
-    range_accesses_per_query,
-)
+from .counting import PredictionResult, count_accesses
 from .phases import build_upper_tree, resolve_h_upper
 from .sampling_io import read_query_points, scan_and_sample
 from .topology import Topology, split_child_counts, subtree_capacity
@@ -104,6 +102,7 @@ class CutoffModel:
     memory: int
     h_upper: int | None = None
     config: BulkLoadConfig | None = None
+    kernel: str | None = None
 
     def predict(
         self,
@@ -150,20 +149,17 @@ class CutoffModel:
             leaf_lower.append(lo)
             leaf_upper.append(hi)
         if leaf_lower:
-            lower = np.concatenate(leaf_lower)
-            upper_c = np.concatenate(leaf_upper)
+            geometry = LeafGeometry.from_corners(
+                np.concatenate(leaf_lower), np.concatenate(leaf_upper)
+            )
         else:
-            lower = np.empty((0, file.dim))
-            upper_c = np.empty((0, file.dim))
+            geometry = LeafGeometry.empty(file.dim)
 
         if governor is not None:
             # Synthesis is free I/O, but a deadline can still pass here.
             governor.check("cutoff:synthesize",
                            file.disk.cost - start_cost)
-        if isinstance(workload, KNNWorkload):
-            per_query = knn_accesses_per_query(lower, upper_c, workload)
-        else:
-            per_query = range_accesses_per_query(lower, upper_c, workload)
+        per_query = count_accesses(geometry, workload, kernel=self.kernel)
         return PredictionResult(
             per_query=per_query,
             io_cost=file.disk.cost - start_cost,
@@ -171,7 +167,8 @@ class CutoffModel:
                 "h_upper": h_upper,
                 "sigma_upper": upper.sigma_upper,
                 "k_upper_leaves": upper.k,
-                "n_predicted_leaves": int(lower.shape[0]),
+                "n_predicted_leaves": geometry.k,
+                "kernel": get_kernel(self.kernel).name,
             },
         )
 

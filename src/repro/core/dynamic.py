@@ -22,14 +22,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels.registry import get_kernel
 from ..rtree.rstar import FrozenRStarTree, RStarTree
 from ..workload.queries import KNNWorkload, RangeWorkload
-from .compensation import grow_corners
-from .counting import (
-    PredictionResult,
-    knn_accesses_per_query,
-    range_accesses_per_query,
-)
+from .compensation import grow_geometry
+from .counting import PredictionResult, count_accesses
 
 __all__ = ["DynamicMiniIndexModel", "measure_dynamic_index"]
 
@@ -56,6 +53,7 @@ class DynamicMiniIndexModel:
     c_data: int
     c_dir: int
     compensate: bool = True
+    kernel: str | None = None
 
     def predict(
         self,
@@ -87,21 +85,18 @@ class DynamicMiniIndexModel:
         mini = RStarTree.build(
             sample, c_mini, self.c_dir, shuffle_seed=shuffle_seed
         ).freeze()
-        lower, upper = mini.leaf_corners
+        geometry = mini.leaf_geometry
 
         occupancy = sample.shape[0] / max(1, mini.n_leaves)
         c_eff_estimate = self.c_data * (occupancy / c_mini)
         compensated = False
         if self.compensate and zeta < 1.0 and c_eff_estimate * zeta > 1.0:
             try:
-                lower, upper = grow_corners(lower, upper, c_eff_estimate, zeta)
+                geometry = grow_geometry(geometry, c_eff_estimate, zeta)
                 compensated = True
             except ValueError:
                 pass
-        if isinstance(workload, KNNWorkload):
-            per_query = knn_accesses_per_query(lower, upper, workload)
-        else:
-            per_query = range_accesses_per_query(lower, upper, workload)
+        per_query = count_accesses(geometry, workload, kernel=self.kernel)
         return PredictionResult(
             per_query=per_query,
             detail={
@@ -110,5 +105,6 @@ class DynamicMiniIndexModel:
                 "n_mini_leaves": int(mini.n_leaves),
                 "c_eff_estimate": c_eff_estimate,
                 "compensated": compensated,
+                "kernel": get_kernel(self.kernel).name,
             },
         )

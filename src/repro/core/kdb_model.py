@@ -15,13 +15,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels.registry import get_kernel
 from ..rtree.kdb import KDBTree
 from ..workload.queries import KNNWorkload, RangeWorkload
-from .counting import (
-    PredictionResult,
-    knn_accesses_per_query,
-    range_accesses_per_query,
-)
+from .counting import PredictionResult, count_accesses
 
 __all__ = ["KDBMiniIndexModel"]
 
@@ -31,6 +28,7 @@ class KDBMiniIndexModel:
     """Sampling predictor for k-d-B-tree page accesses."""
 
     c_data: int
+    kernel: str | None = None
 
     def predict(
         self,
@@ -58,15 +56,14 @@ class KDBMiniIndexModel:
             virtual_n=n,
             region=(points.min(axis=0), points.max(axis=0)),
         )
-        lower, upper = mini.leaf_corners()
-        if isinstance(workload, KNNWorkload):
-            per_query = knn_accesses_per_query(lower, upper, workload)
-        else:
-            per_query = range_accesses_per_query(lower, upper, workload)
+        per_query = count_accesses(
+            mini.leaf_geometry, workload, kernel=self.kernel
+        )
         return PredictionResult(
             per_query=per_query,
             detail={
                 "zeta": sample.shape[0] / n,
                 "n_mini_leaves": int(mini.n_leaves),
+                "kernel": get_kernel(self.kernel).name,
             },
         )

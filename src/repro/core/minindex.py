@@ -14,15 +14,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels.registry import get_kernel
 from ..rtree.bulkload import BulkLoadConfig
 from ..rtree.tree import RTree
 from ..workload.queries import KNNWorkload, RangeWorkload
-from .compensation import grow_corners
-from .counting import (
-    PredictionResult,
-    knn_accesses_per_query,
-    range_accesses_per_query,
-)
+from .compensation import grow_geometry
+from .counting import PredictionResult, count_accesses
 from .topology import Topology
 
 __all__ = ["MiniIndexModel"]
@@ -33,13 +30,16 @@ class MiniIndexModel:
     """Sampling-based predictor with the whole sample held in memory.
 
     ``compensate=False`` disables Theorem 1's page growth -- that is the
-    "no compensation" series of Figure 2.
+    "no compensation" series of Figure 2.  ``kernel`` selects the
+    counting backend; all kernels are bit-identical, so it never changes
+    the prediction.
     """
 
     c_data: int
     c_dir: int
     compensate: bool = True
     config: BulkLoadConfig | None = None
+    kernel: str | None = None
 
     def predict(
         self,
@@ -64,13 +64,13 @@ class MiniIndexModel:
         else:
             sample = points
         tree = self.build_mini_index(sample, n)
-        lower, upper = tree.leaf_corners
+        geometry = tree.leaf_geometry
         zeta = sample.shape[0] / n
         compensated = False
         if self.compensate and zeta < 1.0:
             try:
-                lower, upper = grow_corners(
-                    lower, upper, tree.topology.c_eff_data, zeta
+                geometry = grow_geometry(
+                    geometry, tree.topology.c_eff_data, zeta
                 )
                 compensated = True
             except ValueError:
@@ -79,17 +79,15 @@ class MiniIndexModel:
                 # the raw sampled pages, as the paper's Figure 2 does in
                 # that regime.
                 pass
-        if isinstance(workload, KNNWorkload):
-            per_query = knn_accesses_per_query(lower, upper, workload)
-        else:
-            per_query = range_accesses_per_query(lower, upper, workload)
+        per_query = count_accesses(geometry, workload, kernel=self.kernel)
         return PredictionResult(
             per_query=per_query,
             detail={
                 "zeta": zeta,
                 "n_sample": sample.shape[0],
-                "n_mini_leaves": int(lower.shape[0]),
+                "n_mini_leaves": geometry.k,
                 "compensated": compensated,
+                "kernel": get_kernel(self.kernel).name,
             },
         )
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels.geometry import LeafGeometry
 from ..rtree.bulkload import BulkLoadConfig, build_tree
 from ..rtree.node import LeafNode
 from .compensation import compensation_side_factor
@@ -92,11 +93,24 @@ class UpperTree:
 
     def grown_corners(self) -> tuple[np.ndarray, np.ndarray]:
         """Stacked corners of the non-empty grown leaves."""
-        boxes = [(l.lower, l.upper) for l in self.leaves if not l.is_empty]
-        if not boxes:
-            d = self.sample.shape[1]
-            return np.empty((0, d)), np.empty((0, d))
-        return np.stack([b[0] for b in boxes]), np.stack([b[1] for b in boxes])
+        return self.geometry().corners
+
+    def geometry(self) -> LeafGeometry:
+        """The non-empty grown leaves as a counting-kernel geometry.
+
+        ``n_points`` is each leaf's sample occupancy and ``virtual_n``
+        its full-dataset point quota -- the quantities the lower-tree
+        constructions budget with.
+        """
+        live = [leaf for leaf in self.leaves if not leaf.is_empty]
+        if not live:
+            return LeafGeometry.empty(int(self.sample.shape[1]))
+        return LeafGeometry(
+            np.stack([leaf.lower for leaf in live]),
+            np.stack([leaf.upper for leaf in live]),
+            np.array([leaf.sample_ids.shape[0] for leaf in live], dtype=np.int64),
+            np.array([leaf.virtual_n for leaf in live], dtype=np.int64),
+        )
 
 
 def build_upper_tree(

@@ -54,6 +54,7 @@ from ..errors import (
     UnrecoverableCorruptionError,
     validate_points,
 )
+from ..kernels.registry import get_kernel
 from ..ondisk.builder import OnDiskBuilder, OnDiskIndex
 from ..ondisk.measure import MeasurementResult, measure_knn
 from ..rtree.bulkload import BulkLoadConfig
@@ -137,8 +138,15 @@ class IndexCostPredictor:
     #: :class:`~repro.errors.CircuitOpenError` instead of burning the
     #: retry budget, and the facade degrades to the disk-free methods
     breaker: CircuitBreaker | None = None
+    #: counting kernel name (``None`` resolves via ``REPRO_KERNEL``,
+    #: then the ``numpy_batched`` default); all kernels return
+    #: bit-identical counts, so this only changes speed, never results
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
+        # Resolve eagerly so a typo fails at construction with the typed
+        # UnknownKernelError, not mid-prediction after a dataset scan.
+        get_kernel(self.kernel)
         for name, rate in (
             ("fault_rate", self.fault_rate),
             ("torn_write_rate", self.torn_write_rate),
@@ -506,18 +514,21 @@ class IndexCostPredictor:
                     max(1, int(np.ceil(points.shape[0] * fraction))),
                     points.shape[1], phase="mini:sample",
                 )
-            model = MiniIndexModel(self.c_data, self.c_dir, config=self.config)
+            model = MiniIndexModel(
+                self.c_data, self.c_dir, config=self.config,
+                kernel=self.kernel,
+            )
             return model.predict(points, workload, fraction, rng)
         if method == "cutoff":
             cutoff = CutoffModel(
                 self.c_data, self.c_dir, self.memory, h_upper=h_upper,
-                config=self.config,
+                config=self.config, kernel=self.kernel,
             )
             return cutoff.predict(file, workload, rng, governor=governor)
         if method == "resampled":
             resampled = ResampledModel(
                 self.c_data, self.c_dir, self.memory, h_upper=h_upper,
-                config=self.config,
+                config=self.config, kernel=self.kernel,
             )
             return resampled.predict(file, workload, rng, governor=governor)
         if method == "baseline":

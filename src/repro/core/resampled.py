@@ -45,14 +45,12 @@ from ..errors import TornWriteError, TransientReadError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.governor import Governor
+from ..kernels.geometry import LeafGeometry
+from ..kernels.registry import get_kernel
 from ..rtree.bulkload import BulkLoadConfig, build_subtree
 from ..workload.queries import KNNWorkload, RangeWorkload
-from .compensation import compensation_side_factor, grow_corners
-from .counting import (
-    PredictionResult,
-    knn_accesses_per_query,
-    range_accesses_per_query,
-)
+from .compensation import compensation_side_factor, grow_geometry
+from .counting import PredictionResult, count_accesses
 from .phases import UpperTree, build_upper_tree, resolve_h_upper
 from .sampling_io import read_query_points, scan_and_sample
 from .topology import Topology
@@ -81,6 +79,7 @@ class ResampledModel:
     #: bucket-level resumes allowed across the spill phase after the
     #: file's per-access retry policy is exhausted (fault tolerance)
     spill_resume_attempts: int = 3
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         if self.overflow_policy not in ("reservoir", "discard"):
@@ -157,8 +156,8 @@ class ResampledModel:
             # Degenerate single-phase case (tree too short to phase, or
             # the whole dataset fits in memory): the upper-tree leaves
             # already are the compensated data pages.
-            lower, upper_c = upper.grown_corners()
-            per_query = self._count(lower, upper_c, workload)
+            geometry = upper.geometry()
+            per_query = self._count(geometry, workload)
             return PredictionResult(
                 per_query=per_query,
                 io_cost=file.disk.cost - start_cost,
@@ -167,9 +166,10 @@ class ResampledModel:
                     "sigma_upper": upper.sigma_upper,
                     "sigma_lower": 1.0,
                     "k_upper_leaves": upper.k,
-                    "n_predicted_leaves": int(lower.shape[0]),
+                    "n_predicted_leaves": geometry.k,
                     "n_discarded_overflow": 0,
                     "leaf_growth_factor": upper.growth_factor,
+                    "kernel": get_kernel(self.kernel).name,
                 },
             )
 
@@ -228,21 +228,21 @@ class ResampledModel:
         file.disk.drop_head()
 
         if leaf_lower:
-            lower = np.stack(leaf_lower)
-            upper_c = np.stack(leaf_upper)
+            geometry = LeafGeometry.from_corners(
+                np.stack(leaf_lower), np.stack(leaf_upper)
+            )
         else:
-            lower = np.empty((0, file.dim))
-            upper_c = np.empty((0, file.dim))
+            geometry = LeafGeometry.empty(file.dim)
 
         # Compensate the lower-tree leaves when they too were sampled.
         page_points = topology.pts(1)
         if sigma_lower < 1.0 and page_points * sigma_lower > 1.0:
-            lower, upper_c = grow_corners(lower, upper_c, page_points, sigma_lower)
+            geometry = grow_geometry(geometry, page_points, sigma_lower)
             leaf_growth = compensation_side_factor(page_points, sigma_lower)
         else:
             leaf_growth = 1.0
 
-        per_query = self._count(lower, upper_c, workload)
+        per_query = self._count(geometry, workload)
         return PredictionResult(
             per_query=per_query,
             io_cost=file.disk.cost - start_cost,
@@ -251,10 +251,11 @@ class ResampledModel:
                 "sigma_upper": upper.sigma_upper,
                 "sigma_lower": sigma_lower,
                 "k_upper_leaves": upper.k,
-                "n_predicted_leaves": int(lower.shape[0]),
+                "n_predicted_leaves": geometry.k,
                 "n_discarded_overflow": n_discarded,
                 "n_spill_resumes": n_spill_resumes,
                 "leaf_growth_factor": leaf_growth,
+                "kernel": get_kernel(self.kernel).name,
             },
         )
 
@@ -263,15 +264,12 @@ class ResampledModel:
     def _resolve_h_upper(self, topology: Topology) -> int:
         return resolve_h_upper(topology, self.h_upper, self.memory)
 
-    @staticmethod
     def _count(
-        lower: np.ndarray,
-        upper: np.ndarray,
+        self,
+        geometry: LeafGeometry,
         workload: KNNWorkload | RangeWorkload,
     ) -> np.ndarray:
-        if isinstance(workload, KNNWorkload):
-            return knn_accesses_per_query(lower, upper, workload)
-        return range_accesses_per_query(lower, upper, workload)
+        return count_accesses(geometry, workload, kernel=self.kernel)
 
     @staticmethod
     def _ckpt_charge(file: PointFile, ck: dict) -> None:

@@ -33,6 +33,11 @@ purpose by this package derives from :class:`ReproError`:
     a prediction method could not produce an estimate (budget
     infeasible, or disk faults exhausted every retry and every
     fallback method).
+``UnknownKernelError``
+    a counting-kernel name did not resolve against the kernel registry
+    (``repro.kernels``).  Also a :class:`ValueError` so that passing a
+    bad ``kernel=`` argument behaves like any other invalid parameter;
+    the CLI maps it to exit code 14.
 ``BudgetExceededError`` / ``DeadlineExceededError``
     a :class:`~repro.runtime.Budget` resource (charged I/O operations,
     sample bytes) or its wall-clock deadline ran out mid-prediction.
@@ -67,6 +72,7 @@ __all__ = [
     "UnrecoverableCorruptionError",
     "CrashPoint",
     "PredictionError",
+    "UnknownKernelError",
     "BudgetExceededError",
     "DeadlineExceededError",
     "CircuitOpenError",
@@ -214,6 +220,35 @@ class CrashPoint(ReproError):
 
 class PredictionError(ReproError):
     """No prediction method could produce an estimate."""
+
+
+class UnknownKernelError(ReproError, ValueError):
+    """A counting-kernel name did not resolve against the registry.
+
+    ``kernel`` is the rejected name, ``available`` the names that would
+    have resolved, and ``reason`` (when set) explains why a *known*
+    backend is unavailable in this environment -- e.g. the ``numba``
+    kernel on a machine without numba installed.  Raised eagerly by
+    :func:`repro.kernels.get_kernel` and by the facade's constructor so
+    a typo fails before any I/O is spent; the CLI maps it to exit
+    code 14.
+    """
+
+    def __init__(self, kernel: str, *, available: tuple = (),
+                 reason: str | None = None):
+        self.kernel = kernel
+        self.available = tuple(available)
+        self.reason = reason
+        super().__init__(kernel)
+
+    def __str__(self) -> str:
+        options = ", ".join(self.available) if self.available else "none"
+        message = (f"unknown counting kernel {self.kernel!r}; "
+                   f"registered kernels: {options}")
+        if self.reason:
+            message += (f" ({self.kernel!r} is a known backend but is "
+                        f"unavailable here: {self.reason})")
+        return message
 
 
 class BudgetExceededError(ReproError):

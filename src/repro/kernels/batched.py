@@ -1,0 +1,155 @@
+"""The default batched counting kernel.
+
+Processes the whole workload in query tiles instead of one query at a
+time.  Each tile takes one dense pass over dimension 0 against all k
+leaf boxes, then compacts to the surviving (query, leaf) pairs and
+streams the remaining dimensions as flat unit-stride gathers, pruning
+pairs as soon as their partial squared mindist exceeds the squared
+radius.  The tile height is chosen so the dense pass never materializes
+more than ``memory_cap_bytes`` of temporaries -- 10k queries against
+100k leaves runs in bounded memory no matter the workload shape.
+
+Pruning is exact, not approximate: squared gaps are non-negative and
+float addition of non-negative terms is monotone (``fl(s + x) >= s``),
+so a partial sum that exceeds ``radius * radius`` can never fall back
+under it and the pair's final ``dist <= r**2`` test is already decided.
+Surviving pairs accumulate their gap terms in the same sequential
+j = 0 .. d-1 float64 order as the :mod:`~repro.kernels.reference`
+oracle, which is what makes the returned counts bit-identical to it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .geometry import LeafGeometry
+from .registry import register_kernel
+
+__all__ = ["DEFAULT_MEMORY_CAP_BYTES", "MEMORY_CAP_ENV_VAR", "NumpyBatchedKernel"]
+
+#: default ceiling on per-tile temporary allocations (64 MiB)
+DEFAULT_MEMORY_CAP_BYTES = 64 << 20
+
+#: environment override for the cap, in bytes
+MEMORY_CAP_ENV_VAR = "REPRO_KERNEL_CAP_BYTES"
+
+# The dim-0 dense pass holds ~6 float64/bool (q_tile, k) temporaries at
+# its peak (two maximum() operands, their sum, the square, the alive
+# mask, and nonzero's scratch); the tile height is sized against that.
+_BUFFERS_PER_PAIR = 6
+
+
+class NumpyBatchedKernel:
+    """Query-tile x leaf blocked counting with exact early pruning."""
+
+    name = "numpy_batched"
+
+    def __init__(self, memory_cap_bytes: int | None = None) -> None:
+        if memory_cap_bytes is None:
+            env = os.environ.get(MEMORY_CAP_ENV_VAR)
+            memory_cap_bytes = int(env) if env else DEFAULT_MEMORY_CAP_BYTES
+        if memory_cap_bytes <= 0:
+            raise ValueError("memory_cap_bytes must be positive")
+        self.memory_cap_bytes = int(memory_cap_bytes)
+
+    def _tile_height(self, n_queries: int, n_leaves: int) -> int:
+        if n_leaves == 0:
+            return max(n_queries, 1)
+        rows = self.memory_cap_bytes // (n_leaves * 8 * _BUFFERS_PER_PAIR)
+        return max(1, min(n_queries, int(rows)))
+
+    # -- knn ------------------------------------------------------------
+
+    def count_knn(
+        self, geometry: LeafGeometry, queries: np.ndarray, radii: np.ndarray
+    ) -> np.ndarray:
+        """Leaves whose mindist to ``queries[i]`` is within ``radii[i]``."""
+        queries = np.ascontiguousarray(queries, dtype=np.float64)
+        radii = np.asarray(radii, dtype=np.float64)
+        n_queries = queries.shape[0]
+        counts = np.zeros(n_queries, dtype=np.int64)
+        if geometry.is_empty or n_queries == 0:
+            return counts
+        radii_sq = radii * radii
+        tile = self._tile_height(n_queries, geometry.k)
+        for start in range(0, n_queries, tile):
+            stop = min(start + tile, n_queries)
+            counts[start:stop] = self._knn_tile(
+                geometry, queries[start:stop], radii_sq[start:stop]
+            )
+        return counts
+
+    @staticmethod
+    def _knn_tile(
+        geometry: LeafGeometry, queries: np.ndarray, radii_sq: np.ndarray
+    ) -> np.ndarray:
+        lower_t, upper_t = geometry.lower_t, geometry.upper_t
+        n_dims = lower_t.shape[0]
+        # Dense pass over dimension 0: partial mindist^2 for every
+        # (query, leaf) pair in the tile.
+        point = queries[:, 0][:, None]
+        gap = np.maximum(lower_t[0][None, :] - point, 0.0)
+        gap += np.maximum(point - upper_t[0][None, :], 0.0)
+        gap *= gap
+        rows, cols = np.nonzero(gap <= radii_sq[:, None])
+        dist_sq = gap[rows, cols]
+        del gap
+        # Stream the remaining dimensions over the surviving pairs only,
+        # compacting whenever the partial sum has decided a pair.
+        for j in range(1, n_dims):
+            point_j = queries[rows, j]
+            gap_j = np.maximum(lower_t[j][cols] - point_j, 0.0)
+            gap_j += np.maximum(point_j - upper_t[j][cols], 0.0)
+            gap_j *= gap_j
+            dist_sq += gap_j
+            keep = dist_sq <= radii_sq[rows]
+            if not keep.all():
+                rows = rows[keep]
+                cols = cols[keep]
+                dist_sq = dist_sq[keep]
+        return np.bincount(rows, minlength=queries.shape[0]).astype(np.int64)
+
+    # -- range ----------------------------------------------------------
+
+    def count_range(
+        self, geometry: LeafGeometry, q_lower: np.ndarray, q_upper: np.ndarray
+    ) -> np.ndarray:
+        """Leaves whose box overlaps the closed query box ``i``."""
+        q_lower = np.ascontiguousarray(q_lower, dtype=np.float64)
+        q_upper = np.ascontiguousarray(q_upper, dtype=np.float64)
+        n_queries = q_lower.shape[0]
+        counts = np.zeros(n_queries, dtype=np.int64)
+        if geometry.is_empty or n_queries == 0:
+            return counts
+        tile = self._tile_height(n_queries, geometry.k)
+        for start in range(0, n_queries, tile):
+            stop = min(start + tile, n_queries)
+            counts[start:stop] = self._range_tile(
+                geometry, q_lower[start:stop], q_upper[start:stop]
+            )
+        return counts
+
+    @staticmethod
+    def _range_tile(
+        geometry: LeafGeometry, q_lower: np.ndarray, q_upper: np.ndarray
+    ) -> np.ndarray:
+        lower_t, upper_t = geometry.lower_t, geometry.upper_t
+        n_dims = lower_t.shape[0]
+        overlap = (q_lower[:, 0][:, None] <= upper_t[0][None, :]) & (
+            lower_t[0][None, :] <= q_upper[:, 0][:, None]
+        )
+        rows, cols = np.nonzero(overlap)
+        del overlap
+        for j in range(1, n_dims):
+            keep = (q_lower[rows, j] <= upper_t[j][cols]) & (
+                lower_t[j][cols] <= q_upper[rows, j]
+            )
+            if not keep.all():
+                rows = rows[keep]
+                cols = cols[keep]
+        return np.bincount(rows, minlength=q_lower.shape[0]).astype(np.int64)
+
+
+register_kernel("numpy_batched", NumpyBatchedKernel)

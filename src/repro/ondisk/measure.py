@@ -55,6 +55,10 @@ def measure_knn(index: OnDiskIndex, workload: KNNWorkload) -> MeasurementResult:
     return MeasurementResult(per_query=per_query, io_cost=disk.cost - start_cost)
 
 
-def sphere_accesses(index: OnDiskIndex, workload: KNNWorkload) -> np.ndarray:
+def sphere_accesses(
+    index: OnDiskIndex, workload: KNNWorkload, *, kernel: str | None = None
+) -> np.ndarray:
     """Per-query leaf accesses via sphere intersection (no I/O charged)."""
-    return index.tree.leaf_accesses_for_radius(workload.queries, workload.radii)
+    return index.tree.leaf_accesses_for_radius(
+        workload.queries, workload.radii, kernel=kernel
+    )

@@ -7,7 +7,12 @@ from .kdb import KDBTree
 from .node import InternalNode, LeafNode, Node
 from .rstar import FrozenRStarTree, RStarTree
 from .split import max_extent_dimension, max_variance_dimension
-from .stats import LeafStatistics, leaf_statistics, pairwise_overlap_count
+from .stats import (
+    LeafStatistics,
+    leaf_statistics,
+    leaf_statistics_from_geometry,
+    pairwise_overlap_count,
+)
 from .search import best_first_knn
 from .sstree import Sphere, SSTree, sphere_radius_compensation
 from .tree import KNNResult, RTree, TreeQueries
@@ -27,6 +32,7 @@ __all__ = [
     "Node",
     "LeafStatistics",
     "leaf_statistics",
+    "leaf_statistics_from_geometry",
     "pairwise_overlap_count",
     "max_extent_dimension",
     "max_variance_dimension",

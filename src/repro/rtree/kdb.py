@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels.geometry import LeafGeometry
+from ..kernels.registry import get_kernel
 from .geometry import MBR
 from .node import InternalNode, LeafNode, Node
 from .search import best_first_knn
@@ -42,7 +44,8 @@ class KDBTree:
         self.points = np.asarray(points, dtype=np.float64)
         self.root = root
         self.c_data = c_data
-        self._leaf_cache: tuple[np.ndarray, np.ndarray] | None = None
+        self._leaves: list[LeafNode] | None = None
+        self._geometry: LeafGeometry | None = None
 
     @classmethod
     def bulk_load(
@@ -79,22 +82,30 @@ class KDBTree:
 
     @property
     def leaves(self) -> list[LeafNode]:
-        return list(self.root.iter_leaves())
+        if self._leaves is None:
+            self._leaves = list(self.root.iter_leaves())
+        return self._leaves
 
     @property
     def n_leaves(self) -> int:
         return len(self.leaves)
 
-    def leaf_corners(self) -> tuple[np.ndarray, np.ndarray]:
-        """Stacked region corners of every page (pages tile the space,
+    @property
+    def leaf_geometry(self) -> LeafGeometry:
+        """Stacked region geometry of every page (pages tile the space,
         so none is skipped -- even empty ones exist as regions)."""
-        if self._leaf_cache is None:
-            leaves = self.leaves
-            self._leaf_cache = (
-                np.stack([l.mbr.lower for l in leaves]),
-                np.stack([l.mbr.upper for l in leaves]),
-            )
-        return self._leaf_cache
+        if self._geometry is None:
+            self._geometry = LeafGeometry.from_leaves(self.leaves, self.dim)
+        return self._geometry
+
+    def invalidate_caches(self) -> None:
+        """Drop the cached leaf list and geometry after a graph mutation."""
+        self._leaves = None
+        self._geometry = None
+
+    def leaf_corners(self) -> tuple[np.ndarray, np.ndarray]:
+        """The stacked ``(lower, upper)`` page corners, for array callers."""
+        return self.leaf_geometry.corners
 
     def knn(self, query: np.ndarray, k: int) -> KNNResult:
         ids, dists, leaf_accesses, node_accesses, _ = best_first_knn(
@@ -103,18 +114,11 @@ class KDBTree:
         return KNNResult(ids, dists, leaf_accesses, node_accesses)
 
     def leaf_accesses_for_radius(
-        self, centers: np.ndarray, radii: np.ndarray
+        self, centers: np.ndarray, radii: np.ndarray, *, kernel: str | None = None
     ) -> np.ndarray:
-        from .geometry import mindist_sq_point_to_boxes
-
         centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
         radii = np.atleast_1d(np.asarray(radii, dtype=np.float64))
-        lower, upper = self.leaf_corners()
-        counts = np.zeros(centers.shape[0], dtype=np.int64)
-        for i, (center, radius) in enumerate(zip(centers, radii)):
-            dists = mindist_sq_point_to_boxes(center, lower, upper)
-            counts[i] = int(np.count_nonzero(dists <= radius * radius))
-        return counts
+        return get_kernel(kernel).count_knn(self.leaf_geometry, centers, radii)
 
     def validate(self) -> None:
         """Pages are disjoint, tile the root region, respect capacity

@@ -15,9 +15,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels.geometry import LeafGeometry
 from .geometry import volume
 
-__all__ = ["LeafStatistics", "leaf_statistics", "pairwise_overlap_count"]
+__all__ = [
+    "LeafStatistics",
+    "leaf_statistics",
+    "leaf_statistics_from_geometry",
+    "pairwise_overlap_count",
+]
 
 
 @dataclass(frozen=True)
@@ -72,6 +78,20 @@ def pairwise_overlap_count(lower: np.ndarray, upper: np.ndarray) -> int:
             if strictly[i, start + i]:
                 count -= 1
     return count // 2
+
+
+def leaf_statistics_from_geometry(
+    geometry: LeafGeometry, capacity: int
+) -> LeafStatistics:
+    """Build :class:`LeafStatistics` straight from a cached geometry.
+
+    Uses the geometry's own per-leaf ``n_points`` as the occupancies,
+    so a tree's statistics come from the same stacked arrays its
+    counting kernels read.
+    """
+    return leaf_statistics(
+        geometry.lower, geometry.upper, geometry.n_points, capacity
+    )
 
 
 def leaf_statistics(

@@ -25,11 +25,9 @@ import numpy as np
 
 from ..core.topology import Topology
 from ..errors import validate_points
+from ..kernels.geometry import LeafGeometry
+from ..kernels.registry import get_kernel
 from .bulkload import BulkLoadConfig, build_tree
-from .geometry import (
-    count_sphere_intersections,
-    mindist_sq_point_to_boxes,
-)
 from .node import LeafNode, Node
 from .search import best_first_knn
 
@@ -86,15 +84,31 @@ class TreeQueries:
         return len(self.leaves)
 
     @cached_property
+    def leaf_geometry(self) -> LeafGeometry:
+        """The canonical stacked leaf-page arrays, built once per tree.
+
+        Every counting path -- predictors, sweeps, measurement -- reads
+        this one cached value instead of restacking corners from the
+        node graph.  Mutating the node graph requires
+        :meth:`invalidate_caches`.
+        """
+        return LeafGeometry.from_leaves(self.leaves, self.dim)
+
+    @property
     def leaf_corners(self) -> tuple[np.ndarray, np.ndarray]:
         """Stacked ``(lower, upper)`` corners of all *non-empty* leaves."""
-        boxes = [leaf.mbr for leaf in self.leaves if leaf.mbr is not None]
-        if not boxes:
-            d = self.dim
-            return np.empty((0, d)), np.empty((0, d))
-        lower = np.stack([b.lower for b in boxes])
-        upper = np.stack([b.upper for b in boxes])
-        return lower, upper
+        return self.leaf_geometry.corners
+
+    def invalidate_caches(self) -> None:
+        """Drop the cached leaf list and geometry after a graph mutation."""
+        for name in ("leaves", "leaf_geometry"):
+            self.__dict__.pop(name, None)
+
+    def leaf_stats(self, capacity: int) -> "LeafStatistics":
+        """Aggregate leaf-page statistics from the cached geometry."""
+        from .stats import leaf_statistics_from_geometry
+
+        return leaf_statistics_from_geometry(self.leaf_geometry, capacity)
 
     def nodes_at_level(self, level: int) -> list[Node]:
         nodes: list[Node] = []
@@ -142,27 +156,23 @@ class TreeQueries:
             return np.empty(0, dtype=np.int64)
         return np.sort(np.concatenate(hits))
 
-    def count_leaves_intersecting_sphere(self, center: np.ndarray, radius: float) -> int:
+    def count_leaves_intersecting_sphere(
+        self, center: np.ndarray, radius: float, *, kernel: str | None = None
+    ) -> int:
         """Leaf pages an optimal k-NN search with this final sphere reads."""
-        lower, upper = self.leaf_corners
-        if lower.shape[0] == 0:
-            return 0
-        return count_sphere_intersections(
-            np.asarray(center, dtype=np.float64), radius, lower, upper
+        center = np.atleast_2d(np.asarray(center, dtype=np.float64))
+        counts = get_kernel(kernel).count_knn(
+            self.leaf_geometry, center, np.asarray([radius], dtype=np.float64)
         )
+        return int(counts[0])
 
-    def leaf_accesses_for_radius(self, centers: np.ndarray, radii: np.ndarray) -> np.ndarray:
-        """Vectorized sphere-intersection counts for a query workload."""
+    def leaf_accesses_for_radius(
+        self, centers: np.ndarray, radii: np.ndarray, *, kernel: str | None = None
+    ) -> np.ndarray:
+        """Batched sphere-intersection counts for a query workload."""
         centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
         radii = np.asarray(radii, dtype=np.float64)
-        lower, upper = self.leaf_corners
-        counts = np.zeros(centers.shape[0], dtype=np.int64)
-        if lower.shape[0] == 0:
-            return counts
-        for i, (center, radius) in enumerate(zip(centers, radii)):
-            dists = mindist_sq_point_to_boxes(center, lower, upper)
-            counts[i] = int(np.count_nonzero(dists <= radius * radius))
-        return counts
+        return get_kernel(kernel).count_knn(self.leaf_geometry, centers, radii)
 
 
 class RTree(TreeQueries):

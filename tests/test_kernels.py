@@ -1,0 +1,359 @@
+"""The counting-kernel contract: every backend is bit-identical.
+
+The kernels package promises that ``reference`` (the per-query oracle),
+``numpy_batched`` (the tiled default), and any optional backend return
+*exactly* equal ``int64`` counts for the same geometry and workload --
+not merely close.  These tests enforce that promise three ways: by
+property (random geometries and workloads, including empty and
+degenerate ones), by layer (each predictor run under each kernel), and
+by interface (registry resolution, the typed unknown-kernel error, and
+the CLI exit code it maps to).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.core.dynamic import DynamicMiniIndexModel
+from repro.core.kdb_model import KDBMiniIndexModel
+from repro.core.predictor import IndexCostPredictor
+from repro.errors import UnknownKernelError
+from repro.kernels import (
+    DEFAULT_KERNEL,
+    KERNEL_ENV_VAR,
+    NUMBA_AVAILABLE,
+    LeafGeometry,
+    NumpyBatchedKernel,
+    available_kernels,
+    default_kernel_name,
+    get_kernel,
+)
+from repro.workload.queries import KNNWorkload, RangeWorkload
+
+FAST = ["--dataset", "TEXTURE48", "--scale", "0.05", "--queries", "10",
+        "--memory", "500"]
+
+
+def _random_case(seed: int, k: int, d: int, n_queries: int):
+    """A random leaf geometry plus spheres and ranges probing it."""
+    gen = np.random.default_rng(seed)
+    lower = gen.random((k, d)) * 2.0 - 0.5
+    extent = gen.random((k, d)) * 0.4
+    # Sprinkle degenerate (zero-extent) sides and whole-point leaves.
+    extent[gen.random((k, d)) < 0.15] = 0.0
+    geometry = LeafGeometry.from_corners(lower, lower + extent)
+    queries = gen.random((n_queries, d)) * 2.0 - 0.5
+    radii = gen.random(n_queries) * 0.6
+    radii[gen.random(n_queries) < 0.2] = 0.0  # radius-0 point probes
+    q_lower = gen.random((n_queries, d)) * 2.0 - 0.5
+    q_extent = gen.random((n_queries, d)) * 0.5
+    q_extent[gen.random((n_queries, d)) < 0.2] = 0.0
+    return geometry, queries, radii, q_lower, q_lower + q_extent
+
+
+class TestKernelEquivalence:
+    """Property: every registered backend equals the reference oracle."""
+
+    @given(
+        st.integers(0, 10_000),
+        st.integers(1, 120),
+        st.integers(1, 6),
+        st.integers(1, 40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_knn_counts_bit_identical(self, seed, k, d, n_queries):
+        geometry, queries, radii, _, _ = _random_case(seed, k, d, n_queries)
+        expected = get_kernel("reference").count_knn(geometry, queries, radii)
+        for name in available_kernels():
+            counts = get_kernel(name).count_knn(geometry, queries, radii)
+            assert counts.dtype == np.int64, name
+            np.testing.assert_array_equal(counts, expected, err_msg=name)
+
+    @given(
+        st.integers(0, 10_000),
+        st.integers(1, 120),
+        st.integers(1, 6),
+        st.integers(1, 40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_range_counts_bit_identical(self, seed, k, d, n_queries):
+        geometry, _, _, q_lower, q_upper = _random_case(seed, k, d, n_queries)
+        expected = get_kernel("reference").count_range(
+            geometry, q_lower, q_upper
+        )
+        for name in available_kernels():
+            counts = get_kernel(name).count_range(geometry, q_lower, q_upper)
+            np.testing.assert_array_equal(counts, expected, err_msg=name)
+
+    @given(st.integers(0, 10_000), st.integers(1, 5), st.integers(1, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_empty_geometry_counts_zero(self, seed, d, n_queries):
+        gen = np.random.default_rng(seed)
+        geometry = LeafGeometry.empty(d)
+        queries = gen.random((n_queries, d))
+        radii = gen.random(n_queries)
+        for name in available_kernels():
+            counts = get_kernel(name).count_knn(geometry, queries, radii)
+            assert counts.shape == (n_queries,)
+            assert not counts.any(), name
+
+    @given(st.integers(0, 10_000), st.integers(1, 80), st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_zero_queries(self, seed, k, d):
+        geometry, _, _, _, _ = _random_case(seed, k, d, 1)
+        for name in available_kernels():
+            counts = get_kernel(name).count_knn(
+                geometry, np.empty((0, d)), np.empty(0)
+            )
+            assert counts.shape == (0,)
+
+    def test_point_on_boundary_counts(self):
+        """The sphere test is inclusive: dist == radius intersects, and
+        every backend agrees on the exact boundary."""
+        geometry = LeafGeometry.from_corners(
+            np.array([[1.0, 0.0]]), np.array([[2.0, 1.0]])
+        )
+        queries = np.array([[0.0, 0.5]])
+        radii = np.array([1.0])  # sphere exactly touches the left face
+        for name in available_kernels():
+            assert get_kernel(name).count_knn(geometry, queries, radii) == [1]
+            assert get_kernel(name).count_knn(
+                geometry, queries, radii - 1e-9
+            ) == [0]
+
+    @given(
+        st.integers(0, 10_000),
+        st.integers(1, 200),
+        st.integers(1, 8),
+        st.integers(1, 50),
+        st.integers(1, 4096),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_tiling_invariant_under_memory_cap(
+        self, seed, k, d, n_queries, cap
+    ):
+        """Shrinking the tile cap to pathological sizes never changes
+        the counts -- tiling is a pure execution-shape choice."""
+        geometry, queries, radii, q_lower, q_upper = _random_case(
+            seed, k, d, n_queries
+        )
+        default = NumpyBatchedKernel()
+        tiny = NumpyBatchedKernel(memory_cap_bytes=cap)
+        np.testing.assert_array_equal(
+            tiny.count_knn(geometry, queries, radii),
+            default.count_knn(geometry, queries, radii),
+        )
+        np.testing.assert_array_equal(
+            tiny.count_range(geometry, q_lower, q_upper),
+            default.count_range(geometry, q_lower, q_upper),
+        )
+
+
+class TestRegistry:
+    def test_default_is_batched(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        assert DEFAULT_KERNEL == "numpy_batched"
+        assert default_kernel_name() == "numpy_batched"
+        assert get_kernel().name == "numpy_batched"
+
+    def test_env_var_resolution(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "reference")
+        assert default_kernel_name() == "reference"
+        assert get_kernel().name == "reference"
+        # An explicit name always beats the environment.
+        assert get_kernel("numpy_batched").name == "numpy_batched"
+
+    def test_available_kernels_sorted(self):
+        names = available_kernels()
+        assert "reference" in names and "numpy_batched" in names
+        assert list(names) == sorted(names)
+
+    def test_instances_cached(self):
+        assert get_kernel("reference") is get_kernel("reference")
+
+    def test_unknown_kernel_typed_error(self):
+        with pytest.raises(UnknownKernelError) as excinfo:
+            get_kernel("simd_avx1024")
+        err = excinfo.value
+        assert err.kernel == "simd_avx1024"
+        assert "reference" in err.available
+        assert "simd_avx1024" in str(err)
+        assert "reference" in str(err)
+        assert isinstance(err, ValueError)
+
+    def test_unknown_env_kernel_raises(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "warp_drive")
+        with pytest.raises(UnknownKernelError):
+            get_kernel()
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="numba is installed here")
+    def test_missing_numba_explains_itself(self):
+        assert "numba" not in available_kernels()
+        with pytest.raises(UnknownKernelError) as excinfo:
+            get_kernel("numba")
+        assert "not installed" in str(excinfo.value)
+
+    @pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+    def test_numba_registered_when_available(self):
+        assert "numba" in available_kernels()
+        assert get_kernel("numba").name == "numba"
+
+
+class TestPredictorsKernelInvariant:
+    """Every predictor's per-query counts survive a kernel swap."""
+
+    @pytest.fixture(scope="class")
+    def points(self, clustered_points):
+        return clustered_points[:1500]
+
+    @pytest.fixture(scope="class")
+    def workload(self, points):
+        predictor = IndexCostPredictor(dim=16, memory=300, c_data=32,
+                                       c_dir=16)
+        return predictor.make_workload(points, 15, 11, seed=2)
+
+    @pytest.mark.parametrize("method", ["mini", "cutoff", "resampled"])
+    def test_facade_methods(self, method, points, workload):
+        results = {}
+        for name in ("reference", "numpy_batched"):
+            predictor = IndexCostPredictor(
+                dim=16, memory=300, c_data=32, c_dir=16, kernel=name
+            )
+            result = predictor.predict(points, workload, method=method,
+                                       seed=5)
+            assert result.detail["kernel"] == name
+            results[name] = result.per_query
+        np.testing.assert_array_equal(
+            results["reference"], results["numpy_batched"]
+        )
+
+    def test_kdb_model(self, points, workload):
+        counts = [
+            KDBMiniIndexModel(c_data=32, kernel=name)
+            .predict(points, workload, 0.25, np.random.default_rng(3))
+            .per_query
+            for name in ("reference", "numpy_batched")
+        ]
+        np.testing.assert_array_equal(counts[0], counts[1])
+
+    def test_dynamic_model(self, points, workload):
+        counts = [
+            DynamicMiniIndexModel(32, 16, kernel=name)
+            .predict(points, workload, 0.25, np.random.default_rng(3))
+            .per_query
+            for name in ("reference", "numpy_batched")
+        ]
+        np.testing.assert_array_equal(counts[0], counts[1])
+
+    def test_range_workload_through_facade(self, points):
+        gen = np.random.default_rng(9)
+        centers = points[gen.choice(points.shape[0], 12)]
+        workload = RangeWorkload(lower=centers - 0.05, upper=centers + 0.05)
+        counts = [
+            IndexCostPredictor(dim=16, memory=300, c_data=32, c_dir=16,
+                               kernel=name)
+            .predict(points, workload, method="resampled", seed=5).per_query
+            for name in ("reference", "numpy_batched")
+        ]
+        np.testing.assert_array_equal(counts[0], counts[1])
+
+    def test_faulted_run_kernel_invariant(self, points, workload):
+        """Seed-driven fault injection is kernel-independent: a flaky
+        disk produces the same (repaired) prediction under any backend."""
+        counts = []
+        for name in ("reference", "numpy_batched"):
+            predictor = IndexCostPredictor(
+                dim=16, memory=300, c_data=32, c_dir=16, kernel=name,
+                fault_rate=0.05, fault_seed=11,
+            )
+            counts.append(
+                predictor.predict(points, workload, method="resampled",
+                                  seed=5).per_query
+            )
+        np.testing.assert_array_equal(counts[0], counts[1])
+
+    def test_bad_kernel_fails_at_construction(self):
+        with pytest.raises(UnknownKernelError):
+            IndexCostPredictor(dim=4, memory=100, kernel="gpu_tensor")
+
+    def test_env_kernel_checked_at_construction(self, monkeypatch):
+        """The env-var default is validated as eagerly as the field."""
+        monkeypatch.setenv(KERNEL_ENV_VAR, "definitely_not_a_kernel")
+        with pytest.raises(UnknownKernelError):
+            IndexCostPredictor(dim=16, memory=300, c_data=32, c_dir=16)
+
+
+class TestCLIKernelFlag:
+    def test_explicit_kernel_runs(self, capsys):
+        assert main(["predict", *FAST, "--kernel", "reference"]) == 0
+        assert "'kernel': 'reference'" in capsys.readouterr().out
+
+    def test_kernels_agree_end_to_end(self, capsys):
+        main(["predict", *FAST, "--kernel", "reference"])
+        ref = capsys.readouterr().out
+        main(["predict", *FAST, "--kernel", "numpy_batched"])
+        fast = capsys.readouterr().out
+        assert (
+            [ln for ln in ref.splitlines() if "accesses" in ln]
+            == [ln for ln in fast.splitlines() if "accesses" in ln]
+        )
+
+    def test_unknown_kernel_exits_14(self, capsys):
+        assert main(["predict", *FAST, "--kernel", "quantum"]) == 14
+        err = capsys.readouterr().err
+        assert "quantum" in err
+
+    def test_unknown_env_kernel_exits_14(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "quantum")
+        assert main(["predict", *FAST]) == 14
+
+
+class TestLeafGeometry:
+    def test_from_leaves_skips_unset_mbrs(self, tiny_points):
+        from repro.rtree.tree import RTree
+
+        tree = RTree.bulk_load(tiny_points, 8, 4)
+        geometry = tree.leaf_geometry
+        assert geometry.k == tree.n_leaves
+        assert geometry.dim == 2
+        np.testing.assert_array_equal(
+            np.asarray([leaf.n_points for leaf in tree.leaves]),
+            geometry.n_points,
+        )
+
+    def test_scaled_preserves_counts_metadata(self):
+        geometry = LeafGeometry.from_corners(
+            np.zeros((3, 2)), np.ones((3, 2)),
+            n_points=np.array([4, 5, 6]),
+        )
+        scaled = geometry.scaled(2.0)
+        np.testing.assert_array_equal(scaled.n_points, geometry.n_points)
+        np.testing.assert_allclose(scaled.lower, -0.5)
+        np.testing.assert_allclose(scaled.upper, 1.5)
+
+    def test_kdb_leaves_cached_and_invalidated(self, tiny_points):
+        from repro.rtree.kdb import KDBTree
+
+        tree = KDBTree.bulk_load(tiny_points, c_data=8)
+        assert tree.leaves is tree.leaves  # cached, not rebuilt per access
+        before = tree.leaf_geometry
+        assert tree.leaf_geometry is before
+        tree.invalidate_caches()
+        after = tree.leaf_geometry
+        assert after is not before
+        np.testing.assert_array_equal(after.lower, before.lower)
+        np.testing.assert_array_equal(after.upper, before.upper)
+
+    def test_rtree_leaves_cached_and_invalidated(self, tiny_points):
+        from repro.rtree.tree import RTree
+
+        tree = RTree.bulk_load(tiny_points, 8, 4)
+        assert tree.leaves is tree.leaves
+        before = tree.leaf_geometry
+        assert tree.leaf_geometry is before
+        tree.invalidate_caches()
+        assert tree.leaf_geometry is not before

@@ -9,6 +9,7 @@ import pytest
 PACKAGES = [
     "repro",
     "repro.core",
+    "repro.kernels",
     "repro.rtree",
     "repro.disk",
     "repro.ondisk",
