@@ -1,0 +1,78 @@
+"""Service load test: sustained throughput and tail latency, pinned.
+
+Eight closed-loop tenants hammer a four-worker service for a fixed
+window, once on the warm fast path and once through the full governed
+resampled pipeline.  The warm-path result -- throughput plus
+p50/p95/p99 latency -- lands in ``BENCH_service.json`` at the repo
+root, so the serving claim is version-controlled the same way the
+kernel-throughput claim is.  The assertions are deliberately loose
+sanity floors (CI machines vary wildly); the JSON carries the real
+numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments import format_table
+from repro.service import run_loadtest
+
+RESULT_PATH = Path(__file__).parents[1] / "BENCH_service.json"
+
+N_TENANTS = 8
+WORKERS = 4
+DURATION_S = 2.0
+
+
+def test_service_loadtest(report):
+    warm = run_loadtest(
+        n_tenants=N_TENANTS, workers=WORKERS, duration_s=DURATION_S,
+        method="warm", seed=0,
+    )
+    governed = run_loadtest(
+        n_tenants=N_TENANTS, workers=WORKERS, duration_s=DURATION_S / 2,
+        method="resampled", seed=0,
+    )
+
+    rows = []
+    for label, res in (("warm", warm), ("resampled", governed)):
+        rows.append([
+            label,
+            f"{res.throughput_rps:,.0f}",
+            f"{res.p50_ms:.2f}",
+            f"{res.p95_ms:.2f}",
+            f"{res.p99_ms:.2f}",
+            f"{res.resolved:,}",
+            f"{res.errors:,}",
+        ])
+    report(format_table(
+        ["method", "req/s", "p50 ms", "p95 ms", "p99 ms", "resolved",
+         "errors"],
+        rows,
+        title=f"Prediction service load test ({N_TENANTS} tenants, "
+              f"{WORKERS} workers)",
+    ))
+
+    payload = warm.as_dict()
+    payload["governed_resampled"] = {
+        "throughput_rps": round(governed.throughput_rps, 1),
+        "latency_ms": governed.as_dict()["latency_ms"],
+        "resolved": governed.resolved,
+        "degraded": governed.degraded,
+        "errors": governed.errors,
+    }
+    RESULT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    # sanity floors, not performance gates: every tenant got service,
+    # nothing errored on the warm path, and the tail is finite
+    assert warm.n_tenants == N_TENANTS
+    assert warm.resolved > N_TENANTS * 10
+    assert warm.errors == 0
+    assert 0.0 < warm.p50_ms <= warm.p95_ms <= warm.p99_ms
+    assert all(
+        snap["completed"] > 0 for snap in warm.tenants.values()
+    ), "a tenant was starved during the load test"
+    assert governed.resolved > 0

@@ -48,6 +48,7 @@ from .disk import (
     SimulatedDisk,
 )
 from .errors import (
+    ArtifactCorruptError,
     BudgetExceededError,
     CircuitOpenError,
     DeadlineExceededError,
@@ -56,6 +57,8 @@ from .errors import (
     InputValidationError,
     PredictionError,
     ReproError,
+    ServiceOverloadedError,
+    TenantQuotaExceededError,
     TornWriteError,
     TransientReadError,
     UnknownKernelError,
@@ -75,6 +78,17 @@ from .runtime import (
     run_hedged,
 )
 from .rtree import MBR, BulkLoadConfig, KNNResult, RStarTree, RTree
+from .service import (
+    ArtifactStore,
+    FittedModel,
+    PredictionService,
+    ServiceResponse,
+    TenantQuota,
+    fit_model,
+    load_artifact,
+    run_loadtest,
+    save_artifact,
+)
 from .workload import (
     KNNWorkload,
     RangeWorkload,
@@ -108,6 +122,7 @@ __all__ = [
     "RetryPolicy",
     "ScrubReport",
     "SimulatedDisk",
+    "ArtifactCorruptError",
     "BudgetExceededError",
     "CircuitOpenError",
     "DeadlineExceededError",
@@ -116,6 +131,8 @@ __all__ = [
     "InputValidationError",
     "PredictionError",
     "ReproError",
+    "ServiceOverloadedError",
+    "TenantQuotaExceededError",
     "TornWriteError",
     "TransientReadError",
     "UnknownKernelError",
@@ -141,6 +158,15 @@ __all__ = [
     "KNNResult",
     "RStarTree",
     "RTree",
+    "ArtifactStore",
+    "FittedModel",
+    "PredictionService",
+    "ServiceResponse",
+    "TenantQuota",
+    "fit_model",
+    "load_artifact",
+    "run_loadtest",
+    "save_artifact",
     "KNNWorkload",
     "RangeWorkload",
     "density_biased_knn_workload",

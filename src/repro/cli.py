@@ -12,6 +12,12 @@ Thin wrappers over the library for the workflows the paper motivates:
 ``costs``          evaluate the analytical Eqs. 1-5 for a dataset shape
 ``scrub``          sweep the dataset file for at-rest corruption,
                    repairing from replicas/parity where provisioned
+``serve``          run a bounded multi-tenant serving session against
+                   the threaded prediction service (warm artifacts,
+                   quotas, backpressure) and print the per-tenant books
+``loadtest``       hammer the service with closed-loop clients and
+                   report sustained throughput and p50/p95/p99 latency
+                   (writes ``BENCH_service.json`` with ``--output``)
 
 Data comes from a named synthetic analogue (``--dataset TEXTURE60
 --scale 0.1``) or any ``.npy`` file holding an ``(n, d)`` float matrix
@@ -33,6 +39,7 @@ from .core.costmodel import AnalyticalCostModel
 from .core.predictor import IndexCostPredictor
 from .data import datasets
 from .errors import (
+    ArtifactCorruptError,
     BudgetExceededError,
     ChecksumError,
     CrashPoint,
@@ -41,6 +48,8 @@ from .errors import (
     InputValidationError,
     PredictionError,
     ReproError,
+    ServiceOverloadedError,
+    TenantQuotaExceededError,
     TornWriteError,
     TransientReadError,
     UnknownKernelError,
@@ -49,6 +58,7 @@ from .errors import (
 from .experiments.tables import format_signed_percent, format_table
 from .kernels.registry import KERNEL_ENV_VAR, available_kernels
 from .runtime.budget import Budget
+from .service import PredictionService, TenantQuota, run_loadtest
 
 __all__ = ["main"]
 
@@ -66,6 +76,9 @@ _EXIT_CODES: tuple[tuple[type[ReproError], int], ...] = (
     (DiskError, 6),
     (PredictionError, 7),
     (CrashPoint, 10),
+    (TenantQuotaExceededError, 15),
+    (ServiceOverloadedError, 16),
+    (ArtifactCorruptError, 17),
     (ReproError, 8),
 )
 
@@ -87,6 +100,12 @@ exit codes:
       verification (raise --replication-factor or enable --parity)
   14  unknown counting kernel (--kernel / REPRO_KERNEL did not match a
       registered backend)
+  15  tenant quota exceeded: the tenant's own in-flight slots or
+      charged-op allowance refused the request at admission
+  16  service overloaded: the shared bounded request queue is full and
+      load was shed instead of queued unboundedly
+  17  model artifact corrupt: a saved warm-start artifact failed its
+      CRC/version verification and was not trusted
 """
 
 
@@ -371,6 +390,111 @@ def _cmd_scrub(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    points = _load_points(args)
+    quota = TenantQuota(
+        max_inflight=args.max_inflight,
+        max_io_ops=args.max_io_ops,
+        deadline_s=args.deadline_s,
+        max_retries=args.retries,
+    )
+    service = PredictionService(
+        workers=args.workers, max_queue=args.max_queue,
+        memory=args.memory, default_quota=quota,
+        artifact_dir=args.artifact_dir,
+        kernel=getattr(args, "kernel", None),
+    )
+    rng = np.random.default_rng(args.seed)
+    workloads = {}
+    for i in range(args.tenants):
+        name = f"tenant-{i}"
+        # each tenant serves its own resample of the dataset, so the
+        # session exercises distinct artifacts and distinct geometry
+        subset = points[rng.choice(points.shape[0],
+                                   size=min(points.shape[0], 2_000),
+                                   replace=False)]
+        service.register_tenant(name, subset,
+                                fault_rate=getattr(args, "fault_rate", 0.0),
+                                fault_seed=getattr(args, "fault_seed", 0))
+        workloads[name] = service.tenant(name).predictor.make_workload(
+            subset, args.queries, args.k, seed=args.seed + i
+        )
+    served = refused = shed = 0
+    with service:
+        futures = []
+        for round_i in range(args.requests):
+            for name, workload in workloads.items():
+                try:
+                    futures.append(service.submit(
+                        name, workload, method=args.method, seed=round_i
+                    ))
+                except TenantQuotaExceededError:
+                    refused += 1
+                except ServiceOverloadedError:
+                    shed += 1
+        for future in futures:
+            future.result(timeout=120.0)
+            served += 1
+    rows = []
+    for name in sorted(workloads):
+        snap = service.tenant(name).ledger.snapshot()
+        rows.append([
+            name, str(snap["submitted"]), str(snap["completed"]),
+            str(snap["degraded"]), str(snap["errors"]),
+            str(snap["refused_quota"]), str(snap["charged_ops"]),
+            snap["breaker_state"],
+        ])
+    print(format_table(
+        ["tenant", "admitted", "ok", "degraded", "errors", "refused",
+         "charged ops", "breaker"],
+        rows,
+        title=f"serving session: {args.tenants} tenants x {args.requests} "
+              f"requests ({args.method}), {args.workers} workers, "
+              f"queue {args.max_queue}",
+    ))
+    metrics = service.metrics()
+    print(f"resolved {served} responses; admission refused {refused}, "
+          f"shed {shed}; workers respawned "
+          f"{metrics['workers_respawned']}, artifact rebuilds "
+          f"{metrics['artifact_rebuilds']}")
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    result = run_loadtest(
+        n_tenants=args.tenants, workers=args.workers,
+        duration_s=args.duration, max_queue=args.max_queue,
+        memory=args.memory, method=args.method, seed=args.seed,
+        max_inflight=args.max_inflight,
+        artifact_dir=args.artifact_dir,
+    )
+    payload = result.as_dict()
+    rows = [
+        ["throughput", f"{payload['throughput_rps']:,} req/s"],
+        ["p50 latency", f"{payload['latency_ms']['p50']:.3f} ms"],
+        ["p95 latency", f"{payload['latency_ms']['p95']:.3f} ms"],
+        ["p99 latency", f"{payload['latency_ms']['p99']:.3f} ms"],
+        ["resolved", f"{payload['resolved']:,} "
+                     f"({payload['ok']:,} ok, {payload['degraded']:,} "
+                     f"degraded, {payload['errors']:,} errors)"],
+        ["shed / refused", f"{payload['shed_overload']:,} / "
+                           f"{payload['refused_quota']:,}"],
+    ]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"load test: {args.tenants} tenants, {args.workers} workers, "
+              f"{args.duration:g} s, method {args.method}",
+    ))
+    if args.output:
+        import json
+
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_costs(args: argparse.Namespace) -> int:
     model = AnalyticalCostModel(n_queries=args.queries)
     ondisk = model.ondisk(args.n, args.dim, args.memory)
@@ -457,6 +581,69 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit with code 13 if any page is "
                             "unrecoverable (no clean copy survives)")
     scrub.set_defaults(run=_cmd_scrub)
+
+    serve = commands.add_parser(
+        "serve", help="bounded multi-tenant serving session"
+    )
+    _add_data_arguments(serve)
+    _add_workload_arguments(serve)
+    serve.add_argument("--tenants", type=int, default=4,
+                       help="tenants to register (default 4)")
+    serve.add_argument("--requests", type=int, default=8,
+                       help="requests submitted per tenant (default 8)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="worker threads (default 4)")
+    serve.add_argument("--max-queue", type=int, default=32,
+                       dest="max_queue",
+                       help="bounded request queue size (default 32)")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       dest="max_inflight",
+                       help="per-tenant in-flight request cap (default 8)")
+    serve.add_argument("--max-io-ops", type=int, default=None,
+                       dest="max_io_ops",
+                       help="per-tenant lifetime charged-op allowance "
+                            "(default unmetered)")
+    serve.add_argument("--deadline-s", type=float, default=None,
+                       dest="deadline_s",
+                       help="per-request deadline in seconds")
+    serve.add_argument("--retries", type=int, default=0,
+                       help="request-level retries on retryable faults")
+    serve.add_argument("--method", default="warm",
+                       choices=("warm", "mini", "cutoff", "resampled"),
+                       help="prediction method requests ask for "
+                            "(default warm: the amortized fast path)")
+    serve.add_argument("--artifact-dir", default=None, dest="artifact_dir",
+                       help="directory for checksummed warm-start "
+                            "artifacts (persist/reuse across sessions)")
+    serve.set_defaults(run=_cmd_serve)
+
+    loadtest = commands.add_parser(
+        "loadtest", help="sustained-throughput / tail-latency measurement"
+    )
+    loadtest.add_argument("--tenants", type=int, default=8,
+                          help="closed-loop client tenants (default 8)")
+    loadtest.add_argument("--workers", type=int, default=4,
+                          help="worker threads (default 4)")
+    loadtest.add_argument("--duration", type=float, default=2.0,
+                          help="measurement window in seconds (default 2)")
+    loadtest.add_argument("--max-queue", type=int, default=64,
+                          dest="max_queue",
+                          help="bounded request queue size (default 64)")
+    loadtest.add_argument("--max-inflight", type=int, default=8,
+                          dest="max_inflight",
+                          help="per-tenant in-flight cap (default 8)")
+    loadtest.add_argument("--memory", type=int, default=300,
+                          help="fitting memory budget M in points")
+    loadtest.add_argument("--method", default="warm",
+                          choices=("warm", "mini", "cutoff", "resampled"))
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument("--artifact-dir", default=None,
+                          dest="artifact_dir",
+                          help="warm-start artifact directory")
+    loadtest.add_argument("--output", default=None,
+                          help="write the result as JSON "
+                               "(e.g. BENCH_service.json)")
+    loadtest.set_defaults(run=_cmd_loadtest)
 
     costs = commands.add_parser("costs", help="analytical Eqs. 1-5")
     costs.add_argument("--n", type=int, default=1_000_000)

@@ -53,6 +53,26 @@ class MiniIndexModel:
         ``sampling_fraction`` is the paper's ``zeta``; it must exceed
         ``1/C`` so that sampled pages retain volume (Section 3.3).
         """
+        geometry, detail = self.fit_geometry(points, sampling_fraction, rng)
+        per_query = count_accesses(geometry, workload, kernel=self.kernel)
+        detail["kernel"] = get_kernel(self.kernel).name
+        return PredictionResult(per_query=per_query, detail=detail)
+
+    def fit_geometry(
+        self,
+        points: np.ndarray,
+        sampling_fraction: float,
+        rng: np.random.Generator,
+    ) -> tuple["LeafGeometry", dict]:
+        """The fitted, compensation-grown leaf geometry and its record.
+
+        This is the *model* half of :meth:`predict` -- everything up to
+        (but not including) the counting dispatch.  The returned
+        geometry is what a warm-start artifact persists: counting it
+        against any workload reproduces :meth:`predict` bit-identically
+        for the same sample, which is the service layer's
+        save/load-equality contract.
+        """
         points = np.asarray(points, dtype=np.float64)
         n = points.shape[0]
         if not 0 < sampling_fraction <= 1:
@@ -79,17 +99,12 @@ class MiniIndexModel:
                 # the raw sampled pages, as the paper's Figure 2 does in
                 # that regime.
                 pass
-        per_query = count_accesses(geometry, workload, kernel=self.kernel)
-        return PredictionResult(
-            per_query=per_query,
-            detail={
-                "zeta": zeta,
-                "n_sample": sample.shape[0],
-                "n_mini_leaves": geometry.k,
-                "compensated": compensated,
-                "kernel": get_kernel(self.kernel).name,
-            },
-        )
+        return geometry, {
+            "zeta": zeta,
+            "n_sample": sample.shape[0],
+            "n_mini_leaves": geometry.k,
+            "compensated": compensated,
+        }
 
     def build_mini_index(self, sample: np.ndarray, full_n: int) -> RTree:
         """The mini-index: full-index topology imposed on the sample."""

@@ -244,6 +244,7 @@ class IndexCostPredictor:
         degrade: bool = True,
         budget: Budget | None = None,
         hedge: bool = False,
+        clock=None,
     ) -> PredictionResult:
         """Predict mean leaf accesses with the chosen method.
 
@@ -278,6 +279,15 @@ class IndexCostPredictor:
         its own fresh disk, closed-form if that fails) and serves
         whichever lands inside the deadline, recording which path won in
         ``result.detail["hedge"]``.
+
+        ``clock`` overrides the governor's monotonic clock (a
+        zero-argument callable returning seconds).  Tests drive
+        deadlines deterministically with a fake clock instead of
+        sleeping for real time; production callers leave it ``None``
+        for :func:`time.monotonic`.  Ignored when no budget is set
+        (there is no governor to time) and under ``hedge=True`` (the
+        hedge race is genuinely concurrent, so its deadline must be
+        real).
         """
         if method not in _METHODS:
             raise ValueError(f"unknown method {method!r}; options: {_METHODS}")
@@ -296,7 +306,7 @@ class IndexCostPredictor:
         return self._predict_governed(
             points, workload, method=method, h_upper=h_upper,
             sampling_fraction=sampling_fraction, seed=seed,
-            degrade=degrade, budget=budget,
+            degrade=degrade, budget=budget, clock=clock,
         )
 
     def _predict_governed(
@@ -310,11 +320,15 @@ class IndexCostPredictor:
         seed: int,
         degrade: bool,
         budget: Budget | None,
+        clock=None,
     ) -> PredictionResult:
         """The degradation chain, optionally under one governed budget."""
         governor: Governor | None = None
         if budget is not None and not budget.unlimited:
-            governor = Governor(budget)
+            if clock is not None:
+                governor = Governor(budget, clock=clock)
+            else:
+                governor = Governor(budget)
 
         chain = _FALLBACK_CHAIN[_FALLBACK_CHAIN.index(method):]
         attempts: list[dict] = []

@@ -10,9 +10,18 @@ page not adjacent to the previously read page").
 The device stores no bytes -- data lives in the
 :class:`~repro.disk.pagefile.PointFile` layers above -- it is purely the
 accountant through which *all* simulated I/O must flow.
+
+The ledger is lock-protected: a batch runner or the prediction service
+can drive one device from several worker threads, and every counter
+update is a read-modify-write that would otherwise lose increments
+(two threads both reading ``_transfers`` before either writes it
+back).  The lock covers only counter arithmetic -- no I/O, no
+randomness -- so single-threaded callers pay nothing measurable.
 """
 
 from __future__ import annotations
+
+import threading
 
 from ..errors import DiskError
 from .accounting import DiskParameters, IOCost
@@ -44,6 +53,7 @@ class SimulatedDisk:
         self._faults = 0
         self._head: int | None = None  # page the head sits *after*
         self._next_free_page = 0
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Allocation
@@ -53,18 +63,19 @@ class SimulatedDisk:
         """Reserve ``n_pages`` consecutive pages; returns the start page."""
         if n_pages < 0:
             raise ValueError("cannot allocate a negative number of pages")
-        if (
-            self.capacity_pages is not None
-            and self._next_free_page + n_pages > self.capacity_pages
-        ):
-            raise DiskError(
-                f"allocation of {n_pages} pages exceeds device capacity: "
-                f"{self._next_free_page} of {self.capacity_pages} pages "
-                f"already allocated"
-            )
-        start = self._next_free_page
-        self._next_free_page += n_pages
-        return start
+        with self._lock:
+            if (
+                self.capacity_pages is not None
+                and self._next_free_page + n_pages > self.capacity_pages
+            ):
+                raise DiskError(
+                    f"allocation of {n_pages} pages exceeds device capacity: "
+                    f"{self._next_free_page} of {self.capacity_pages} pages "
+                    f"already allocated"
+                )
+            start = self._next_free_page
+            self._next_free_page += n_pages
+            return start
 
     @property
     def allocated_pages(self) -> int:
@@ -81,10 +92,11 @@ class SimulatedDisk:
             raise ValueError("page addresses and counts must be non-negative")
         if n_pages == 0:
             return IOCost()
-        seeks = 0 if self._head == start_page else 1
-        self._seeks += seeks
-        self._transfers += n_pages
-        self._head = start_page + n_pages
+        with self._lock:
+            seeks = 0 if self._head == start_page else 1
+            self._seeks += seeks
+            self._transfers += n_pages
+            self._head = start_page + n_pages
         return IOCost(seeks=seeks, transfers=n_pages)
 
     read = access
@@ -97,12 +109,13 @@ class SimulatedDisk:
     @property
     def cost(self) -> IOCost:
         """Total cost charged since construction (or the last reset)."""
-        return IOCost(
-            seeks=self._seeks,
-            transfers=self._transfers,
-            retries=self._retries,
-            faults_seen=self._faults,
-        )
+        with self._lock:
+            return IOCost(
+                seeks=self._seeks,
+                transfers=self._transfers,
+                retries=self._retries,
+                faults_seen=self._faults,
+            )
 
     def seconds(self) -> float:
         return self.cost.seconds(self.parameters)
@@ -113,12 +126,18 @@ class SimulatedDisk:
         The head position and the allocation pointer are preserved --
         resetting the ledger must not create a phantom free seek.
         """
-        total = self.cost
-        self._seeks = 0
-        self._transfers = 0
-        self._retries = 0
-        self._faults = 0
-        return total
+        with self._lock:
+            total = IOCost(
+                seeks=self._seeks,
+                transfers=self._transfers,
+                retries=self._retries,
+                faults_seen=self._faults,
+            )
+            self._seeks = 0
+            self._transfers = 0
+            self._retries = 0
+            self._faults = 0
+            return total
 
     # ------------------------------------------------------------------
     # Resilience accounting (used by FaultInjector / RetryPolicy)
@@ -128,19 +147,24 @@ class SimulatedDisk:
         """Charge extra simulated time (latency spike, retry backoff)
         without moving the head -- the device stalled, it did not seek
         anywhere useful."""
-        self._seeks += penalty.seeks
-        self._transfers += penalty.transfers
+        with self._lock:
+            self._seeks += penalty.seeks
+            self._transfers += penalty.transfers
 
     def note_retry(self, backoff: IOCost) -> None:
         """Record one retry round and charge its backoff to the ledger."""
-        self.charge_penalty(backoff)
-        self._retries += 1
+        with self._lock:
+            self._seeks += backoff.seeks
+            self._transfers += backoff.transfers
+            self._retries += 1
 
     def note_fault(self) -> None:
         """Record one injected fault observation."""
-        self._faults += 1
+        with self._lock:
+            self._faults += 1
 
     def drop_head(self) -> None:
         """Forget the head position (e.g. another process used the disk),
         so the next access pays a seek."""
-        self._head = None
+        with self._lock:
+            self._head = None

@@ -52,6 +52,20 @@ purpose by this package derives from :class:`ReproError`:
     access is refused *before* any I/O or retries are spent.  A
     :class:`DiskError` (the device is effectively unavailable), but not
     retryable -- the breaker itself decides when to probe again.
+``TenantQuotaExceededError`` / ``ServiceOverloadedError``
+    the multi-tenant prediction service refused a request up front:
+    either *this tenant* ran out of its own quota (in-flight slots or
+    charged-op allowance -- the neighbours are unaffected), or the
+    *shared* request queue is full and the service sheds load rather
+    than queueing unboundedly.  Both are admission verdicts, raised
+    before any I/O is spent; the CLI maps them to exit codes 15 and 16.
+``ArtifactCorruptError``
+    a saved model artifact failed verification on load: a section's
+    CRC32 disagrees with the stored payload, the header is malformed,
+    or the format version is one this build does not speak.  The
+    artifact is *never* trusted partially -- the loader raises before
+    returning any model, and the service rebuilds the model from data
+    instead.  The CLI maps it to exit code 17.
 
 :class:`DegradedResultWarning` is a :class:`UserWarning`, not an error:
 the facade emits it when it had to fall back to a cheaper method and
@@ -76,6 +90,9 @@ __all__ = [
     "BudgetExceededError",
     "DeadlineExceededError",
     "CircuitOpenError",
+    "TenantQuotaExceededError",
+    "ServiceOverloadedError",
+    "ArtifactCorruptError",
     "DegradedResultWarning",
     "validate_points",
 ]
@@ -324,6 +341,84 @@ class CircuitOpenError(DiskError):
             f"{self.window} charged operations failed; next probe in "
             f"{self.cooldown_remaining:.3f} s"
         )
+
+
+class TenantQuotaExceededError(ReproError):
+    """A tenant's own quota refused the request at admission.
+
+    Raised by the multi-tenant prediction service when *this tenant*
+    has no in-flight slot left (``resource="inflight"``) or its charged
+    I/O-op allowance is spent (``resource="io_ops"``).  Per-tenant by
+    construction: one tenant exhausting its quota never affects what
+    the service admits from anyone else.  Nothing was queued and no
+    I/O was spent; the CLI maps it to exit code 15.
+    """
+
+    def __init__(self, tenant: str, resource: str, used: float, limit: float):
+        self.tenant = tenant
+        self.resource = resource
+        self.used = used
+        self.limit = limit
+        super().__init__(tenant, resource, used, limit)
+
+    def __str__(self) -> str:
+        return (
+            f"tenant {self.tenant!r} exceeded its {self.resource} quota: "
+            f"{self.used:g} of {self.limit:g}"
+        )
+
+
+class ServiceOverloadedError(ReproError):
+    """The shared request queue is full: load shed, not queued.
+
+    Raised by the multi-tenant prediction service when the bounded
+    request queue has no free slot.  Backpressure is deliberate -- an
+    unbounded queue converts overload into unbounded latency and
+    eventual memory exhaustion, both of which look like hangs to every
+    tenant.  The caller should back off and retry; the CLI maps it to
+    exit code 16.
+    """
+
+    def __init__(self, queued: int, capacity: int):
+        self.queued = queued
+        self.capacity = capacity
+        super().__init__(queued, capacity)
+
+    def __str__(self) -> str:
+        return (
+            f"service overloaded: request queue full "
+            f"({self.queued} of {self.capacity} slots taken)"
+        )
+
+
+class ArtifactCorruptError(ReproError):
+    """A saved model artifact failed verification and was not trusted.
+
+    ``reason`` says what failed: ``"magic"`` (not an artifact file),
+    ``"version"`` (format version skew -- written by an incompatible
+    build), ``"header"`` (malformed or truncated metadata), or
+    ``"checksum"`` (a section's payload disagrees with its stored
+    CRC32; ``section`` names it).  Loading stops at the first failed
+    check and returns nothing: a warm-start consumer rebuilds the model
+    from data instead of predicting from corrupt geometry.  The CLI
+    maps it to exit code 17.
+    """
+
+    def __init__(self, path: str, reason: str, *, section: str | None = None,
+                 detail: str | None = None):
+        self.path = str(path)
+        self.reason = reason
+        self.section = section
+        self.detail = detail
+        super().__init__(self.path, reason)
+
+    def __str__(self) -> str:
+        message = f"model artifact {self.path} failed {self.reason} check"
+        if self.section:
+            message += f" in section {self.section!r}"
+        if self.detail:
+            message += f": {self.detail}"
+        return message
 
 
 class DegradedResultWarning(UserWarning):

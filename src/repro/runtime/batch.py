@@ -24,10 +24,18 @@ workload of named tasks:
 Task I/O is accounted from results exposing an ``io_cost`` attribute
 (every :class:`~repro.core.counting.PredictionResult` does); tasks
 returning anything else simply don't contribute to the I/O ledger.
+
+Concurrency contract: one :class:`BatchRunner` may be driven from
+several threads at once -- each :meth:`BatchRunner.run` call owns its
+queue, executor, and report map as locals, and the only cross-run
+state (the lifetime ``runs_completed`` / ``tasks_run`` / ``io_ops``
+diagnostics the service reads) is folded under a lock, so concurrent
+sweeps never corrupt each other's verdicts.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -139,6 +147,11 @@ class BatchRunner:
         self.task_deadline_s = task_deadline_s
         self.poll_s = poll_s
         self._clock = clock
+        self._lock = threading.Lock()
+        #: lifetime diagnostics across every run() call on this runner
+        self.runs_completed = 0
+        self.tasks_run = 0
+        self.io_ops_observed = 0
 
     # ------------------------------------------------------------------
 
@@ -202,6 +215,10 @@ class BatchRunner:
             # Abandoned workers must not block the report.
             executor.shutdown(wait=False, cancel_futures=True)
         ordered = [reports[t.name] for t in tasks]
+        with self._lock:
+            self.runs_completed += 1
+            self.tasks_run += len(ordered)
+            self.io_ops_observed += io_ops
         return BatchReport(
             tasks=ordered,
             elapsed_s=self._clock() - start,

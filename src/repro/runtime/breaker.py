@@ -25,10 +25,17 @@ The breaker is deliberately per-file (per dataset on a device), the
 granularity at which the fault injector and the checksum layer surface
 errors.  With no breaker attached, ``PointFile`` behaves exactly as
 before -- the zero-overhead rule every resilience layer here follows.
+
+State transitions are lock-protected: the prediction service shares
+one breaker per tenant across worker threads, and the open/half-open
+probe handoff is a read-modify-write race without it (two threads
+both winning the single probe slot, or a half-open close tearing a
+concurrent window append).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from typing import Callable
@@ -77,6 +84,7 @@ class CircuitBreaker:
         self._state = CLOSED
         self._opened_at = 0.0
         self._probe_in_flight = False
+        self._lock = threading.Lock()
         #: lifetime diagnostics
         self.opened_count = 0
         self.short_circuited = 0
@@ -87,11 +95,16 @@ class CircuitBreaker:
     def state(self) -> str:
         """``"closed"``, ``"open"``, or ``"half_open"`` (cooldown done,
         waiting for the probe's verdict)."""
-        if self._state == OPEN and self._cooldown_over():
-            return HALF_OPEN
-        return self._state
+        with self._lock:
+            if self._state == OPEN and self._cooldown_over():
+                return HALF_OPEN
+            return self._state
 
     def failure_rate(self) -> float:
+        with self._lock:
+            return self._failure_rate_locked()
+
+    def _failure_rate_locked(self) -> float:
         if not self._outcomes:
             return 0.0
         return sum(self._outcomes) / len(self._outcomes)
@@ -110,45 +123,52 @@ class CircuitBreaker:
         anything else arriving before the probe's verdict is refused
         like a plain open circuit.
         """
-        if self._state != OPEN:
-            return
-        if self._cooldown_over() and not self._probe_in_flight:
-            self._probe_in_flight = True
-            return
-        self.short_circuited += 1
-        remaining = max(0.0, self.cooldown_s - (self._clock() - self._opened_at))
-        raise CircuitOpenError(
-            self.failure_rate(), len(self._outcomes),
-            cooldown_remaining=remaining,
-        )
+        with self._lock:
+            if self._state != OPEN:
+                return
+            if self._cooldown_over() and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return
+            self.short_circuited += 1
+            remaining = max(
+                0.0, self.cooldown_s - (self._clock() - self._opened_at)
+            )
+            raise CircuitOpenError(
+                self._failure_rate_locked(), len(self._outcomes),
+                cooldown_remaining=remaining,
+            )
 
     def record_success(self) -> None:
-        if self._state == OPEN:
-            # The half-open probe came back clean: trust the device again.
-            self._state = CLOSED
-            self._probe_in_flight = False
-            self._outcomes.clear()
-            return
-        self._outcomes.append(False)
+        with self._lock:
+            if self._state == OPEN:
+                # The half-open probe came back clean: trust the device
+                # again.
+                self._state = CLOSED
+                self._probe_in_flight = False
+                self._outcomes.clear()
+                return
+            self._outcomes.append(False)
 
     def record_failure(self) -> None:
-        if self._state == OPEN:
-            # Probe failed: stay open, restart the cooldown.
-            self._probe_in_flight = False
-            self._opened_at = self._clock()
-            return
-        self._outcomes.append(True)
-        if (
-            len(self._outcomes) >= self.min_calls
-            and self.failure_rate() >= self.failure_threshold
-        ):
-            self._state = OPEN
-            self._opened_at = self._clock()
-            self._probe_in_flight = False
-            self.opened_count += 1
+        with self._lock:
+            if self._state == OPEN:
+                # Probe failed: stay open, restart the cooldown.
+                self._probe_in_flight = False
+                self._opened_at = self._clock()
+                return
+            self._outcomes.append(True)
+            if (
+                len(self._outcomes) >= self.min_calls
+                and self._failure_rate_locked() >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probe_in_flight = False
+                self.opened_count += 1
 
     def reset(self) -> None:
         """Force-close and forget history (a new device, a new run)."""
-        self._state = CLOSED
-        self._outcomes.clear()
-        self._probe_in_flight = False
+        with self._lock:
+            self._state = CLOSED
+            self._outcomes.clear()
+            self._probe_in_flight = False

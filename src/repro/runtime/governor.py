@@ -22,10 +22,16 @@ stepping forwards would spuriously kill a healthy prediction).
 Checks read the ledger and the clock; they charge nothing and draw no
 randomness, which is what makes an amply-budgeted governed run
 bit-identical to an ungoverned one with an identical ledger.
+
+Bookkeeping is lock-protected: the prediction service folds several
+worker threads' spend into one per-tenant governor, and the
+attempt/prior split plus the phase attribution are read-modify-write
+sequences that would otherwise lose charged ops under interleaving.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable
 
@@ -52,6 +58,7 @@ class Governor:
         self.budget = budget
         self._clock = clock
         self._start = clock()
+        self._lock = threading.RLock()
         #: charged ops of finished attempts (fallbacks already taken)
         self._prior_ops = 0
         #: charged ops of the attempt currently running
@@ -99,14 +106,15 @@ class Governor:
         attempt (the predictors already track ``disk.cost - start``);
         ``None`` touches only the bookkeeping.
         """
-        if attempt_cost is not None:
-            self._attempt_ops = Budget.io_ops(attempt_cost)
-        total = self.spent_ops
-        if total != self._last_total:
-            self.phase_spend[phase] = (
-                self.phase_spend.get(phase, 0) + total - self._last_total
-            )
-            self._last_total = total
+        with self._lock:
+            if attempt_cost is not None:
+                self._attempt_ops = Budget.io_ops(attempt_cost)
+            total = self.spent_ops
+            if total != self._last_total:
+                self.phase_spend[phase] = (
+                    self.phase_spend.get(phase, 0) + total - self._last_total
+                )
+                self._last_total = total
 
     def check(self, phase: str, attempt_cost: IOCost | None = None) -> None:
         """One boundary check: record spend, raise if a limit is crossed.
@@ -186,18 +194,22 @@ class Governor:
         """
         nbytes = n_points * dim * 8
         limit = self.budget.max_sample_bytes
-        if limit is not None and self.sample_bytes + nbytes > limit:
-            error = BudgetExceededError(
-                "sample_bytes", self.sample_bytes + nbytes, limit,
-                phase=phase,
-            )
-            self._record_trip(error)
-            raise error
-        self.sample_bytes += nbytes
+        with self._lock:
+            if limit is not None and self.sample_bytes + nbytes > limit:
+                error = BudgetExceededError(
+                    "sample_bytes", self.sample_bytes + nbytes, limit,
+                    phase=phase,
+                )
+                self._record_trip(error)
+                raise error
+            self.sample_bytes += nbytes
 
     def release_sample(self, n_points: int, dim: int) -> None:
         """Return admitted sample bytes (an attempt's sample was freed)."""
-        self.sample_bytes = max(0, self.sample_bytes - n_points * dim * 8)
+        with self._lock:
+            self.sample_bytes = max(
+                0, self.sample_bytes - n_points * dim * 8
+            )
 
     def end_attempt(self) -> None:
         """Fold the current attempt's spend into the cross-attempt total.
@@ -209,12 +221,15 @@ class Governor:
         ever live at a time, so the byte cap governs peak, not
         cumulative, sample memory.
         """
-        self._prior_ops += self._attempt_ops
-        self._attempt_ops = 0
-        self.sample_bytes = 0
+        with self._lock:
+            self._prior_ops += self._attempt_ops
+            self._attempt_ops = 0
+            self.sample_bytes = 0
 
     def _record_trip(self, error: BudgetExceededError) -> None:
-        if self.trip is None:
+        with self._lock:
+            if self.trip is not None:
+                return
             self.trip = {
                 "error": type(error).__name__,
                 "resource": error.resource,

@@ -1,0 +1,193 @@
+"""Sustained-throughput and tail-latency measurement for the service.
+
+One closed-loop client thread per tenant hammers the service for a
+fixed wall-clock window; every resolved response contributes its
+submit-to-resolution latency.  The committed ``BENCH_service.json``
+is the :meth:`LoadTestResult.as_dict` of one such run (via
+``repro loadtest``), so the repository carries an auditable record of
+what the service sustains: requests per second, p50/p95/p99 latency,
+and how much load was shed at which gate.
+
+Closed-loop means each client waits for its response before submitting
+again -- offered load scales with ``n_tenants``, and the bounded queue
+plus per-tenant quotas (not client politeness) are what keep the tail
+bounded when offered load exceeds capacity.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ServiceOverloadedError, TenantQuotaExceededError
+from .server import PredictionService
+from .tenancy import TenantQuota
+
+__all__ = ["LoadTestResult", "run_loadtest"]
+
+
+@dataclass
+class LoadTestResult:
+    """One load-test window, summarized.
+
+    Latency percentiles are milliseconds over *resolved* requests
+    (refused admissions cost microseconds and would flatter the tail);
+    ``throughput_rps`` counts resolved responses per second of the
+    measurement window.
+    """
+
+    duration_s: float
+    n_tenants: int
+    workers: int
+    method: str
+    requests_sent: int = 0
+    resolved: int = 0
+    ok: int = 0
+    degraded: int = 0
+    errors: int = 0
+    shed_overload: int = 0
+    refused_quota: int = 0
+    throughput_rps: float = 0.0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+    mean_ms: float = 0.0
+    max_ms: float = 0.0
+    tenants: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "duration_s": self.duration_s,
+            "n_tenants": self.n_tenants,
+            "workers": self.workers,
+            "method": self.method,
+            "requests_sent": self.requests_sent,
+            "resolved": self.resolved,
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "errors": self.errors,
+            "shed_overload": self.shed_overload,
+            "refused_quota": self.refused_quota,
+            "throughput_rps": round(self.throughput_rps, 1),
+            "latency_ms": {
+                "p50": round(self.p50_ms, 3),
+                "p95": round(self.p95_ms, 3),
+                "p99": round(self.p99_ms, 3),
+                "mean": round(self.mean_ms, 3),
+                "max": round(self.max_ms, 3),
+            },
+            "tenants": self.tenants,
+        }
+
+
+def run_loadtest(
+    *,
+    n_tenants: int = 8,
+    workers: int = 4,
+    duration_s: float = 2.0,
+    max_queue: int = 64,
+    n_points: int = 1_200,
+    dim: int = 8,
+    memory: int = 300,
+    n_queries: int = 32,
+    k: int = 5,
+    method: str = "warm",
+    seed: int = 0,
+    max_inflight: int = 8,
+    artifact_dir: str | None = None,
+) -> LoadTestResult:
+    """Hammer a fresh service with ``n_tenants`` closed-loop clients.
+
+    Each tenant gets its own seeded gaussian dataset and density-biased
+    k-NN workload; clients run until the window closes, counting every
+    admission refusal and classifying every response.  ``method`` is
+    what the clients request -- ``"warm"`` measures the amortized
+    serving fast path, a full method (``"resampled"`` etc.) measures
+    the governed prediction pipeline under contention.
+    """
+    rng = np.random.default_rng(seed)
+    service = PredictionService(
+        workers=workers, max_queue=max_queue, memory=memory,
+        artifact_dir=artifact_dir,
+        default_quota=TenantQuota(max_inflight=max_inflight),
+    )
+    workloads = {}
+    for i in range(n_tenants):
+        name = f"tenant-{i}"
+        points = rng.normal(size=(n_points, dim))
+        service.register_tenant(name, points)
+        workloads[name] = service.tenant(name).predictor.make_workload(
+            points, n_queries=n_queries, k=k, seed=seed + i
+        )
+
+    result = LoadTestResult(
+        duration_s=duration_s, n_tenants=n_tenants, workers=workers,
+        method=method,
+    )
+    latencies: list[float] = []
+    lock = threading.Lock()
+
+    def client(name: str) -> None:
+        sent = resolved = ok = degraded = errors = 0
+        refused = shed = 0
+        local_latencies = []
+        stop_at = time.monotonic() + duration_s
+        while time.monotonic() < stop_at:
+            try:
+                pending = service.submit(name, workloads[name],
+                                         method=method)
+            except TenantQuotaExceededError:
+                refused += 1
+                time.sleep(0.001)
+                continue
+            except ServiceOverloadedError:
+                shed += 1
+                time.sleep(0.001)
+                continue
+            sent += 1
+            response = pending.result(timeout=60.0)
+            resolved += 1
+            local_latencies.append(response.latency_s)
+            if response.status == "ok":
+                ok += 1
+            elif response.status == "degraded":
+                degraded += 1
+            else:
+                errors += 1
+        with lock:
+            result.requests_sent += sent
+            result.resolved += resolved
+            result.ok += ok
+            result.degraded += degraded
+            result.errors += errors
+            result.refused_quota += refused
+            result.shed_overload += shed
+            latencies.extend(local_latencies)
+
+    with service:
+        threads = [
+            threading.Thread(target=client, args=(name,), daemon=True)
+            for name in workloads
+        ]
+        started = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.monotonic() - started
+
+    if latencies:
+        lat_ms = np.asarray(latencies) * 1e3
+        result.p50_ms = float(np.percentile(lat_ms, 50))
+        result.p95_ms = float(np.percentile(lat_ms, 95))
+        result.p99_ms = float(np.percentile(lat_ms, 99))
+        result.mean_ms = float(lat_ms.mean())
+        result.max_ms = float(lat_ms.max())
+    result.throughput_rps = result.resolved / max(elapsed, 1e-9)
+    result.tenants = {
+        name: service.tenant(name).ledger.snapshot() for name in workloads
+    }
+    return result

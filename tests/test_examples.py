@@ -25,6 +25,7 @@ EXAMPLE_NAMES = [
     "resilient_prediction",
     "budgeted_prediction",
     "self_healing",
+    "multi_tenant_service",
 ]
 
 

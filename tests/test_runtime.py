@@ -483,3 +483,166 @@ class TestBudgetedSweeps:
         assert len(batched.completed) == 3
         for a, b in zip(serial.points, batched.points):
             assert a.predicted_accesses == b.predicted_accesses
+
+
+class TestFacadeInjectedClock:
+    def test_fake_clock_drives_deadline_without_sleeping(
+        self, points, predictor, workload
+    ):
+        """The facade threads an injected clock into its governor, so a
+        deadline trip is test-drivable with zero real waiting: the fake
+        clock leaps 1000 "seconds" per reading."""
+        ticks = {"now": 0.0}
+
+        def clock() -> float:
+            ticks["now"] += 1000.0
+            return ticks["now"]
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedResultWarning)
+            result = predictor.predict(
+                points, workload, method="resampled", seed=2,
+                budget=Budget(max_seconds=60.0), clock=clock,
+            )
+        record = result.detail["degradation"]
+        assert record["method_used"] == "baseline"
+        assert all(a["cause"] == "budget" for a in record["attempts"])
+        assert not result.detail["budget"]["within_budget"]
+
+    def test_generous_fake_clock_is_zero_interference(
+        self, points, predictor, workload, reference
+    ):
+        result = predictor.predict(
+            points, workload, method="resampled", seed=2,
+            budget=Budget(max_seconds=1e9), clock=lambda: 0.0,
+        )
+        assert np.array_equal(result.per_query, reference.per_query)
+
+    def test_clock_ignored_without_budget(
+        self, points, predictor, workload, reference
+    ):
+        def exploding_clock() -> float:
+            raise AssertionError("no governor, so the clock must not run")
+
+        result = predictor.predict(
+            points, workload, method="resampled", seed=2,
+            clock=exploding_clock,
+        )
+        assert np.array_equal(result.per_query, reference.per_query)
+
+
+class TestConcurrencyHammer:
+    """Thread-safety hammers for the shared runtime state.
+
+    Each test drives real contention (tiny switch interval, many
+    threads, tight loops over read-modify-write paths) and asserts
+    exact totals -- the kind of check that fails within a few runs if
+    the locks are removed, because concurrent ``+= 1`` on plain
+    attributes loses increments.
+    """
+
+    @staticmethod
+    def _hammer(worker, n_threads: int) -> None:
+        import sys
+        import threading
+
+        old = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            threads = [
+                threading.Thread(target=worker) for _ in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            sys.setswitchinterval(old)
+
+    def test_disk_ledger_exact_under_contention(self):
+        from repro.disk.device import SimulatedDisk
+
+        disk = SimulatedDisk()
+        rounds, n_threads = 400, 8
+
+        def worker() -> None:
+            for _ in range(rounds):
+                disk.access(0, 2)
+                disk.note_fault()
+                disk.note_retry(IOCost(seeks=1))
+
+        self._hammer(worker, n_threads)
+        cost = disk.cost
+        total = rounds * n_threads
+        assert cost.transfers == 2 * total
+        assert cost.faults_seen == total
+        assert cost.retries == total
+        # every access seeks (head parks at page 2, runs start at 0)
+        # and every retry charges one backoff seek
+        assert cost.seeks == 2 * total
+
+    def test_breaker_opens_exactly_once_under_contention(self):
+        breaker = CircuitBreaker(failure_threshold=0.5, window=16,
+                                 min_calls=8, cooldown_s=1000.0)
+        rounds, n_threads = 500, 8
+
+        def worker() -> None:
+            for _ in range(rounds):
+                try:
+                    breaker.before_attempt()
+                except CircuitOpenError:
+                    continue
+                breaker.record_failure()
+
+        self._hammer(worker, n_threads)
+        # the open transition is a read-modify-write on shared state;
+        # racing threads must not double-open (the cooldown never
+        # elapses, so no probe can close and reopen it either)
+        assert breaker.state == "open"
+        assert breaker.opened_count == 1
+        assert breaker.short_circuited > 0
+
+    def test_governor_totals_exact_under_contention(self):
+        from repro.runtime import Governor
+
+        governor = Governor(Budget(max_io_ops=10**9))
+        rounds, n_threads = 400, 8
+        lock = __import__("threading").Lock()
+
+        def worker() -> None:
+            for _ in range(rounds):
+                # observe/end_attempt is a set-then-fold pair; callers
+                # folding into a shared governor serialize the pair,
+                # exactly as TenantLedger.settle does
+                with lock:
+                    governor.observe("hammer", IOCost(seeks=1, transfers=2))
+                    governor.end_attempt()
+
+        self._hammer(worker, n_threads)
+        assert governor.spent_ops == 3 * rounds * n_threads
+        assert governor.phase_spend["hammer"] == 3 * rounds * n_threads
+
+    def test_batch_runner_concurrent_runs_tally(self, points, workload):
+        import threading
+
+        runner = BatchRunner(budget=Budget(max_seconds=600.0))
+        predictor = IndexCostPredictor(dim=DIM, memory=MEMORY)
+
+        def run_once(name: str):
+            tasks = [BatchTask(
+                name=name,
+                fn=lambda: predictor.predict(points, workload,
+                                             method="mini", seed=3),
+            )]
+            runner.run(tasks)
+
+        threads = [
+            threading.Thread(target=run_once, args=(f"task-{i}",))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert runner.runs_completed == 4
+        assert runner.tasks_run == 4
