@@ -1,0 +1,70 @@
+"""Cluster load test: routed throughput and the price of failover.
+
+A sharded cluster (2 shards x 3 replicas, replication 2) and a single
+service with the same total worker count serve closed-loop clients for
+the same window; a third of the way in, the primary owner of shard 0 is
+killed and later restarted, so the routed side's window contains a full
+failover-and-recovery cycle.  The result -- routed vs single
+throughput, overall and failover-only latency percentiles -- lands in
+``BENCH_cluster.json`` at the repo root next to the service and kernel
+benchmarks.  Assertions are availability gates, not speed gates: the
+kill must cost zero errors, and the failover tail must stay finite.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cluster import run_cluster_loadtest
+from repro.experiments import format_table
+
+RESULT_PATH = Path(__file__).parents[1] / "BENCH_cluster.json"
+
+DURATION_S = 1.5
+
+
+def test_cluster_loadtest(report, tmp_path):
+    result = run_cluster_loadtest(
+        artifact_root=tmp_path, duration_s=DURATION_S, seed=0,
+    )
+    payload = result.as_dict()
+    routed, single = payload["cluster"], payload["single"]
+
+    rows = [
+        ["routed cluster", f"{routed['throughput_rps']:,.0f}",
+         f"{routed['latency_ms']['p50']:.2f}",
+         f"{routed['latency_ms']['p99']:.2f}",
+         f"{routed['resolved']:,}", f"{routed['errors']:,}"],
+        ["single (equal workers)", f"{single['throughput_rps']:,.0f}",
+         f"{single['latency_ms']['p50']:.2f}",
+         f"{single['latency_ms']['p99']:.2f}",
+         f"{single['resolved']:,}", "0"],
+    ]
+    table = format_table(
+        ["configuration", "req/s", "p50 ms", "p99 ms", "resolved",
+         "errors"],
+        rows,
+        title=f"Cluster load test ({payload['n_shards']} shards x "
+              f"{payload['n_replicas']} replicas, primary killed "
+              f"mid-window; failover p99 "
+              f"{routed['failover_latency_ms']['p99']:.2f} ms over "
+              f"{routed['failover']:,} failovers)",
+    )
+    report(table)
+    RESULT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    # availability gates: the mid-window kill cost zero errors because
+    # the healthy peer absorbed shard 0's traffic
+    assert routed["errors"] == 0
+    assert routed["degraded"] == 0
+    assert routed["failover"] > 0  # the kill window really was served
+    assert routed["resolved"] > 100
+    assert single["resolved"] > 100
+    lat = routed["latency_ms"]
+    assert 0.0 < lat["p50"] <= lat["p95"] <= lat["p99"]
+    failover = routed["failover_latency_ms"]
+    assert failover["p99"] > 0.0
+    assert payload["router"]["unavailable"] == 0

@@ -56,6 +56,7 @@ from .errors import (
     DiskError,
     InputValidationError,
     PredictionError,
+    ReplicaUnavailableError,
     ReproError,
     ServiceOverloadedError,
     TenantQuotaExceededError,
@@ -63,6 +64,13 @@ from .errors import (
     TransientReadError,
     UnknownKernelError,
     UnrecoverableCorruptionError,
+)
+from .cluster import (
+    ClusterResponse,
+    PredictionCluster,
+    Router,
+    RoutingTable,
+    run_cluster_loadtest,
 )
 from .kernels import LeafGeometry, available_kernels, get_kernel
 from .ondisk import MeasurementResult, OnDiskBuilder, OnDiskIndex, measure_knn
@@ -130,6 +138,7 @@ __all__ = [
     "DiskError",
     "InputValidationError",
     "PredictionError",
+    "ReplicaUnavailableError",
     "ReproError",
     "ServiceOverloadedError",
     "TenantQuotaExceededError",
@@ -137,6 +146,11 @@ __all__ = [
     "TransientReadError",
     "UnknownKernelError",
     "UnrecoverableCorruptionError",
+    "ClusterResponse",
+    "PredictionCluster",
+    "Router",
+    "RoutingTable",
+    "run_cluster_loadtest",
     "LeafGeometry",
     "available_kernels",
     "get_kernel",

@@ -17,7 +17,14 @@ Thin wrappers over the library for the workflows the paper motivates:
                    quotas, backpressure) and print the per-tenant books
 ``loadtest``       hammer the service with closed-loop clients and
                    report sustained throughput and p50/p95/p99 latency
-                   (writes ``BENCH_service.json`` with ``--output``)
+                   (writes ``BENCH_service.json`` with ``--output``;
+                   with ``--replicas N`` the routed cluster is measured
+                   against an equal-worker single service instead)
+``cluster``        build a sharded, replicated prediction cluster
+                   (similarity partition, per-shard page-size tuning,
+                   failure-aware routing), walk it through a kill /
+                   failover / heal cycle, or run the seeded chaos storm
+                   with ``--chaos``
 
 Data comes from a named synthetic analogue (``--dataset TEXTURE60
 --scale 0.1``) or any ``.npy`` file holding an ``(n, d)`` float matrix
@@ -27,12 +34,20 @@ Data comes from a named synthetic analogue (``--dataset TEXTURE60
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import Sequence
 
 import numpy as np
 
 from .apps.pagesize import sweep_page_sizes
+from .cluster import (
+    ClusterChaosScenario,
+    PredictionCluster,
+    assert_cluster_invariant,
+    run_cluster_chaos,
+    run_cluster_loadtest,
+)
 from .baselines.fractal import FractalCostModel, FractalEstimationError
 from .baselines.uniform_model import UniformCostModel
 from .core.costmodel import AnalyticalCostModel
@@ -47,6 +62,7 @@ from .errors import (
     DiskError,
     InputValidationError,
     PredictionError,
+    ReplicaUnavailableError,
     ReproError,
     ServiceOverloadedError,
     TenantQuotaExceededError,
@@ -59,6 +75,7 @@ from .experiments.tables import format_signed_percent, format_table
 from .kernels.registry import KERNEL_ENV_VAR, available_kernels
 from .runtime.budget import Budget
 from .service import PredictionService, TenantQuota, run_loadtest
+from .workload.queries import density_biased_knn_workload
 
 __all__ = ["main"]
 
@@ -79,6 +96,7 @@ _EXIT_CODES: tuple[tuple[type[ReproError], int], ...] = (
     (TenantQuotaExceededError, 15),
     (ServiceOverloadedError, 16),
     (ArtifactCorruptError, 17),
+    (ReplicaUnavailableError, 18),
     (ReproError, 8),
 )
 
@@ -106,6 +124,11 @@ exit codes:
       load was shed instead of queued unboundedly
   17  model artifact corrupt: a saved warm-start artifact failed its
       CRC/version verification and was not trusted
+  18  replica unavailable: every replica owning a shard was dead,
+      breaker-open, or erroring, and closed-form degradation was not
+      taken
+  130 interrupted: SIGINT/SIGTERM during a serving session; queued
+      requests were drained with typed shutdown responses before exit
 """
 
 
@@ -391,7 +414,6 @@ def _cmd_scrub(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    points = _load_points(args)
     quota = TenantQuota(
         max_inflight=args.max_inflight,
         max_io_ops=args.max_io_ops,
@@ -406,35 +428,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     rng = np.random.default_rng(args.seed)
     workloads = {}
-    for i in range(args.tenants):
-        name = f"tenant-{i}"
-        # each tenant serves its own resample of the dataset, so the
-        # session exercises distinct artifacts and distinct geometry
-        subset = points[rng.choice(points.shape[0],
-                                   size=min(points.shape[0], 2_000),
-                                   replace=False)]
-        service.register_tenant(name, subset,
-                                fault_rate=getattr(args, "fault_rate", 0.0),
-                                fault_seed=getattr(args, "fault_seed", 0))
-        workloads[name] = service.tenant(name).predictor.make_workload(
-            subset, args.queries, args.k, seed=args.seed + i
-        )
-    served = refused = shed = 0
-    with service:
-        futures = []
-        for round_i in range(args.requests):
-            for name, workload in workloads.items():
-                try:
-                    futures.append(service.submit(
-                        name, workload, method=args.method, seed=round_i
-                    ))
-                except TenantQuotaExceededError:
-                    refused += 1
-                except ServiceOverloadedError:
-                    shed += 1
+    served = refused = shed = drained = 0
+    interrupted = False
+
+    def _interrupt(signum, frame):  # noqa: ARG001 - signal signature
+        raise KeyboardInterrupt
+
+    previous_term = signal.getsignal(signal.SIGTERM)
+    signal.signal(signal.SIGTERM, _interrupt)
+    futures = []
+    try:
+        points = _load_points(args)
+        for i in range(args.tenants):
+            name = f"tenant-{i}"
+            # each tenant serves its own resample of the dataset, so
+            # the session exercises distinct artifacts and geometry
+            subset = points[rng.choice(points.shape[0],
+                                       size=min(points.shape[0], 2_000),
+                                       replace=False)]
+            service.register_tenant(
+                name, subset,
+                fault_rate=getattr(args, "fault_rate", 0.0),
+                fault_seed=getattr(args, "fault_seed", 0),
+            )
+            workloads[name] = service.tenant(name).predictor.make_workload(
+                subset, args.queries, args.k, seed=args.seed + i
+            )
+        with service:
+            for round_i in range(args.requests):
+                for name, workload in workloads.items():
+                    try:
+                        futures.append(service.submit(
+                            name, workload, method=args.method,
+                            seed=round_i,
+                        ))
+                    except TenantQuotaExceededError:
+                        refused += 1
+                    except ServiceOverloadedError:
+                        shed += 1
+            for future in futures:
+                future.result(timeout=120.0)
+                served += 1
+    except KeyboardInterrupt:
+        # Graceful drain instead of a raw traceback: stop() settles
+        # every queued request with a typed shutdown response, so every
+        # admitted future still resolves and the books still balance.
+        interrupted = True
+        service.stop()
+    finally:
+        signal.signal(signal.SIGTERM, previous_term)
+    if interrupted:
+        served = 0
         for future in futures:
-            future.result(timeout=120.0)
-            served += 1
+            response = future.result(timeout=120.0)
+            if response.status == "error" and response.cause == "shutdown":
+                drained += 1
+            else:
+                served += 1
     rows = []
     for name in sorted(workloads):
         snap = service.tenant(name).ledger.snapshot()
@@ -457,10 +507,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"shed {shed}; workers respawned "
           f"{metrics['workers_respawned']}, artifact rebuilds "
           f"{metrics['artifact_rebuilds']}")
+    if interrupted:
+        print(f"interrupted: graceful stop drained {drained} queued "
+              f"request{'s' if drained != 1 else ''} with typed shutdown "
+              f"responses", file=sys.stderr)
+        return 130
     return 0
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
+    if args.replicas:
+        return _cmd_cluster_loadtest(args)
     result = run_loadtest(
         n_tenants=args.tenants, workers=args.workers,
         duration_s=args.duration, max_queue=args.max_queue,
@@ -492,6 +549,138 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_cluster_loadtest(args: argparse.Namespace) -> int:
+    """``loadtest --replicas N``: routed cluster vs equal-worker single."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as fallback:
+        result = run_cluster_loadtest(
+            artifact_root=args.artifact_dir or fallback,
+            n_shards=args.shards,
+            n_replicas=args.replicas,
+            replication=min(args.replication, args.replicas),
+            workers_per_replica=args.workers,
+            duration_s=args.duration,
+            memory=args.memory,
+            seed=args.seed,
+        )
+    payload = result.as_dict()
+    routed, single = payload["cluster"], payload["single"]
+    rows = [
+        ["routed throughput", f"{routed['throughput_rps']:,} req/s"],
+        ["single throughput", f"{single['throughput_rps']:,} req/s"],
+        ["routed p50 / p99", f"{routed['latency_ms']['p50']:.3f} / "
+                             f"{routed['latency_ms']['p99']:.3f} ms"],
+        ["failover p99", f"{routed['failover_latency_ms']['p99']:.3f} ms"],
+        ["resolved", f"{routed['resolved']:,} ({routed['ok']:,} ok, "
+                     f"{routed['failover']:,} failover, "
+                     f"{routed['degraded']:,} degraded, "
+                     f"{routed['errors']:,} errors)"],
+    ]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"cluster load test: {args.shards} shards x "
+              f"{args.replicas} replicas (replication "
+              f"{min(args.replication, args.replicas)}), "
+              f"{args.workers} workers each, {args.duration:g} s, "
+              f"primary killed and restarted mid-window",
+    ))
+    if args.output:
+        import json
+
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    if args.chaos:
+        scenario = ClusterChaosScenario(
+            seed=args.seed, double_kill=args.double_kill
+        )
+        with tempfile.TemporaryDirectory() as root:
+            outcome = run_cluster_chaos(scenario, artifact_root=root)
+        print(json.dumps(outcome.summary(), indent=2, sort_keys=True))
+        try:
+            assert_cluster_invariant(outcome)
+        except AssertionError as failure:
+            print(f"repro: cluster invariant violated: {failure}",
+                  file=sys.stderr)
+            return 1
+        print("cluster invariant holds")
+        return 0
+
+    points = _load_points(args)
+    rng = np.random.default_rng(args.seed)
+    tuning = density_biased_knn_workload(
+        points, max(16, 4 * args.shards), args.k, rng
+    )
+    with tempfile.TemporaryDirectory() as fallback:
+        root = args.artifact_dir or fallback
+        with PredictionCluster(
+            points, tuning, artifact_root=root,
+            n_shards=args.shards, n_replicas=args.replicas,
+            replication=min(args.replication, args.replicas),
+            memory=args.memory, seed=args.seed,
+            kernel=getattr(args, "kernel", None),
+        ) as cluster:
+            table = cluster.router.table.as_dict()
+            rows = []
+            for shard in range(cluster.n_shards):
+                config = cluster.shard_configs[shard]
+                rows.append([
+                    str(shard),
+                    f"{cluster.shard_points[shard].shape[0]:,}",
+                    f"{config.page_bytes // 1024} KB",
+                    ", ".join(table["owners"][shard]),
+                ])
+            print(format_table(
+                ["shard", "points", "tuned page", "owners (cheapest first)"],
+                rows,
+                title=f"cluster: {args.shards} shards on "
+                      f"{args.replicas} replicas, routing table "
+                      f"v{table['version']}",
+            ))
+            workload = cluster.make_workload(args.queries, args.k,
+                                             seed=args.seed)
+            healthy = cluster.predict(workload)
+            print(f"healthy: {healthy.per_query.size} queries, mean "
+                  f"predicted accesses {healthy.mean_accesses:.2f}")
+
+            primary0 = cluster.router.table.owners_of(0)[0]
+            cluster.kill_replica(primary0)
+            killed = cluster.predict(workload)
+            shard0 = next(r for r in killed.responses if r.shard == 0)
+            identical = np.array_equal(killed.per_query,
+                                       healthy.per_query)
+            print(f"killed {primary0}: shard 0 served by "
+                  f"{shard0.served_by or shard0.method_used} "
+                  f"(status {shard0.status}, tried {shard0.tried}); "
+                  f"answers bit-identical: {identical}")
+            cluster.restart_replica(primary0)
+
+            cluster.corrupt_artifact(primary0, 0)
+            heal = cluster.anti_entropy()
+            print(f"corrupted {primary0}'s shard-0 artifact; "
+                  f"anti-entropy healed {heal[0]['healed']}, "
+                  f"data rebuild: {heal[0]['rebuilt']}")
+            recovered = cluster.predict(workload)
+            print(f"recovered: answers bit-identical: "
+                  f"{np.array_equal(recovered.per_query, healthy.per_query)}")
+            router = cluster.router.metrics()
+            print(f"router: {router['dispatches']} dispatches, "
+                  f"{router['failovers']} failovers, "
+                  f"{router['hedges']} hedges, "
+                  f"{router['degraded_served']} degraded, "
+                  f"{router['unavailable']} unavailable")
     return 0
 
 
@@ -643,7 +832,57 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--output", default=None,
                           help="write the result as JSON "
                                "(e.g. BENCH_service.json)")
+    loadtest.add_argument("--replicas", type=int, default=0,
+                          help="measure a routed cluster of N replicas "
+                               "against an equal-worker single service "
+                               "instead (--workers then counts per "
+                               "replica; a mid-window kill/restart of "
+                               "shard 0's primary populates the "
+                               "failover percentiles)")
+    loadtest.add_argument("--shards", type=int, default=2,
+                          help="similarity shards with --replicas "
+                               "(default 2)")
+    loadtest.add_argument("--replication", type=int, default=2,
+                          help="owners per shard with --replicas "
+                               "(default 2)")
     loadtest.set_defaults(run=_cmd_loadtest)
+
+    cluster = commands.add_parser(
+        "cluster",
+        help="sharded replicated serving: kill/failover/heal walkthrough "
+             "or the seeded chaos storm (--chaos)",
+    )
+    _add_data_arguments(cluster)
+    cluster.add_argument("--queries", type=int, default=24,
+                         help="demo workload size (default 24)")
+    cluster.add_argument("--k", type=int, default=5, help="k for k-NN")
+    cluster.add_argument("--memory", type=int, default=500,
+                         help="per-replica memory budget M in points")
+    cluster.add_argument("--shards", type=int, default=2,
+                         help="similarity shards (default 2)")
+    cluster.add_argument("--replicas", type=int, default=3,
+                         help="replica processes (default 3)")
+    cluster.add_argument("--replication", type=int, default=2,
+                         help="owners per shard (default 2): each extra "
+                              "owner is a bit-identical failover target")
+    cluster.add_argument("--kernel", default=None,
+                         help="counting kernel backend")
+    cluster.add_argument("--artifact-dir", default=None,
+                         dest="artifact_dir",
+                         help="root directory for per-replica warm-start "
+                              "artifacts (default: a temporary directory)")
+    cluster.add_argument("--chaos", action="store_true",
+                         help="run the seeded replica storm (kills, "
+                              "restarts, corruption, slow and faulty "
+                              "replicas, stale routing) and check the "
+                              "cluster invariant; non-zero exit on "
+                              "violation")
+    cluster.add_argument("--double-kill", action="store_true",
+                         dest="double_kill",
+                         help="with --chaos: also kill shard 0's last "
+                              "owner for a window, forcing the "
+                              "explicitly-degraded closed-form path")
+    cluster.set_defaults(run=_cmd_cluster)
 
     costs = commands.add_parser("costs", help="analytical Eqs. 1-5")
     costs.add_argument("--n", type=int, default=1_000_000)

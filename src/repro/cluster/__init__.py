@@ -1,0 +1,35 @@
+"""Sharded prediction cluster: similarity partitioning, per-shard
+tuning, replica failover, failure-aware routing, anti-entropy repair."""
+
+from .chaos import (
+    ClusterChaosOutcome,
+    ClusterChaosScenario,
+    assert_cluster_invariant,
+    run_cluster_chaos,
+)
+from .cluster import ClusterPrediction, PredictionCluster
+from .loadtest import ClusterLoadTestResult, run_cluster_loadtest
+from .partition import WorkloadPartition, partition_workload
+from .replicas import Replica, shard_tenant
+from .routing import ClusterResponse, Router, RoutingTable
+from .tuning import ShardConfig, tune_shard
+
+__all__ = [
+    "ClusterChaosOutcome",
+    "ClusterChaosScenario",
+    "ClusterLoadTestResult",
+    "ClusterPrediction",
+    "ClusterResponse",
+    "PredictionCluster",
+    "Replica",
+    "Router",
+    "RoutingTable",
+    "ShardConfig",
+    "WorkloadPartition",
+    "assert_cluster_invariant",
+    "partition_workload",
+    "run_cluster_chaos",
+    "run_cluster_loadtest",
+    "shard_tenant",
+    "tune_shard",
+]

@@ -1,0 +1,398 @@
+"""Cluster chaos harness: replica storms with an exact invariant.
+
+PR 6's service harness proved the single-node contract; this one
+extends it across whole-replica loss.  A seeded storm drives the
+cluster through replica kills and restarts, per-replica artifact
+corruption, a slow replica (hedged around), a faulty replica (typed
+error responses tripping its breaker), and deliberate routing-table
+staleness (the table keeps naming a killed replica).  The invariant:
+
+* **every request terminates** in exactly one of four ways --
+  bit-identical to the unloaded single-replica reference, served by
+  failover *with a causal record* (``tried`` explains every candidate
+  passed over, and the answer is still bit-identical), explicitly
+  degraded (closed-form fallback, ``cause="unavailable"``), or a typed
+  error; never hung, never silently wrong;
+* **single-kill availability** -- while at most one replica is down,
+  no request for a shard with a healthy peer may end unavailable;
+* **anti-entropy heals without refitting** -- a corrupt artifact
+  planted before the storm is adopted bit-identically from a peer
+  (``"adopted"`` in the store's events, zero ``"rebuilt"``);
+* **per-shard op sums reconcile exactly** three ways: the router's
+  drained per-leg sums == the sum over every replica's ledgers
+  (including ledgers retired by kills) == the sum over the responses'
+  own legs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..service.server import WorkerDeath
+from .cluster import PredictionCluster
+from .replicas import shard_tenant
+
+__all__ = [
+    "ClusterChaosOutcome",
+    "ClusterChaosScenario",
+    "assert_cluster_invariant",
+    "run_cluster_chaos",
+]
+
+#: error types a cluster-level error verdict may carry
+_TYPED_ERRORS = frozenset({
+    "ReplicaUnavailableError",
+    "DeadlineExceededError",
+    "ServiceOverloadedError",
+    "TenantQuotaExceededError",
+    "WorkerDeath",
+})
+
+#: how long any single verdict may take before the sweep calls it hung
+_HANG_TIMEOUT_S = 30.0
+
+
+@dataclass(frozen=True)
+class ClusterChaosScenario:
+    """One deterministic cluster storm.
+
+    ``seed`` drives the dataset, the partition, the request stream, and
+    the kill schedule.  ``rounds`` requests are issued per shard; the
+    primary of shard 0 is killed a third of the way in (the routing
+    table is *left stale* on purpose), restarted two thirds in, and --
+    when ``double_kill`` is set -- the remaining owner of shard 0 is
+    also killed for a window, forcing the degraded/unavailable path.
+    ``corrupt_replicas`` artifacts of shard 0 are corrupted *before*
+    the storm; the pre-storm anti-entropy pass must heal them from a
+    peer without a single rebuild.
+    """
+
+    seed: int = 0
+    n_points: int = 600
+    dim: int = 5
+    n_shards: int = 2
+    n_replicas: int = 3
+    replication: int = 2
+    rounds: int = 18
+    n_queries: int = 6
+    k: int = 5
+    memory: int = 200
+    corrupt_replicas: int = 1
+    slow_replica: bool = True
+    faulty_replica: bool = True
+    double_kill: bool = False
+    slow_s: float = 0.12
+    hedge_after_s: float = 0.04
+
+
+@dataclass
+class ClusterChaosOutcome:
+    """What one storm observed, classified request by request."""
+
+    scenario: ClusterChaosScenario
+    classified: Counter = field(default_factory=Counter)
+    violations: list[str] = field(default_factory=list)
+    reconciliation: dict = field(default_factory=dict)
+    healed: list[dict] = field(default_factory=list)
+    rebuilds: int = 0
+    router: dict = field(default_factory=dict)
+    causes_seen: Counter = field(default_factory=Counter)
+
+    @property
+    def total_requests(self) -> int:
+        return sum(self.classified.values())
+
+    def summary(self) -> dict:
+        return {
+            "seed": self.scenario.seed,
+            "requests": self.total_requests,
+            "classified": dict(self.classified),
+            "causes_seen": dict(self.causes_seen),
+            "violations": list(self.violations),
+            "healed": list(self.healed),
+            "rebuilds": self.rebuilds,
+            "router": self.router,
+            "reconciliation": {
+                str(k): v for k, v in self.reconciliation.items()
+            },
+        }
+
+
+def run_cluster_chaos(
+    scenario: ClusterChaosScenario, *, artifact_root: str
+) -> ClusterChaosOutcome:
+    """Run one seeded storm against a fresh cluster; classify everything."""
+    rng = np.random.default_rng(scenario.seed)
+    outcome = ClusterChaosOutcome(scenario=scenario)
+
+    # Two gaussian blobs pulled apart so the similarity partition has
+    # real structure to find (and the shards genuinely differ).
+    half = scenario.n_points // 2
+    data = np.vstack([
+        rng.normal(loc=0.0, scale=1.0, size=(half, scenario.dim)),
+        rng.normal(loc=6.0, scale=0.5,
+                   size=(scenario.n_points - half, scenario.dim)),
+    ])
+    tuning = _tuning_workload(data, rng, scenario)
+
+    latency_factors = {}
+    if scenario.slow_replica:
+        latency_factors["replica-2"] = 3.0  # routed last, hedged around
+
+    cluster = PredictionCluster(
+        data, tuning,
+        artifact_root=artifact_root,
+        n_shards=scenario.n_shards,
+        n_replicas=scenario.n_replicas,
+        replication=scenario.replication,
+        memory=scenario.memory,
+        fit_seed=scenario.seed,
+        seed=scenario.seed,
+        latency_factors=latency_factors,
+        hedge_after_s=scenario.hedge_after_s,
+    )
+
+    # --- pre-storm corruption + anti-entropy heal ---------------------
+    shard0_owners = cluster.router.table.owners_of(0)
+    victims = list(shard0_owners[:scenario.corrupt_replicas])
+    reference_bytes = {
+        name: cluster.replicas[name].artifact_path(0).read_bytes()
+        for name in shard0_owners
+    }
+    for name in victims:
+        cluster.corrupt_artifact(name, 0)
+    heal_report = cluster.anti_entropy()
+    outcome.healed = heal_report[0]["healed"]
+    healed_names = {entry["replica"] for entry in outcome.healed}
+    if healed_names != set(victims):
+        outcome.violations.append(
+            f"anti-entropy healed {sorted(healed_names)}, "
+            f"expected {sorted(victims)}"
+        )
+    if heal_report[0]["rebuilt"] is not None:
+        outcome.violations.append(
+            "anti-entropy rebuilt from data although a verified peer "
+            "copy existed"
+        )
+    for name in victims:
+        healed_bytes = cluster.replicas[name].artifact_path(0).read_bytes()
+        if healed_bytes != reference_bytes[name]:
+            outcome.violations.append(
+                f"healed artifact on {name} is not bit-identical to the "
+                f"pre-corruption bytes"
+            )
+    outcome.rebuilds = sum(
+        replica.service.store.rebuilds()
+        for replica in cluster.replicas.values()
+    )
+    if outcome.rebuilds:
+        outcome.violations.append(
+            f"{outcome.rebuilds} data rebuild(s) during peer heal"
+        )
+
+    # --- chaos knobs on the live replicas -----------------------------
+    if scenario.slow_replica:
+        cluster.replicas["replica-2"].slow_s = scenario.slow_s
+    if scenario.faulty_replica:
+        # replica-1 kills a deterministic third of its shard-1 requests;
+        # the dying worker answers with a typed error first, which is
+        # what feeds the router's breaker and triggers failover.  The
+        # fault is scoped to shard 1 so it exercises failover on a
+        # *live* primary while shard 0 tests failover on a *dead* one
+        # -- replica-1 is also shard 0's only failover target, and a
+        # replica faulting everywhere would make the single-kill
+        # availability guarantee untestable.
+        def faulty_hook(item) -> None:
+            if (item.tenant.name == shard_tenant(1)
+                    and item.pending.request_id % 3 == 0):
+                raise WorkerDeath(
+                    f"chaos kill of request {item.pending.request_id}"
+                )
+        cluster.replicas["replica-1"].request_hook = faulty_hook
+
+    # --- unloaded references: the bit-identity oracle -----------------
+    # Warm predictions depend only on (shard points, tuned config,
+    # fit_seed), so any owner's model is *the* reference.
+    workloads: dict[int, object] = {}
+    references: dict[int, np.ndarray] = {}
+    for shard in range(cluster.n_shards):
+        workload = _shard_workload(cluster, shard, rng, scenario)
+        workloads[shard] = workload
+        owner = cluster.router.table.owners_of(shard)[0]
+        model = cluster.replicas[owner].service.tenant(
+            shard_tenant(shard)
+        ).model
+        references[shard] = model.predict(workload).per_query.copy()
+
+    # --- the storm ----------------------------------------------------
+    primary0 = shard0_owners[0]
+    peer0 = shard0_owners[1] if len(shard0_owners) > 1 else None
+    kill_at = scenario.rounds // 3
+    restart_at = 2 * scenario.rounds // 3
+    double_window = (
+        range(kill_at + 1, restart_at - 1) if scenario.double_kill
+        else range(0)
+    )
+    responses = []
+    try:
+        for round_i in range(scenario.rounds):
+            if round_i == kill_at:
+                # Kill shard 0's primary and *leave the routing table
+                # stale* -- the router must discover the loss itself.
+                cluster.kill_replica(primary0)
+            if scenario.double_kill and peer0 is not None:
+                if round_i == double_window.start:
+                    cluster.kill_replica(peer0)
+                if round_i == double_window.stop:
+                    cluster.restart_replica(peer0)
+            if round_i == restart_at:
+                cluster.restart_replica(primary0)
+            for shard in range(cluster.n_shards):
+                down = sum(
+                    1 for r in cluster.replicas.values() if r.down
+                )
+                response = cluster.request(shard, workloads[shard])
+                responses.append((shard, down, "warm", response))
+                if round_i % 3 == 2:
+                    # A charged full-method request per shard every
+                    # third round keeps the reconciliation sums nonzero
+                    # -- warm requests charge no I/O, and an invariant
+                    # over all-zero books proves nothing.
+                    full = cluster.request(
+                        shard, workloads[shard], method="cutoff",
+                        seed=round_i,
+                    )
+                    responses.append((shard, down, "cutoff", full))
+        cluster.wait_idle(_HANG_TIMEOUT_S)
+        for shard, down_at_submit, method, response in responses:
+            _classify(
+                outcome, cluster, shard, down_at_submit, method,
+                response, references,
+            )
+
+        # --- reconciliation: three per-shard sums must agree ----------
+        router_ops = cluster.router.drain(timeout_s=_HANG_TIMEOUT_S)
+        for shard in range(cluster.n_shards):
+            from_responses = sum(
+                r.charged_ops()
+                for (s, _, _, r) in responses if s == shard
+            )
+            outcome.reconciliation[shard] = {
+                "router_ops": int(router_ops.get(shard, 0)),
+                "replica_ops": cluster.charged_ops(shard),
+                "response_ops": int(from_responses),
+            }
+        outcome.router = cluster.router.metrics()
+    finally:
+        cluster.stop()
+    return outcome
+
+
+def _tuning_workload(data, rng, scenario):
+    from ..workload.queries import density_biased_knn_workload
+    return density_biased_knn_workload(
+        data, max(4 * scenario.n_shards, 16), scenario.k, rng
+    )
+
+
+def _shard_workload(cluster, shard, rng, scenario):
+    """A workload whose queries all belong to one shard: drawn from the
+    shard's own points, radii against the shard's points (matching what
+    the shard's tenant serves)."""
+    from ..workload.queries import density_biased_knn_workload
+    return density_biased_knn_workload(
+        cluster.shard_points[shard], scenario.n_queries, scenario.k, rng
+    )
+
+
+def _classify(outcome, cluster, shard, down_at_submit, method,
+              response, references) -> None:
+    """File one verdict under its terminal state (or violation)."""
+    if response.cause:
+        outcome.causes_seen[response.cause] += 1
+    owners = cluster.router.table.owners_of(shard)
+    if response.status == "ok":
+        # Bit-identity is a *warm* guarantee: the fitted geometries are
+        # identical across a shard's owners, so any owner's warm answer
+        # must equal the unloaded reference.  Full methods run fresh
+        # sampled predictions -- correct, but not byte-comparable.
+        if method == "warm" and not np.array_equal(
+            response.result.per_query, references[shard]
+        ):
+            outcome.classified["mismatch"] += 1
+            outcome.violations.append(
+                f"request {response.request_id} (shard {shard}) served "
+                f"by {response.served_by} diverged from the reference"
+            )
+            return
+        if response.failover_from is not None:
+            if not response.tried:
+                outcome.classified["mismatch"] += 1
+                outcome.violations.append(
+                    f"failover request {response.request_id} carries no "
+                    f"causal record"
+                )
+                return
+            outcome.classified["failover"] += 1
+        elif method == "warm":
+            outcome.classified["identical"] += 1
+        else:
+            outcome.classified["served"] += 1
+    elif response.status == "degraded":
+        if response.method_used == "closed_form":
+            outcome.classified["degraded"] += 1
+            # Single-kill availability: closed-form may only be served
+            # when *no* owner of the shard was up -- with at most one
+            # replica down and replication >= 2, this is a violation.
+            if down_at_submit <= 1 and len(owners) >= 2:
+                outcome.violations.append(
+                    f"request {response.request_id} (shard {shard}) "
+                    f"degraded to closed-form although a healthy peer "
+                    f"owned the shard (down={down_at_submit}, "
+                    f"tried={response.tried})"
+                )
+        else:
+            # The facade's own degradation chain ran on the serving
+            # replica -- a shard-level success with a causal record.
+            outcome.classified["facade_degraded"] += 1
+    elif response.status == "error":
+        if response.error_type in _TYPED_ERRORS:
+            outcome.classified["typed_error"] += 1
+            if (response.error_type == "ReplicaUnavailableError"
+                    and down_at_submit <= 1 and len(owners) >= 2):
+                outcome.violations.append(
+                    f"request {response.request_id} (shard {shard}) "
+                    f"unavailable although a healthy peer owned the "
+                    f"shard (tried={response.tried})"
+                )
+        else:
+            outcome.classified["untyped_error"] += 1
+            outcome.violations.append(
+                f"request {response.request_id} (shard {shard}) failed "
+                f"with untyped {response.error_type}: {response.error}"
+            )
+    else:
+        outcome.violations.append(
+            f"request {response.request_id} ended in unknown status "
+            f"{response.status!r}"
+        )
+
+
+def assert_cluster_invariant(outcome: ClusterChaosOutcome) -> None:
+    """The cluster invariant, as one assertion."""
+    assert not outcome.violations, (
+        "cluster invariant violated:\n  "
+        + "\n  ".join(outcome.violations)
+    )
+    assert outcome.classified.get("hung", 0) == 0
+    assert outcome.classified.get("mismatch", 0) == 0
+    assert outcome.classified.get("untyped_error", 0) == 0
+    for shard, sums in outcome.reconciliation.items():
+        assert (sums["router_ops"] == sums["replica_ops"]
+                == sums["response_ops"]), (
+            f"shard {shard} op sums do not reconcile: {sums} "
+            f"(a charge leaked or went missing across failover)"
+        )

@@ -1,0 +1,493 @@
+"""The sharded prediction cluster: partition, tune, replicate, route.
+
+:class:`PredictionCluster` composes every resilience layer the repo has
+built so far into one distributed-serving front end:
+
+1. **partition** -- the tuning workload is split by similarity
+   (seeded k-means, :mod:`.partition`) and the *dataset* is split by
+   the same centroids, so each shard serves the queries nearest its own
+   data region;
+2. **tune** -- each shard's index configuration comes from running the
+   page-size tuning application on that shard's data and workload slice
+   (:mod:`.tuning`), with the sampling predictor as the cost oracle --
+   the cluster-then-tune-then-reroute loop;
+3. **replicate** -- each shard is placed on ``replication`` replicas
+   (ring placement), every owner registering the *identical* tuned
+   configuration and fit seed, so the owners' warm-start artifacts are
+   bit-identical and any owner can serve any of the shard's requests
+   with a bit-identical answer;
+4. **route** -- a failure-aware :class:`~.routing.Router` picks the
+   cheapest healthy owner per request and fails over (breakers,
+   hedging, typed unavailability, closed-form degradation).
+
+Replicas double as each other's redundancy: :meth:`anti_entropy`
+verifies every owner's on-disk artifact and heals a corrupt or
+version-skewed copy *bit-identically from a peer's bytes* (adoption),
+falling back to a single rebuild-from-data only when every copy of a
+shard is bad -- PR 4's repair-on-read semantics lifted to the cluster.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..baselines.uniform_model import UniformCostModel
+from ..core.counting import PredictionResult
+from ..core.topology import Topology
+from ..disk.accounting import DiskParameters
+from ..errors import (
+    ArtifactCorruptError,
+    InputValidationError,
+    PredictionError,
+    validate_points,
+)
+from ..service.tenancy import TenantQuota
+from ..workload.queries import KNNWorkload
+from .partition import WorkloadPartition, partition_workload
+from .replicas import Replica, shard_tenant
+from .routing import ClusterResponse, Router, RoutingTable
+from .tuning import DEFAULT_TUNING_PAGE_SIZES, ShardConfig, tune_shard
+
+__all__ = ["ClusterPrediction", "PredictionCluster"]
+
+#: a shard whose data slice is thinner than this serves the full
+#: dataset instead -- a geometry cannot be fitted on a sliver
+_MIN_SHARD_POINTS = 8
+
+
+class ClusterPrediction:
+    """A full-workload prediction merged back from per-shard verdicts.
+
+    ``responses`` is one :class:`~.routing.ClusterResponse` per
+    non-empty shard; ``per_query`` is the merged estimate in original
+    query order with ``NaN`` at positions whose shard returned an error
+    verdict (``complete`` is ``False`` then).
+    """
+
+    def __init__(self, per_query: np.ndarray,
+                 responses: list[ClusterResponse]):
+        self.per_query = per_query
+        self.responses = responses
+
+    @property
+    def complete(self) -> bool:
+        return bool(np.all(np.isfinite(self.per_query)))
+
+    @property
+    def mean_accesses(self) -> float:
+        return float(np.mean(self.per_query))
+
+
+class PredictionCluster:
+    """N replicas, similarity-sharded and failure-aware routed."""
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        tuning_workload: KNNWorkload,
+        *,
+        artifact_root: str | Path,
+        n_shards: int = 2,
+        n_replicas: int = 3,
+        replication: int = 2,
+        workers_per_replica: int = 2,
+        max_queue: int = 32,
+        memory: int = 2_000,
+        fit_seed: int = 0,
+        seed: int = 0,
+        page_sizes: tuple[int, ...] = DEFAULT_TUNING_PAGE_SIZES,
+        tuning_method: str = "cutoff",
+        base_disk: DiskParameters | None = None,
+        kernel: str | None = None,
+        quota: TenantQuota | None = None,
+        latency_factors: dict[str, float] | None = None,
+        hedge_after_s: float = 0.05,
+        request_timeout_s: float = 30.0,
+        breaker_cooldown_s: float = 0.2,
+    ):
+        if n_replicas < 1:
+            raise InputValidationError(
+                f"n_replicas must be >= 1, got {n_replicas}"
+            )
+        if not 1 <= replication <= n_replicas:
+            raise InputValidationError(
+                f"replication must be in [1, n_replicas={n_replicas}], "
+                f"got {replication}"
+            )
+        data = validate_points(data)
+        self.data = data
+        self.replication = replication
+        self.fit_seed = fit_seed
+
+        # 1. partition: queries by similarity, data by the same centroids
+        self.partition: WorkloadPartition = partition_workload(
+            tuning_workload, n_shards, seed=seed
+        )
+        data_shards = self.partition.shard_of(data)
+        self.shard_points: dict[int, np.ndarray] = {}
+        #: global dataset index -> this shard's local row (query ids of
+        #: the paper's workloads index the dataset; the phased methods
+        #: read query points by id from the shard's own file, so ids
+        #: must be re-anchored to the slice)
+        self._local_ids: dict[int, dict[int, int]] = {}
+        for shard in range(n_shards):
+            idx = np.flatnonzero(data_shards == shard)
+            if idx.size < _MIN_SHARD_POINTS:
+                # a sliver cannot carry a fitted geometry: serve the
+                # full dataset (ids then map to themselves)
+                self.shard_points[shard] = data
+                self._local_ids[shard] = {
+                    i: i for i in range(data.shape[0])
+                }
+            else:
+                self.shard_points[shard] = data[idx]
+                self._local_ids[shard] = {
+                    int(g): local for local, g in enumerate(idx)
+                }
+
+        # 2. tune: each shard's configuration from its own slices
+        self.shard_configs: dict[int, ShardConfig] = {}
+        for shard in range(n_shards):
+            slice_workload = self._remap(
+                shard, self.partition.slice(tuning_workload, shard)
+            )
+            if slice_workload.n_queries == 0:  # unreachable post-fit
+                raise PredictionError(
+                    f"shard {shard} received no tuning queries"
+                )
+            self.shard_configs[shard] = tune_shard(
+                shard, self.shard_points[shard], slice_workload,
+                memory=memory, page_sizes=page_sizes,
+                base_disk=base_disk, method=tuning_method,
+                seed=seed, kernel=kernel,
+            )
+
+        # 3. replicate: ring placement, identical config per owner
+        root = Path(artifact_root)
+        factors = latency_factors or {}
+        self.replicas: dict[str, Replica] = {}
+        names = [f"replica-{i}" for i in range(n_replicas)]
+        for name in names:
+            self.replicas[name] = Replica(
+                name,
+                artifact_dir=root / name,
+                workers=workers_per_replica,
+                max_queue=max_queue,
+                memory=memory,
+                kernel=kernel,
+                latency_factor=factors.get(name, 1.0),
+                quota=quota,
+            )
+        owners: dict[int, tuple[str, ...]] = {}
+        costs: dict[int, dict[str, float]] = {}
+        for shard in range(n_shards):
+            placed = [names[(shard + j) % n_replicas]
+                      for j in range(replication)]
+            config = self.shard_configs[shard]
+            for name in placed:
+                self.replicas[name].register_shard(
+                    shard, self.shard_points[shard], config,
+                    fit_seed=fit_seed,
+                )
+            cost = {
+                name: config.predicted_seconds
+                * self.replicas[name].latency_factor
+                for name in placed
+            }
+            ordered = tuple(sorted(placed, key=lambda n: (cost[n], n)))
+            owners[shard] = ordered
+            costs[shard] = cost
+
+        # 4. route
+        self.router = Router(
+            self.replicas,
+            RoutingTable(version=1, owners=owners, costs=costs),
+            hedge_after_s=hedge_after_s,
+            request_timeout_s=request_timeout_s,
+            degraded_fallback=self._closed_form,
+            breaker_cooldown_s=breaker_cooldown_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return self.partition.n_shards
+
+    def shard_of(self, queries: np.ndarray) -> np.ndarray:
+        return self.partition.shard_of(queries)
+
+    def request(
+        self,
+        shard: int,
+        workload: KNNWorkload,
+        *,
+        method: str = "warm",
+        seed: int = 0,
+        degrade: bool = True,
+    ) -> ClusterResponse:
+        """Route one per-shard request through the failure-aware path."""
+        return self.router.dispatch(
+            shard, workload, method=method, seed=seed, degrade=degrade
+        )
+
+    def predict(
+        self,
+        workload: KNNWorkload,
+        *,
+        method: str = "warm",
+        seed: int = 0,
+        degrade: bool = True,
+    ) -> ClusterPrediction:
+        """Predict a whole workload: split by shard, route, merge.
+
+        Per-shard sub-requests are dispatched in cost order with full
+        failover semantics; the merged estimate restores original query
+        order.  A shard whose verdict is an error leaves ``NaN`` at its
+        positions rather than poisoning the rest.
+        """
+        merged = np.full(workload.n_queries, np.nan)
+        responses: list[ClusterResponse] = []
+        for shard, idx, sub in self.partition.split(workload):
+            if method != "warm":
+                # phased methods read query points by id from the
+                # shard's file; warm counting never touches the ids
+                sub = self._remap(shard, sub)
+            response = self.request(
+                shard, sub, method=method, seed=seed, degrade=degrade
+            )
+            responses.append(response)
+            if response.result is not None:
+                merged[idx] = response.result.per_query
+        return ClusterPrediction(merged, responses)
+
+    def _remap(self, shard: int, workload: KNNWorkload) -> KNNWorkload:
+        """Re-anchor a sub-workload's query ids to the shard's slice.
+
+        Workload queries are dataset points, and a point's nearest
+        centroid is the same whether it arrives as data or as a query
+        -- so every query routed to a shard has its point in that
+        shard's slice.  A query id outside the cluster's dataset means
+        the caller built the workload elsewhere; full-method requests
+        cannot serve it, so that is a typed input error.
+        """
+        mapping = self._local_ids[shard]
+        try:
+            local = np.fromiter(
+                (mapping[int(g)] for g in workload.query_ids),
+                dtype=np.int64, count=workload.n_queries,
+            )
+        except KeyError as missing:
+            raise InputValidationError(
+                f"query id {missing.args[0]} is not a point of shard "
+                f"{shard}'s data slice; full-method cluster predictions "
+                f"need workloads drawn from the cluster's own dataset"
+            ) from None
+        return KNNWorkload(
+            k=workload.k, query_ids=local,
+            queries=workload.queries, radii=workload.radii,
+        )
+
+    def _closed_form(
+        self, shard: int, workload: KNNWorkload
+    ) -> PredictionResult:
+        """The degraded answer when every owner of a shard is down:
+        the uniform closed-form baseline over the shard's own data and
+        tuned capacities -- no disk, no replica, cannot fail with them."""
+        config = self.shard_configs[shard]
+        points = self.shard_points[shard]
+        n, dim = points.shape
+        topology = Topology(
+            n_points=n, c_data=config.c_data, c_dir=config.c_dir
+        )
+        model = UniformCostModel(n, dim, topology.c_eff_data)
+        value = model.predict_knn_accesses(workload.k)
+        return PredictionResult(
+            per_query=np.full(workload.n_queries, value),
+            detail={"baseline": "uniform-closed-form", "shard": shard},
+        )
+
+    # ------------------------------------------------------------------
+    # Failure lifecycle
+    # ------------------------------------------------------------------
+
+    def kill_replica(self, name: str) -> None:
+        self._replica(name).kill()
+
+    def restart_replica(self, name: str) -> None:
+        """Restart a killed replica and give it a clean routing slate.
+
+        The breaker reset mirrors an operator bringing a node back:
+        accumulated failure history belongs to the dead incarnation.
+        """
+        self._replica(name).restart()
+        self.router.reset_breakers(name)
+
+    def _replica(self, name: str) -> Replica:
+        try:
+            return self.replicas[name]
+        except KeyError:
+            raise InputValidationError(
+                f"unknown replica {name!r}; cluster has "
+                f"{sorted(self.replicas)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Anti-entropy
+    # ------------------------------------------------------------------
+
+    def anti_entropy(self) -> dict:
+        """Verify every owner's artifact copy; heal divergent ones.
+
+        For each shard, every owner's on-disk artifact is fully
+        verified (CRCs, version, framing).  A bad copy is healed by
+        *adopting the first verified peer's bytes* -- artifacts of the
+        same fit are bit-identical, so adoption restores the copy
+        without touching the data.  Only when **every** copy of a shard
+        is bad does one owner rebuild from data (one fit), and the
+        rebuilt bytes then propagate to the other owners by adoption.
+        Live tenants' warm models are refreshed from the healed
+        artifacts, so serving picks the heal up immediately.
+
+        Returns a report: per shard, which owners verified, which were
+        healed from which donor, and whether a data rebuild was needed.
+        """
+        report: dict[int, dict] = {}
+        for shard, owner_names in sorted(self.router.table.owners.items()):
+            key = shard_tenant(shard)
+            verified: list[str] = []
+            corrupt: list[tuple[str, str]] = []
+            for name in owner_names:
+                replica = self.replicas[name]
+                store = replica.service.store
+                try:
+                    store.verify(key)
+                    verified.append(name)
+                except ArtifactCorruptError as error:
+                    corrupt.append((name, error.reason))
+            healed: list[dict] = []
+            rebuilt_by: str | None = None
+            if corrupt:
+                if verified:
+                    donor = verified[0]
+                else:
+                    # every copy is bad: one owner rebuilds from data...
+                    donor, reason = corrupt[0]
+                    rebuilt = self._rebuild(donor, shard)
+                    self.replicas[donor].adopt_model(shard, rebuilt)
+                    rebuilt_by = donor
+                    healed.append({
+                        "replica": donor, "via": "rebuild",
+                        "reason": reason,
+                    })
+                    corrupt = corrupt[1:]
+                # ...and everyone else adopts the donor's bytes.
+                donor_bytes = (
+                    self.replicas[donor].artifact_path(shard).read_bytes()
+                )
+                for name, reason in corrupt:
+                    replica = self.replicas[name]
+                    model = replica.service.store.adopt(key, donor_bytes)
+                    replica.adopt_model(shard, model)
+                    healed.append({
+                        "replica": name, "via": f"peer:{donor}",
+                        "reason": reason,
+                    })
+            report[shard] = {
+                "verified": verified,
+                "healed": healed,
+                "rebuilt": rebuilt_by,
+            }
+        return report
+
+    def _rebuild(self, name: str, shard: int):
+        """One rebuild-from-data through the store's keyed lock (the
+        corrupt file triggers the store's rebuilt-and-overwrite path)."""
+        replica = self.replicas[name]
+        reg = replica._registered[shard]
+        config: ShardConfig = reg["config"]
+        from ..service.artifacts import fit_model
+
+        def fit():
+            return fit_model(
+                reg["points"],
+                c_data=config.c_data, c_dir=config.c_dir,
+                memory=replica.service.memory, seed=reg["fit_seed"],
+                kernel=replica.service.kernel,
+            )
+
+        return replica.service.store.load_or_fit(shard_tenant(shard), fit)
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Drain the router, then stop every live replica.  Idempotent."""
+        self.router.drain()
+        for replica in self.replicas.values():
+            if not replica.down:
+                replica.service.stop()
+
+    def __enter__(self) -> "PredictionCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def charged_ops(self, shard: int) -> int:
+        """All replicas' lifetime charged ops for one shard."""
+        return sum(
+            replica.charged_ops(shard)
+            for replica in self.replicas.values()
+        )
+
+    def metrics(self) -> dict:
+        return {
+            "n_shards": self.n_shards,
+            "replication": self.replication,
+            "router": self.router.metrics(),
+            "probe": self.router.probe(),
+            "table": self.router.table.as_dict(),
+            "shards": {
+                shard: config.as_dict()
+                for shard, config in self.shard_configs.items()
+            },
+            "replicas": {
+                name: replica.metrics()
+                for name, replica in self.replicas.items()
+            },
+        }
+
+    # Convenience the chaos harness and tests use -----------------------
+
+    def make_workload(
+        self, n_queries: int, k: int, seed: int = 0
+    ) -> KNNWorkload:
+        """A density-biased workload over the cluster's full dataset."""
+        from ..workload.queries import density_biased_knn_workload
+        rng = np.random.default_rng(seed)
+        return density_biased_knn_workload(self.data, n_queries, k, rng)
+
+    def corrupt_artifact(self, name: str, shard: int) -> None:
+        """Flip a byte in one replica's copy of one shard's artifact
+        (chaos injection; the anti-entropy pass must catch and heal it)."""
+        path = self._replica(name).artifact_path(shard)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+
+    def wait_idle(self, timeout_s: float = 30.0) -> None:
+        """Block until no leg is outstanding (reconciliation barrier)."""
+        self.router.drain(timeout_s=timeout_s)
+
+    def uptime(self) -> dict:
+        return {
+            name: (replica.service.metrics()["uptime_s"]
+                   if not replica.down else 0.0)
+            for name, replica in self.replicas.items()
+        }

@@ -1,0 +1,247 @@
+"""Cluster load test: routed throughput and the cost of failover.
+
+Two questions the committed ``BENCH_cluster.json`` answers on record:
+
+1. what does similarity-sharded routing cost or buy against a single
+   service given the *same total worker count* (``n_replicas x
+   workers_per_replica``), and
+2. what does a mid-window replica kill do to the tail -- the
+   ``failover`` block isolates the latency of responses that were
+   actually served by a non-primary owner, so the p99 of failover
+   itself is a number, not an anecdote.
+
+Closed-loop clients (one per shard, plus matching clients on the
+baseline) hammer for a fixed wall-clock window; a third of the way in
+the primary owner of shard 0 is killed, two thirds in it is restarted
+-- the routed side must keep answering through both transitions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..service.server import PredictionService
+from ..workload.queries import density_biased_knn_workload
+from .cluster import PredictionCluster
+
+__all__ = ["ClusterLoadTestResult", "run_cluster_loadtest"]
+
+
+def _percentiles(latencies_s: list[float]) -> dict:
+    if not latencies_s:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+    ms = np.asarray(latencies_s) * 1e3
+    return {
+        "p50": round(float(np.percentile(ms, 50)), 3),
+        "p95": round(float(np.percentile(ms, 95)), 3),
+        "p99": round(float(np.percentile(ms, 99)), 3),
+        "mean": round(float(ms.mean()), 3),
+        "max": round(float(ms.max()), 3),
+    }
+
+
+@dataclass
+class ClusterLoadTestResult:
+    """One routed-vs-single window, summarized for the benchmark file."""
+
+    duration_s: float
+    n_shards: int
+    n_replicas: int
+    replication: int
+    workers_total: int
+    cluster_resolved: int = 0
+    cluster_ok: int = 0
+    cluster_failover: int = 0
+    cluster_degraded: int = 0
+    cluster_errors: int = 0
+    cluster_throughput_rps: float = 0.0
+    cluster_latency: dict = field(default_factory=dict)
+    failover_latency: dict = field(default_factory=dict)
+    single_resolved: int = 0
+    single_throughput_rps: float = 0.0
+    single_latency: dict = field(default_factory=dict)
+    router: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "duration_s": self.duration_s,
+            "n_shards": self.n_shards,
+            "n_replicas": self.n_replicas,
+            "replication": self.replication,
+            "workers_total": self.workers_total,
+            "cluster": {
+                "resolved": self.cluster_resolved,
+                "ok": self.cluster_ok,
+                "failover": self.cluster_failover,
+                "degraded": self.cluster_degraded,
+                "errors": self.cluster_errors,
+                "throughput_rps": round(self.cluster_throughput_rps, 1),
+                "latency_ms": self.cluster_latency,
+                "failover_latency_ms": self.failover_latency,
+            },
+            "single": {
+                "resolved": self.single_resolved,
+                "throughput_rps": round(self.single_throughput_rps, 1),
+                "latency_ms": self.single_latency,
+            },
+            "router": self.router,
+        }
+
+
+def run_cluster_loadtest(
+    *,
+    artifact_root: str,
+    n_shards: int = 2,
+    n_replicas: int = 3,
+    replication: int = 2,
+    workers_per_replica: int = 2,
+    duration_s: float = 1.5,
+    n_points: int = 600,
+    dim: int = 6,
+    memory: int = 200,
+    n_queries: int = 16,
+    k: int = 5,
+    seed: int = 0,
+    kill_mid_window: bool = True,
+) -> ClusterLoadTestResult:
+    """One measured window: routed cluster vs equal-worker single service.
+
+    With ``kill_mid_window`` the primary of shard 0 is killed at t/3 and
+    restarted at 2t/3, so the window contains a whole failover-and-
+    recovery cycle and the failover percentiles are populated.
+    """
+    rng = np.random.default_rng(seed)
+    half = n_points // 2
+    data = np.vstack([
+        rng.normal(loc=0.0, scale=1.0, size=(half, dim)),
+        rng.normal(loc=6.0, scale=0.5, size=(n_points - half, dim)),
+    ])
+    tuning = density_biased_knn_workload(data, max(16, 4 * n_shards), k, rng)
+
+    result = ClusterLoadTestResult(
+        duration_s=duration_s, n_shards=n_shards, n_replicas=n_replicas,
+        replication=replication,
+        workers_total=n_replicas * workers_per_replica,
+    )
+    lock = threading.Lock()
+    latencies: list[float] = []
+    failover_latencies: list[float] = []
+
+    cluster = PredictionCluster(
+        data, tuning,
+        artifact_root=artifact_root,
+        n_shards=n_shards, n_replicas=n_replicas,
+        replication=replication,
+        workers_per_replica=workers_per_replica,
+        memory=memory, fit_seed=seed, seed=seed,
+    )
+    workloads = {
+        shard: density_biased_knn_workload(
+            cluster.shard_points[shard], n_queries, k,
+            np.random.default_rng(seed + shard),
+        )
+        for shard in range(n_shards)
+    }
+
+    def shard_client(shard: int) -> None:
+        resolved = ok = failover = degraded = errors = 0
+        local: list[float] = []
+        local_failover: list[float] = []
+        stop_at = time.monotonic() + duration_s
+        while time.monotonic() < stop_at:
+            response = cluster.request(shard, workloads[shard])
+            resolved += 1
+            local.append(response.latency_s)
+            if response.status == "ok":
+                ok += 1
+                if response.failover_from is not None:
+                    failover += 1
+                    local_failover.append(response.latency_s)
+            elif response.status == "degraded":
+                degraded += 1
+            else:
+                errors += 1
+        with lock:
+            result.cluster_resolved += resolved
+            result.cluster_ok += ok
+            result.cluster_failover += failover
+            result.cluster_degraded += degraded
+            result.cluster_errors += errors
+            latencies.extend(local)
+            failover_latencies.extend(local_failover)
+
+    primary0 = cluster.router.table.owners_of(0)[0]
+
+    def chaos_operator() -> None:
+        time.sleep(duration_s / 3)
+        cluster.kill_replica(primary0)
+        time.sleep(duration_s / 3)
+        cluster.restart_replica(primary0)
+
+    try:
+        threads = [
+            threading.Thread(target=shard_client, args=(shard,),
+                             daemon=True)
+            for shard in range(n_shards)
+        ]
+        if kill_mid_window:
+            threads.append(
+                threading.Thread(target=chaos_operator, daemon=True)
+            )
+        started = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.monotonic() - started
+        result.cluster_throughput_rps = result.cluster_resolved / max(
+            elapsed, 1e-9
+        )
+        result.cluster_latency = _percentiles(latencies)
+        result.failover_latency = _percentiles(failover_latencies)
+        result.router = cluster.router.metrics()
+    finally:
+        cluster.stop()
+
+    # --- single-service baseline: same total workers, one tenant ------
+    service = PredictionService(
+        workers=n_replicas * workers_per_replica, memory=memory,
+    )
+    service.register_tenant("all", data, fit_seed=seed)
+    baseline_workload = density_biased_knn_workload(
+        data, n_queries, k, np.random.default_rng(seed)
+    )
+    single_latencies: list[float] = []
+
+    def single_client() -> None:
+        resolved = 0
+        local: list[float] = []
+        stop_at = time.monotonic() + duration_s
+        while time.monotonic() < stop_at:
+            response = service.request("all", baseline_workload)
+            resolved += 1
+            local.append(response.latency_s)
+        with lock:
+            result.single_resolved += resolved
+            single_latencies.extend(local)
+
+    with service:
+        threads = [
+            threading.Thread(target=single_client, daemon=True)
+            for _ in range(n_shards)
+        ]
+        started = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.monotonic() - started
+    result.single_throughput_rps = result.single_resolved / max(
+        elapsed, 1e-9
+    )
+    result.single_latency = _percentiles(single_latencies)
+    return result

@@ -1,0 +1,159 @@
+"""Similarity partitioning of a query workload into shards.
+
+A heterogeneous workload -- queries drawn from regions of different
+density and effective dimensionality -- is exactly the case where one
+global index configuration leaves cost on the table (Pestov's lower
+bounds make shards in different dimensionality regimes *provably*
+different in cost profile).  The cluster therefore splits the query
+stream by similarity: a seeded k-means over the query centers yields
+``n_shards`` centroids, every future query is routed to its nearest
+centroid's shard, and each shard's index configuration is tuned against
+that shard's slice of the workload only.
+
+Everything here is deterministic for a given seed: centroid
+initialization draws from a seeded generator, Lloyd iterations are pure
+numpy, and empty shards are re-seeded to the query farthest from every
+centroid (which then claims at least itself), so the same workload and
+seed always produce the same partition -- a requirement for the
+bit-identity invariants the chaos harness checks across replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InputValidationError
+from ..workload.queries import KNNWorkload
+
+__all__ = ["WorkloadPartition", "partition_workload"]
+
+
+def _distances_sq(queries: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Squared euclidean distances, shape ``(q, s)``."""
+    diff = queries[:, None, :] - centroids[None, :, :]
+    return np.einsum("qsd,qsd->qs", diff, diff)
+
+
+@dataclass(frozen=True)
+class WorkloadPartition:
+    """A fitted similarity partition: centroids plus the fit assignment.
+
+    ``centroids`` is ``(n_shards, d)``; ``assignments`` maps each query
+    of the *fitting* workload to its shard.  :meth:`shard_of` extends
+    the partition to arbitrary future queries (nearest centroid), which
+    is what the cluster router uses at dispatch time.
+    """
+
+    centroids: np.ndarray
+    assignments: np.ndarray
+
+    @property
+    def n_shards(self) -> int:
+        return int(self.centroids.shape[0])
+
+    def shard_of(self, queries: np.ndarray) -> np.ndarray:
+        """Shard id of each query row (nearest centroid)."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.shape[1] != self.centroids.shape[1]:
+            raise InputValidationError(
+                f"queries are {queries.shape[1]}-dimensional but the "
+                f"partition was fitted in {self.centroids.shape[1]} "
+                f"dimensions"
+            )
+        return np.argmin(_distances_sq(queries, self.centroids), axis=1)
+
+    def slice(self, workload: KNNWorkload, shard: int) -> KNNWorkload:
+        """The sub-workload of one shard (by nearest centroid)."""
+        if not 0 <= shard < self.n_shards:
+            raise InputValidationError(
+                f"shard {shard} outside [0, {self.n_shards})"
+            )
+        mask = self.shard_of(workload.queries) == shard
+        return KNNWorkload(
+            k=workload.k,
+            query_ids=workload.query_ids[mask],
+            queries=workload.queries[mask],
+            radii=workload.radii[mask],
+        )
+
+    def split(
+        self, workload: KNNWorkload
+    ) -> list[tuple[int, np.ndarray, KNNWorkload]]:
+        """Split a workload into non-empty per-shard sub-workloads.
+
+        Returns ``(shard, indices, sub_workload)`` triples where
+        ``indices`` are the positions of the shard's queries in the
+        original workload -- the router uses them to merge per-shard
+        results back into original query order.
+        """
+        shards = self.shard_of(workload.queries)
+        out = []
+        for shard in range(self.n_shards):
+            idx = np.flatnonzero(shards == shard)
+            if idx.size == 0:
+                continue
+            out.append((shard, idx, KNNWorkload(
+                k=workload.k,
+                query_ids=workload.query_ids[idx],
+                queries=workload.queries[idx],
+                radii=workload.radii[idx],
+            )))
+        return out
+
+
+def partition_workload(
+    workload: KNNWorkload,
+    n_shards: int,
+    *,
+    seed: int = 0,
+    iterations: int = 8,
+) -> WorkloadPartition:
+    """Fit a seeded k-means partition over the workload's query centers.
+
+    ``iterations`` Lloyd rounds are plenty at routing granularity --
+    the partition only has to separate workload regimes, not solve
+    clustering optimally.  Guaranteed post-conditions: exactly
+    ``n_shards`` centroids, and every shard non-empty on the fitting
+    workload.
+    """
+    queries = np.asarray(workload.queries, dtype=np.float64)
+    q = queries.shape[0]
+    if n_shards < 1:
+        raise InputValidationError(f"n_shards must be >= 1, got {n_shards}")
+    if n_shards > q:
+        raise InputValidationError(
+            f"cannot split {q} tuning queries into {n_shards} shards; "
+            f"provide at least one query per shard"
+        )
+    rng = np.random.default_rng(seed)
+    centroids = queries[rng.choice(q, size=n_shards, replace=False)].copy()
+
+    def reseed_empty(assign: np.ndarray) -> bool:
+        """Move each empty shard's centroid onto the farthest query."""
+        moved = False
+        for shard in range(n_shards):
+            if np.any(assign == shard):
+                continue
+            nearest = _distances_sq(queries, centroids).min(axis=1)
+            centroids[shard] = queries[int(np.argmax(nearest))]
+            moved = True
+        return moved
+
+    assign = np.zeros(q, dtype=np.int64)
+    for _ in range(max(1, iterations)):
+        assign = np.argmin(_distances_sq(queries, centroids), axis=1)
+        reseed_empty(assign)
+        for shard in range(n_shards):
+            members = queries[assign == shard]
+            if members.shape[0]:
+                centroids[shard] = members.mean(axis=0)
+    assign = np.argmin(_distances_sq(queries, centroids), axis=1)
+    # A reseeded centroid sits exactly on a query, which that query then
+    # claims (distance zero), so one more pass settles every shard.
+    if reseed_empty(assign):
+        assign = np.argmin(_distances_sq(queries, centroids), axis=1)
+    return WorkloadPartition(
+        centroids=centroids.copy(), assignments=assign
+    )

@@ -1,0 +1,410 @@
+"""Failure-aware routing: cost-ordered candidates, breakers, hedging.
+
+The router owns the request path of the cluster.  For each shard the
+:class:`RoutingTable` lists the owning replicas ordered by predicted
+cost (the shard's tuned per-query seconds times each owner's latency
+factor -- the cost oracle built at cluster construction).  A dispatch
+walks that order, skipping candidates the health probe or the
+per-replica circuit breaker rules out, and records *why* each skipped
+or failed candidate was passed over -- the ``tried`` list is the causal
+record a failover response carries.
+
+Two failure modes get special handling:
+
+* **slow primary** -- after ``hedge_after_s`` without a verdict the
+  dispatch moves on to the next candidate *without abandoning the
+  first*: the outstanding leg keeps running (a submitted request always
+  resolves and always settles its ledger), and whichever leg finishes
+  first with a usable verdict is served.  Loser legs are retained on
+  the response and resolved by :meth:`Router.drain`, so the
+  reconciliation invariant can account for every charged op including
+  hedged losers.
+* **every owner down** -- with ``degrade=True`` and a fallback
+  installed, the router serves an explicitly *degraded* closed-form
+  answer (``method_used="closed_form"``, ``cause="unavailable"``);
+  otherwise the response is a typed
+  :class:`~repro.errors.ReplicaUnavailableError` carrying the full
+  ``tried`` record.  Either way the request terminates -- the no-hang
+  invariant extends cluster-wide.
+
+The table is deliberately allowed to go stale (chaos keeps routing to
+a killed replica on purpose): an entry naming a dead or unknown replica
+costs one recorded skip, never a hang or an untyped error.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.counting import PredictionResult
+from ..errors import CircuitOpenError, ReplicaUnavailableError, ReproError
+from ..runtime.breaker import CircuitBreaker
+from ..service.server import PendingPrediction, ServiceResponse
+from ..workload.queries import KNNWorkload, RangeWorkload
+from .replicas import Replica
+
+__all__ = ["ClusterResponse", "Router", "RoutingTable"]
+
+#: how long drain() waits on any single outstanding leg; the service
+#: no-hang guarantee makes expiry here a bug, not a slow request
+_DRAIN_TIMEOUT_S = 30.0
+
+
+@dataclass(frozen=True)
+class RoutingTable:
+    """Versioned shard -> owners map, owners ordered cheapest first.
+
+    ``costs`` keeps the oracle's prediction per (shard, owner) so the
+    ordering is auditable.  Tables are immutable; a topology change
+    installs a new table with a bumped ``version`` (responses record
+    the version that routed them, so staleness is diagnosable).
+    """
+
+    version: int
+    owners: dict[int, tuple[str, ...]]
+    costs: dict[int, dict[str, float]]
+
+    def owners_of(self, shard: int) -> tuple[str, ...]:
+        return self.owners.get(shard, ())
+
+    def as_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "owners": {s: list(o) for s, o in sorted(self.owners.items())},
+            "costs": {
+                s: {n: round(c, 6) for n, c in costs.items()}
+                for s, costs in sorted(self.costs.items())
+            },
+        }
+
+
+class _Leg:
+    """One submitted attempt of one cluster request."""
+
+    def __init__(self, replica: str, shard: int, pending: PendingPrediction):
+        self.replica = replica
+        self.shard = shard
+        self.pending = pending
+        self._response: ServiceResponse | None = None
+
+    def wait(self, timeout: float | None) -> ServiceResponse:
+        if self._response is None:
+            self._response = self.pending.result(timeout)
+        return self._response
+
+    def done(self) -> bool:
+        return self.pending.done()
+
+
+@dataclass
+class ClusterResponse:
+    """The terminal verdict of one routed request.
+
+    ``status`` mirrors the service (``ok`` / ``degraded`` / ``error``);
+    a closed-form fallback served because every owner was down is
+    ``degraded`` with ``method_used="closed_form"`` and
+    ``cause="unavailable"``.  ``served_by`` names the replica whose leg
+    won (``None`` for fallback/error verdicts); ``failover_from`` names
+    the primary owner when someone else served, and ``tried`` is the
+    causal record of every candidate passed over -- ``(name, reason)``
+    pairs.  ``legs`` holds every submitted attempt, winners and hedged
+    losers alike, so :meth:`charged_ops` can sum the request's *whole*
+    charged footprint once the router has drained.
+    """
+
+    shard: int
+    request_id: int
+    status: str
+    result: PredictionResult | None = None
+    method_requested: str = "warm"
+    method_used: str | None = None
+    served_by: str | None = None
+    failover_from: str | None = None
+    hedged: bool = False
+    tried: list = field(default_factory=list)
+    cause: str | None = None
+    error: str | None = None
+    error_type: str | None = None
+    routing_version: int = 0
+    latency_s: float = 0.0
+    legs: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def charged_ops(self) -> int:
+        """Charged ops across every leg of this request (call after
+        :meth:`Router.drain`; an unresolved leg blocks briefly)."""
+        return sum(
+            leg.wait(_DRAIN_TIMEOUT_S).io_ops for leg in self.legs
+        )
+
+
+class Router:
+    """Cost-ordered, breaker-guarded, hedging dispatcher."""
+
+    def __init__(
+        self,
+        replicas: dict[str, Replica],
+        table: RoutingTable,
+        *,
+        hedge_after_s: float = 0.05,
+        request_timeout_s: float = 30.0,
+        degraded_fallback: Callable[
+            [int, KNNWorkload | RangeWorkload], PredictionResult
+        ] | None = None,
+        breaker_cooldown_s: float = 0.2,
+    ):
+        self.replicas = replicas
+        self.table = table
+        self.hedge_after_s = hedge_after_s
+        self.request_timeout_s = request_timeout_s
+        self.degraded_fallback = degraded_fallback
+        self._breaker_cooldown_s = breaker_cooldown_s
+        # Breakers are per (replica, shard) -- the granularity at which
+        # failures actually happen (a tenant on a faulty path).  A
+        # replica erroring on one shard must not lose its standing as
+        # another shard's failover target, or a single fault could
+        # defeat the single-kill availability guarantee.
+        self._breakers: dict[tuple[str, int], CircuitBreaker] = {}
+        self._ids = itertools.count(1)
+        self._legs: list[_Leg] = []
+        self._lock = threading.Lock()
+        #: lifetime counters
+        self.dispatches = 0
+        self.failovers = 0
+        self.hedges = 0
+        self.degraded_served = 0
+        self.unavailable = 0
+
+    # ------------------------------------------------------------------
+
+    def install_table(self, table: RoutingTable) -> None:
+        self.table = table
+
+    def breaker_for(self, name: str, shard: int) -> CircuitBreaker:
+        with self._lock:
+            key = (name, shard)
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=0.5, window=8, min_calls=2,
+                    cooldown_s=self._breaker_cooldown_s,
+                )
+                self._breakers[key] = breaker
+            return breaker
+
+    def reset_breakers(self, name: str) -> None:
+        """Force-close every breaker of one replica (it restarted)."""
+        with self._lock:
+            breakers = [
+                b for (n, _), b in self._breakers.items() if n == name
+            ]
+        for breaker in breakers:
+            breaker.reset()
+
+    def probe(self) -> dict:
+        """Health snapshot the routing decisions are based on."""
+        with self._lock:
+            states = {
+                f"{name}/shard-{shard}": breaker.state
+                for (name, shard), breaker in sorted(self._breakers.items())
+            }
+        return {
+            "replicas": {
+                name: replica.healthy()
+                for name, replica in self.replicas.items()
+            },
+            "breakers": states,
+        }
+
+    # ------------------------------------------------------------------
+
+    def dispatch(
+        self,
+        shard: int,
+        workload: KNNWorkload | RangeWorkload,
+        *,
+        method: str = "warm",
+        seed: int = 0,
+        degrade: bool = True,
+    ) -> ClusterResponse:
+        """Route one request; always returns a terminal verdict."""
+        started = time.monotonic()
+        deadline = started + self.request_timeout_s
+        request_id = next(self._ids)
+        with self._lock:
+            self.dispatches += 1
+        owners = self.table.owners_of(shard)
+        tried: list[tuple[str, str]] = []
+        legs: list[_Leg] = []
+        hedged = False
+
+        def verdict_of(leg: _Leg, response: ServiceResponse
+                       ) -> ClusterResponse | None:
+            """A usable verdict wins; an error response feeds the
+            breaker and the tried record, and the walk continues."""
+            if response.status == "error":
+                self.breaker_for(leg.replica, shard).record_failure()
+                tried.append((leg.replica, f"error:{response.error_type}"))
+                return None
+            self.breaker_for(leg.replica, shard).record_success()
+            primary = owners[0] if owners else None
+            failover_from = (primary if leg.replica != primary else None)
+            if failover_from is not None:
+                with self._lock:
+                    self.failovers += 1
+            return ClusterResponse(
+                shard=shard,
+                request_id=request_id,
+                status=response.status,
+                result=response.result,
+                method_requested=method,
+                method_used=response.method_used,
+                served_by=leg.replica,
+                failover_from=failover_from,
+                hedged=hedged,
+                tried=list(tried),
+                cause=response.cause,
+                routing_version=self.table.version,
+                latency_s=time.monotonic() - started,
+                legs=list(legs),
+            )
+
+        # --- phase 1: walk the cost order, hedging past slow legs -----
+        for name in owners:
+            replica = self.replicas.get(name)
+            if replica is None:
+                tried.append((name, "unknown"))  # stale table entry
+                continue
+            if not replica.healthy():
+                tried.append((name, "down"))
+                continue
+            breaker = self.breaker_for(name, shard)
+            try:
+                breaker.before_attempt()
+            except CircuitOpenError:
+                tried.append((name, "circuit-open"))
+                continue
+            try:
+                pending = replica.submit(
+                    shard, workload, method=method, seed=seed
+                )
+            except ReproError as error:
+                breaker.record_failure()
+                tried.append((name, type(error).__name__))
+                continue
+            leg = _Leg(name, shard, pending)
+            legs.append(leg)
+            with self._lock:
+                self._legs.append(leg)
+            try:
+                response = leg.wait(
+                    min(self.hedge_after_s, max(0.0, deadline - time.monotonic()))
+                )
+            except TimeoutError:
+                # Slow leg: hedge to the next candidate, leave this one
+                # running -- it may still win in phase 2.
+                tried.append((name, "slow"))
+                hedged = True
+                with self._lock:
+                    self.hedges += 1
+                continue
+            won = verdict_of(leg, response)
+            if won is not None:
+                return won
+
+        # --- phase 2: wait out the hedged legs until the deadline -----
+        settled: set[int] = set()
+        while time.monotonic() < deadline:
+            outstanding = [
+                leg for i, leg in enumerate(legs)
+                if i not in settled and leg.done()
+            ]
+            for leg in outstanding:
+                settled.add(legs.index(leg))
+                won = verdict_of(leg, leg.wait(0.0))
+                if won is not None:
+                    return won
+            if len(settled) == len(legs):
+                break
+            time.sleep(0.002)
+
+        # --- no leg produced a verdict: degrade or fail, typed --------
+        error = ReplicaUnavailableError(shard, tried)
+        if (degrade and self.degraded_fallback is not None):
+            result = self.degraded_fallback(shard, workload)
+            with self._lock:
+                self.degraded_served += 1
+            return ClusterResponse(
+                shard=shard,
+                request_id=request_id,
+                status="degraded",
+                result=result,
+                method_requested=method,
+                method_used="closed_form",
+                hedged=hedged,
+                tried=list(tried),
+                cause="unavailable",
+                error=str(error),
+                error_type=type(error).__name__,
+                routing_version=self.table.version,
+                latency_s=time.monotonic() - started,
+                legs=list(legs),
+            )
+        with self._lock:
+            self.unavailable += 1
+        return ClusterResponse(
+            shard=shard,
+            request_id=request_id,
+            status="error",
+            method_requested=method,
+            hedged=hedged,
+            tried=list(tried),
+            cause="unavailable",
+            error=str(error),
+            error_type=type(error).__name__,
+            routing_version=self.table.version,
+            latency_s=time.monotonic() - started,
+            legs=list(legs),
+        )
+
+    # ------------------------------------------------------------------
+
+    def drain(self, *, timeout_s: float = _DRAIN_TIMEOUT_S) -> Counter:
+        """Resolve every leg ever submitted; per-shard charged-op sums.
+
+        Hedged loser legs keep running after their request was served;
+        reconciliation is only exact once they have all settled.  The
+        per-leg timeout leans on the service no-hang guarantee -- an
+        expiry raises :class:`TimeoutError` and *is* a violation.
+        """
+        shard_ops: Counter = Counter()
+        with self._lock:
+            legs = list(self._legs)
+        for leg in legs:
+            shard_ops[leg.shard] += leg.wait(timeout_s).io_ops
+        return shard_ops
+
+    def metrics(self) -> dict:
+        with self._lock:
+            return {
+                "dispatches": self.dispatches,
+                "failovers": self.failovers,
+                "hedges": self.hedges,
+                "degraded_served": self.degraded_served,
+                "unavailable": self.unavailable,
+                "legs": len(self._legs),
+                "routing_version": self.table.version,
+                "breakers": {
+                    f"{name}/shard-{shard}": breaker.state
+                    for (name, shard), breaker
+                    in sorted(self._breakers.items())
+                },
+            }

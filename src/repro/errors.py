@@ -66,6 +66,13 @@ purpose by this package derives from :class:`ReproError`:
     artifact is *never* trusted partially -- the loader raises before
     returning any model, and the service rebuilds the model from data
     instead.  The CLI maps it to exit code 17.
+``ReplicaUnavailableError``
+    the sharded prediction cluster could not place a request: every
+    replica owning the target shard was down, breaker-open, or
+    refusing, and the caller asked for strict routing
+    (``degrade=False``).  With degradation enabled the router answers
+    from the closed-form baseline instead and annotates the response.
+    The CLI maps it to exit code 18.
 
 :class:`DegradedResultWarning` is a :class:`UserWarning`, not an error:
 the facade emits it when it had to fall back to a cheaper method and
@@ -93,6 +100,7 @@ __all__ = [
     "TenantQuotaExceededError",
     "ServiceOverloadedError",
     "ArtifactCorruptError",
+    "ReplicaUnavailableError",
     "DegradedResultWarning",
     "validate_points",
 ]
@@ -419,6 +427,36 @@ class ArtifactCorruptError(ReproError):
         if self.detail:
             message += f": {self.detail}"
         return message
+
+
+class ReplicaUnavailableError(ReproError):
+    """Every replica owning a shard refused or was unreachable.
+
+    Raised (or embedded in a typed error response) by the cluster
+    router when a request's shard has no healthy owner left: each
+    candidate was dead, breaker-open, quota-refusing, or answered with
+    a typed error, and hedged dispatch found no late winner either.
+    ``tried`` records each ``(replica, reason)`` pair in the order the
+    router gave up on it -- the causal record of the failed failover.
+    Nothing was served and no partial answer is returned; with
+    degradation enabled the router falls back to the shard's
+    closed-form baseline instead of raising.  The CLI maps it to exit
+    code 18.
+    """
+
+    def __init__(self, shard: int, tried: tuple = ()):
+        self.shard = shard
+        self.tried = tuple(tried)
+        super().__init__(shard, self.tried)
+
+    def __str__(self) -> str:
+        attempts = (
+            "; ".join(f"{name}: {reason}" for name, reason in self.tried)
+            or "no candidate replicas"
+        )
+        return (
+            f"no replica available for shard {self.shard}: {attempts}"
+        )
 
 
 class DegradedResultWarning(UserWarning):

@@ -35,6 +35,7 @@ from __future__ import annotations
 import io
 import json
 import struct
+import threading
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -364,8 +365,15 @@ class ArtifactStore:
     uses: a verified artifact loads instantly; a missing, corrupt, or
     version-skewed one triggers ``fit()`` and the result is saved over
     whatever was there.  The outcome of every lookup is recorded in
-    ``events`` (``"hit"``, ``"miss"``, ``"rebuilt"``) so healing is
-    never invisible.
+    ``events`` (``"hit"``, ``"miss"``, ``"rebuilt"``, ``"adopted"``) so
+    healing is never invisible.
+
+    Lookups are serialized per key: two threads racing
+    :meth:`load_or_fit` on the same corrupt artifact perform exactly one
+    rebuild -- the loser of the race loads the winner's healed file and
+    gets a bit-identical model, instead of fitting again or reading a
+    half-written artifact.  The anti-entropy path of the cluster relies
+    on this (a scrubber healing a key while a request warm-starts it).
     """
 
     def __init__(self, directory: str | Path):
@@ -373,6 +381,12 @@ class ArtifactStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         #: lookup history: list of (key, outcome, detail)
         self.events: list[tuple[str, str, str]] = []
+        self._guard = threading.Lock()
+        self._key_locks: dict[str, threading.Lock] = {}
+
+    def _lock_for(self, key: str) -> threading.Lock:
+        with self._guard:
+            return self._key_locks.setdefault(key, threading.Lock())
 
     def path_for(self, key: str) -> Path:
         safe = "".join(
@@ -383,21 +397,57 @@ class ArtifactStore:
     def load_or_fit(self, key: str, fit) -> FittedModel:
         """A verified cached model, or a freshly fitted and saved one."""
         path = self.path_for(key)
-        if path.exists():
+        with self._lock_for(key):
+            if path.exists():
+                try:
+                    model = load_artifact(path)
+                    self.events.append((key, "hit", str(path)))
+                    return model
+                except ArtifactCorruptError as error:
+                    # The artifact lied; rebuild from data and overwrite.
+                    self.events.append((key, "rebuilt", str(error)))
+                    model = fit()
+                    save_artifact(path, model)
+                    return model
+            self.events.append((key, "miss", str(path)))
+            model = fit()
+            save_artifact(path, model)
+            return model
+
+    def verify(self, key: str) -> FittedModel:
+        """Load and fully verify ``key``'s artifact (no rebuild).
+
+        Raises :class:`~repro.errors.ArtifactCorruptError` on any failed
+        check and ``reason="header"`` when the file is missing -- the
+        anti-entropy scrubber treats both as "this copy needs healing".
+        """
+        with self._lock_for(key):
+            return load_artifact(self.path_for(key))
+
+    def adopt(self, key: str, data: bytes) -> FittedModel:
+        """Install verified peer bytes as this store's copy of ``key``.
+
+        The cluster's anti-entropy pass heals a corrupt artifact from a
+        replica peer by copying the peer's file *bytes* -- artifacts of
+        the same fit are bit-identical, so adoption preserves the
+        bit-identical-reload contract without refitting.  The bytes are
+        written to a temporary sibling and **verified before** the
+        atomic rename: corrupt donor bytes raise
+        :class:`~repro.errors.ArtifactCorruptError` and leave the
+        existing file untouched.
+        """
+        path = self.path_for(key)
+        tmp = path.with_name(path.name + ".adopt")
+        with self._lock_for(key):
+            tmp.write_bytes(data)
             try:
-                model = load_artifact(path)
-                self.events.append((key, "hit", str(path)))
-                return model
-            except ArtifactCorruptError as error:
-                # The artifact lied; rebuild from data and overwrite.
-                self.events.append((key, "rebuilt", str(error)))
-                model = fit()
-                save_artifact(path, model)
-                return model
-        self.events.append((key, "miss", str(path)))
-        model = fit()
-        save_artifact(path, model)
-        return model
+                model = load_artifact(tmp)
+            except ArtifactCorruptError:
+                tmp.unlink(missing_ok=True)
+                raise
+            tmp.replace(path)
+            self.events.append((key, "adopted", str(path)))
+            return model
 
     def rebuilds(self) -> int:
         return sum(1 for _, outcome, _ in self.events if outcome == "rebuilt")

@@ -230,7 +230,11 @@ class PredictionService:
         self._lock = threading.Lock()
         self._running = False
         self._request_ids = itertools.count(1)
-        #: lifetime service counters
+        #: monotonic start/stop marks for the uptime gauge
+        self._started_at: float | None = None
+        self._stopped_at: float | None = None
+        #: lifetime service counters (mutated under ``_lock`` so
+        #: :meth:`metrics` can snapshot them consistently)
         self.shed_overload = 0
         self.workers_respawned = 0
         self.requests_resolved = 0
@@ -244,6 +248,8 @@ class PredictionService:
             if self._running:
                 return self
             self._running = True
+            self._started_at = self._clock()
+            self._stopped_at = None
             for i in range(self.workers):
                 self._spawn_worker(i)
         return self
@@ -283,12 +289,16 @@ class PredictionService:
         Queued-but-unserved requests resolve with a typed
         ``ServiceOverloadedError`` response (the service is shedding
         its whole queue); worker threads get a stop sentinel each and
-        are joined under ``timeout_s``.
+        are joined under ``timeout_s``.  Idempotent: a second (or
+        concurrent) call, or a call on a never-started service, is a
+        no-op -- signal handlers and context-manager exits may both
+        reach here for the same shutdown.
         """
         with self._lock:
             if not self._running:
                 return
             self._running = False
+            self._stopped_at = self._clock()
         while True:
             try:
                 item = self._queue.get_nowait()
@@ -445,7 +455,8 @@ class PredictionService:
             self._queue.put_nowait(item)
         except Full:
             tenant.ledger.release()
-            self.shed_overload += 1
+            with self._lock:
+                self.shed_overload += 1
             raise ServiceOverloadedError(
                 self.max_queue, self.max_queue
             ) from None
@@ -677,22 +688,42 @@ class PredictionService:
     # ------------------------------------------------------------------
 
     def metrics(self) -> dict:
-        """One snapshot of the whole service's books."""
+        """One *consistent* snapshot of the whole service's books.
+
+        Every service-level counter is read in a single critical
+        section under the service lock -- workers mutate them under the
+        same lock, so the returned numbers describe one moment, never a
+        mid-update mix (``requests_resolved`` from before a settle,
+        ``shed_overload`` from after).  ``uptime_s`` is monotonic time
+        since :meth:`start` (frozen at :meth:`stop`, ``0.0`` before the
+        first start), and ``worker_liveness`` maps each worker thread's
+        name to whether it is currently alive -- the cluster health
+        probe keys off both.
+        """
         with self._lock:
             tenants = {
                 name: tenant.ledger.snapshot()
                 for name, tenant in self._tenants.items()
             }
-            alive = sum(1 for t in self._threads if t.is_alive())
-        return {
-            "running": self._running,
-            "workers": self.workers,
-            "workers_alive": alive,
-            "workers_respawned": self.workers_respawned,
-            "queue_depth": self._queue.qsize(),
-            "max_queue": self.max_queue,
-            "shed_overload": self.shed_overload,
-            "requests_resolved": self.requests_resolved,
-            "artifact_rebuilds": self.store.rebuilds() if self.store else 0,
-            "tenants": tenants,
-        }
+            liveness = {t.name: t.is_alive() for t in self._threads}
+            if self._started_at is None:
+                uptime = 0.0
+            else:
+                end = (self._stopped_at if self._stopped_at is not None
+                       else self._clock())
+                uptime = max(0.0, end - self._started_at)
+            return {
+                "running": self._running,
+                "uptime_s": uptime,
+                "workers": self.workers,
+                "workers_alive": sum(liveness.values()),
+                "worker_liveness": liveness,
+                "workers_respawned": self.workers_respawned,
+                "queue_depth": self._queue.qsize(),
+                "max_queue": self.max_queue,
+                "shed_overload": self.shed_overload,
+                "requests_resolved": self.requests_resolved,
+                "artifact_rebuilds": (self.store.rebuilds()
+                                      if self.store else 0),
+                "tenants": tenants,
+            }

@@ -255,6 +255,78 @@ class TestScrubCommand:
         assert "UNRECOVERABLE" in capsys.readouterr().out
 
 
+class TestClusterCommand:
+    def test_parser_accepts_cluster_flags(self):
+        args = build_parser().parse_args(
+            ["cluster", "--shards", "3", "--replicas", "4",
+             "--replication", "2", "--chaos", "--double-kill"]
+        )
+        assert args.shards == 3
+        assert args.replicas == 4
+        assert args.replication == 2
+        assert args.chaos is True
+        assert args.double_kill is True
+
+    def test_parser_accepts_loadtest_replicas(self):
+        args = build_parser().parse_args(
+            ["loadtest", "--replicas", "3", "--shards", "2",
+             "--duration", "0.5"]
+        )
+        assert args.replicas == 3
+        assert args.shards == 2
+
+    def test_cluster_demo_walkthrough(self, capsys):
+        assert main(
+            ["cluster", "--scale", "0.005", "--queries", "8",
+             "--memory", "200"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "owners (cheapest first)" in out
+        assert "answers bit-identical: True" in out
+        assert "anti-entropy healed" in out
+        assert "data rebuild: None" in out
+
+    def test_replica_unavailable_maps_to_18(self):
+        from repro.cli import _exit_code
+        from repro.errors import ReplicaUnavailableError
+
+        error = ReplicaUnavailableError(0, [("replica-0", "down")])
+        assert _exit_code(error) == 18
+
+
+class TestServeInterrupt:
+    def test_sigterm_drains_and_exits_130(self, capsys, monkeypatch):
+        """A signal mid-session takes the graceful path: stop() drains
+        the queue with typed shutdown responses, the books are printed,
+        and the exit code is 130 -- never a raw traceback."""
+        import os
+        import signal
+        import threading
+
+        from repro.service import server as server_module
+
+        original_start = server_module.PredictionService.start
+
+        def start_then_interrupt(self):
+            original_start(self)
+            threading.Timer(
+                0.05, lambda: os.kill(os.getpid(), signal.SIGTERM)
+            ).start()
+
+        monkeypatch.setattr(
+            server_module.PredictionService, "start", start_then_interrupt
+        )
+        code = main(
+            ["serve", *FAST, "--tenants", "2", "--requests", "200",
+             "--max-inflight", "256", "--max-queue", "256",
+             "--method", "resampled"]
+        )
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "interrupted: graceful stop drained" in captured.err
+        assert "serving session" in captured.out  # books still printed
+
+
 class TestVersionAndHelp:
     def test_version_flag(self, capsys):
         import repro

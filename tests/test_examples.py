@@ -26,6 +26,7 @@ EXAMPLE_NAMES = [
     "budgeted_prediction",
     "self_healing",
     "multi_tenant_service",
+    "sharded_cluster",
 ]
 
 

@@ -211,6 +211,61 @@ class TestArtifactStore:
         assert path.parent == store.directory
         assert path.name == "ten_ant_one_two.rpro"
 
+    def test_concurrent_load_or_fit_on_corrupt_artifact(self, points,
+                                                        tmp_path):
+        """Two threads racing load_or_fit on the same corrupt artifact:
+        the per-key lock serializes them, so exactly one rebuild-from-
+        data happens, both callers get bit-identical models, and the
+        file on disk is healed for the next reader."""
+        store = ArtifactStore(tmp_path)
+
+        calls = []
+        lock = threading.Lock()
+
+        def fit():
+            with lock:
+                calls.append(threading.current_thread().name)
+            return fit_model(points, c_data=30, c_dir=40, memory=MEMORY)
+
+        store.load_or_fit("gamma", fit)
+        path = store.path_for("gamma")
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        calls.clear()
+
+        gate = threading.Barrier(3)
+        models = {}
+
+        def racer(name: str) -> None:
+            gate.wait(5.0)
+            models[name] = store.load_or_fit("gamma", fit)
+
+        threads = [
+            threading.Thread(target=racer, args=(f"racer-{i}",),
+                             name=f"racer-{i}")
+            for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        gate.wait(5.0)
+        for thread in threads:
+            thread.join(timeout=30.0)
+
+        assert len(calls) == 1  # one rebuild, not one per racer
+        assert store.rebuilds() == 1
+        first, second = models["racer-0"], models["racer-1"]
+        assert np.array_equal(
+            first.geometry.lower, second.geometry.lower
+        )
+        assert np.array_equal(
+            first.geometry.upper, second.geometry.upper
+        )
+        # the loser of the race observed a healed file (a "hit"), and
+        # the file stays verifiable afterward
+        assert [e[1] for e in store.events[-2:]] == ["rebuilt", "hit"]
+        store.verify("gamma")
+
 
 class TestTenantQuota:
     @pytest.mark.parametrize("kwargs", [
@@ -448,3 +503,38 @@ class TestPredictionService:
         assert metrics["requests_resolved"] == 1
         assert metrics["tenants"]["t"]["completed"] == 1
         assert metrics["workers_alive"] == 2
+
+    def test_metrics_uptime_and_liveness(self, points, workload):
+        service = PredictionService(workers=3)
+        service.register_tenant("t", points)
+        assert service.metrics()["uptime_s"] == 0.0  # not yet started
+        with service:
+            service.request("t", workload, timeout=30.0)
+            first = service.metrics()
+            second = service.metrics()
+        assert first["uptime_s"] > 0.0
+        assert second["uptime_s"] >= first["uptime_s"]  # monotonic
+        assert len(first["worker_liveness"]) == 3
+        assert all(first["worker_liveness"].values())
+        # uptime freezes at stop and the liveness map empties with the
+        # joined workers
+        stopped = service.metrics()
+        assert stopped["uptime_s"] >= second["uptime_s"]
+        final = service.metrics()
+        assert final["uptime_s"] == stopped["uptime_s"]
+        assert final["workers_alive"] == 0
+
+    def test_stop_is_idempotent(self, points, workload):
+        service = PredictionService(workers=2)
+        service.register_tenant("t", points)
+        service.start()
+        service.request("t", workload, timeout=30.0)
+        service.stop()
+        service.stop()  # second call is a no-op, not an error
+        assert service.metrics()["running"] is False
+
+    def test_stop_never_started_is_noop(self, points):
+        service = PredictionService(workers=2)
+        service.register_tenant("t", points)
+        service.stop()  # signal handlers may reach a pre-start service
+        assert service.metrics()["running"] is False
