@@ -1,0 +1,75 @@
+"""Elasticity load test: a mid-window scale-out under closed-loop load.
+
+A 2-shard cluster serves closed-loop clients; a third of the way into
+the window a new replica is scaled out -- built, warmed from verified
+peer bytes (zero refits), and fenced in under a new routing epoch --
+while the clients keep hammering.  The window is split into pre / mid
+/ post sub-windows around the handoff and the result lands in
+``BENCH_elasticity.json`` at the repo root.
+
+Assertions are the elastic availability gates: the handoff costs zero
+errors anywhere (the epoch fence drops nothing), the warm-up refits
+nothing, and the added capacity actually buys throughput -- the new
+replica advertises the cheapest cost and carries no synthetic delay,
+so post-scale >= pre-scale is a claim about routing moving the
+traffic, not about noise.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cluster import run_elasticity_loadtest
+from repro.experiments import format_table
+
+RESULT_PATH = Path(__file__).parents[1] / "BENCH_elasticity.json"
+
+DURATION_S = 1.5
+
+
+def test_elasticity_loadtest(report, tmp_path):
+    result = run_elasticity_loadtest(
+        artifact_root=tmp_path, duration_s=DURATION_S, seed=0,
+    )
+    payload = result.as_dict()
+
+    rows = [
+        [window, f"{payload[window]['throughput_rps']:,.0f}",
+         f"{payload[window]['latency_ms']['p50']:.2f}",
+         f"{payload[window]['latency_ms']['p99']:.2f}",
+         f"{payload[window]['resolved']:,}",
+         f"{payload[window]['errors']:,}"]
+        for window in ("pre", "mid", "post")
+    ]
+    table = format_table(
+        ["window", "req/s", "p50 ms", "p99 ms", "resolved", "errors"],
+        rows,
+        title=f"Elasticity load test ({payload['n_shards']} shards, "
+              f"{payload['n_replicas_start']}+1 replicas; scale-out at "
+              f"t/3 took {payload['scale']['wall_s'] * 1e3:.1f} ms, "
+              f"{payload['scale']['refits']} refits, post/pre "
+              f"throughput {payload['post_over_pre']:.2f}x)",
+    )
+    report(table)
+    RESULT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    # the epoch-fenced handoff dropped and errored nothing, anywhere
+    assert payload["errors"] == 0
+    for window in ("pre", "mid", "post"):
+        assert payload[window]["errors"] == 0
+    assert payload["pre"]["resolved"] > 50
+    assert payload["post"]["resolved"] > 50
+    # the new replica warmed entirely from verified peer bytes
+    assert payload["scale"]["refits"] == 0
+    assert all(
+        w["via"].startswith("peer:") for w in payload["scale"]["warmed"]
+    )
+    # the fence really moved the epoch forward
+    assert payload["scale"]["epoch"] == 2
+    assert payload["router"]["routing_epoch"] == 2
+    # added capacity bought throughput: post-scale >= pre-scale
+    assert payload["post_over_pre"] >= 1.0
+    assert payload["router"]["unavailable"] == 0

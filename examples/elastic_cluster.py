@@ -1,0 +1,137 @@
+"""Elastic cluster topology: scale, split, and re-tune without dropping.
+
+A sharded prediction cluster whose *topology* changes while it serves.
+Every change is fenced by a routing epoch: the new table is installed,
+in-flight requests admitted under the old epoch drain to completion,
+and only then are the old generation's ledgers folded -- so the
+per-shard op books stay exact across every boundary.  The walkthrough:
+
+1. a healthy prediction on the starting topology (2 shards, 2 owners
+   each), with the routing epoch printed;
+2. scale-out -- a faster replica joins at runtime, warmed from a
+   verified peer's artifact *bytes* (zero refits), and immediately
+   becomes the cost-ordered primary; answers stay bit-identical;
+3. a router pinned to the old epoch is refused with a typed
+   ``StaleRoutingEpochError`` -- fenced, not silently misrouted;
+4. drifted traffic (query centers walking away from the frozen tuning
+   centers) trips the drift detector, and the flagged shard is re-tuned
+   against the observed workload through the governed reorganization
+   budget -- the successor is a fresh shard id, the parent's charges
+   survive in the retired books;
+5. the most expensive shard is split in two, each half re-tuned on its
+   own workload slice behind the same fence;
+6. scale-in -- the extra replica drains gracefully and its ledger is
+   folded, after which the three-way op reconciliation (router legs ==
+   replica ledgers incl. retired generations == response sums) is
+   printed per shard, exact.
+
+Run:  python examples/elastic_cluster.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from repro import PredictionCluster
+from repro.errors import StaleRoutingEpochError
+from repro.workload import KNNWorkload, density_biased_knn_workload
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    data = np.vstack([
+        rng.normal(0.0, 1.0, (400, 6)),
+        rng.normal(6.0, 0.3, (400, 6)),
+    ])
+    tuning = density_biased_knn_workload(data, 24, 5, rng)
+
+    with tempfile.TemporaryDirectory() as root:
+        with PredictionCluster(
+            data, tuning, artifact_root=root,
+            n_shards=2, n_replicas=2, replication=2, memory=80,
+            drift_threshold=0.25, min_drift_observations=8,
+        ) as cluster:
+            print(f"routing epoch {cluster.router.table.epoch}: "
+                  f"shards {cluster.active_shards()}, replicas "
+                  f"{sorted(cluster.replicas)}")
+
+            workload = cluster.make_workload(12, 5, seed=1)
+            healthy = cluster.predict(workload)
+            print(f"healthy     mean {healthy.mean_accesses:6.2f}")
+
+            # -- scale-out: warm from peer bytes, fence, re-route -------
+            pinned = cluster.router.table.epoch
+            grown = cluster.add_replica(latency_factor=0.25)
+            vias = ", ".join(w["via"] for w in grown["warmed"])
+            print(f"\nscale-out   +{grown['replica']} (epoch "
+                  f"{grown['epoch']}, refits {grown['refits']}, "
+                  f"warmed via {vias})")
+            scaled = cluster.predict(workload)
+            print(f"            bit-identical after scale: "
+                  f"{np.array_equal(scaled.per_query, healthy.per_query)}")
+
+            # -- a stale router is fenced with a typed error ------------
+            _, _, sub = cluster.partition.split(workload)[0]
+            try:
+                cluster.request(cluster.active_shards()[0], sub,
+                                epoch=pinned)
+            except StaleRoutingEpochError as exc:
+                print(f"stale pin   epoch {exc.presented} refused "
+                      f"(current {exc.current}): typed, retryable")
+
+            # -- drift: shifted traffic trips the detector --------------
+            drift_rng = np.random.default_rng(5)
+            shard0 = cluster.active_shards()[0]
+            center = cluster.partition.centroids[0] + 2.5
+            for _ in range(2):
+                drifted = KNNWorkload(
+                    k=5,
+                    query_ids=np.arange(12),
+                    queries=drift_rng.normal(center, 0.4, (12, 6)),
+                    radii=np.full(12, 0.5),
+                )
+                cluster.request(shard0, drifted)
+            proposals = cluster.topology.proposals()["re_tune"]
+            print(f"\ndrift       proposals: {proposals}")
+            applied = cluster.topology.apply_drift_proposals()
+            for entry in applied:
+                print(f"re-tune     shard {entry['shard']} -> successor "
+                      f"{entry.get('successor')} (epoch "
+                      f"{cluster.router.table.epoch})")
+
+            # -- split the costliest shard behind the same fence --------
+            candidates = cluster.topology.split_candidates()
+            target = (candidates[0]["shard"] if candidates
+                      else max(cluster.active_shards()))
+            children = cluster.split_shard(target)
+            print(f"split       shard {target} -> children "
+                  f"{list(children)} (epoch "
+                  f"{cluster.router.table.epoch})")
+            after_split = cluster.predict(
+                cluster.make_workload(12, 5, seed=1), method="cutoff"
+            )
+            print(f"            post-split mean "
+                  f"{after_split.mean_accesses:6.2f} across "
+                  f"{len(after_split.responses)} shards")
+
+            # -- scale-in: drain, fold the ledger, reconcile ------------
+            folded = cluster.remove_replica(grown["replica"])
+            print(f"\nscale-in    -{folded['replica']} (epoch "
+                  f"{folded['epoch']}, folded ops "
+                  f"{sum(folded['retired_ops'].values())})")
+
+            drained = cluster.router.drain()
+            print("reconciliation (router == ledgers incl. retired):")
+            shards = sorted(set(drained) | set(cluster.active_shards())
+                            | set(cluster.retired_shards))
+            for shard in shards:
+                r = drained.get(shard, 0)
+                c = cluster.charged_ops(shard)
+                mark = "==" if r == c else "!="
+                print(f"  shard {shard}: router {r} {mark} ledgers {c}")
+
+
+if __name__ == "__main__":
+    main()

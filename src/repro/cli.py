@@ -65,6 +65,7 @@ from .errors import (
     ReplicaUnavailableError,
     ReproError,
     ServiceOverloadedError,
+    StaleRoutingEpochError,
     TenantQuotaExceededError,
     TornWriteError,
     TransientReadError,
@@ -97,6 +98,7 @@ _EXIT_CODES: tuple[tuple[type[ReproError], int], ...] = (
     (ServiceOverloadedError, 16),
     (ArtifactCorruptError, 17),
     (ReplicaUnavailableError, 18),
+    (StaleRoutingEpochError, 19),
     (ReproError, 8),
 )
 
@@ -127,6 +129,9 @@ exit codes:
   18  replica unavailable: every replica owning a shard was dead,
       breaker-open, or erroring, and closed-form degradation was not
       taken
+  19  stale routing epoch: the dispatch pinned a routing epoch an
+      elastic topology change has fenced off; refresh the routing
+      table and retry
   130 interrupted: SIGINT/SIGTERM during a serving session; queued
       requests were drained with typed shutdown responses before exit
 """
@@ -604,7 +609,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
     if args.chaos:
         scenario = ClusterChaosScenario(
-            seed=args.seed, double_kill=args.double_kill
+            seed=args.seed, double_kill=args.double_kill,
+            scale_events=args.scale_events,
         )
         with tempfile.TemporaryDirectory() as root:
             outcome = run_cluster_chaos(scenario, artifact_root=root)
@@ -631,6 +637,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             replication=min(args.replication, args.replicas),
             memory=args.memory, seed=args.seed,
             kernel=getattr(args, "kernel", None),
+            split_when=args.split_when,
         ) as cluster:
             table = cluster.router.table.as_dict()
             rows = []
@@ -675,6 +682,50 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             recovered = cluster.predict(workload)
             print(f"recovered: answers bit-identical: "
                   f"{np.array_equal(recovered.per_query, healthy.per_query)}")
+
+            # --- elasticity walkthrough -------------------------------
+            scaled: list[str] = []
+            if args.scale_out:
+                pre_epoch = cluster.router.table.epoch
+                for _ in range(args.scale_out):
+                    report = cluster.add_replica()
+                    scaled.append(report["replica"])
+                    vias = {w["shard"]: w["via"] for w in report["warmed"]}
+                    print(f"scaled out {report['replica']} under epoch "
+                          f"{report['epoch']}: warmed {vias} "
+                          f"({report['refits']} refits)")
+                probe_shard = cluster.active_shards()[0]
+                probe = density_biased_knn_workload(
+                    cluster.shard_points[probe_shard], 4, args.k, rng
+                )
+                try:
+                    cluster.request(probe_shard, probe, epoch=pre_epoch)
+                    print("stale-epoch pin was NOT refused (bug)")
+                except StaleRoutingEpochError as stale:
+                    print(f"stale router refused with exit-19 class: "
+                          f"{stale}")
+                post_scale = cluster.predict(workload)
+                print(f"post-scale answers bit-identical: "
+                      f"{np.array_equal(post_scale.per_query, healthy.per_query)}")
+            candidates = cluster.topology.split_candidates()
+            print(f"split candidates at ratio {args.split_when:g}: "
+                  f"{candidates or 'none'}")
+            if candidates:
+                children = cluster.split_shard(candidates[0]["shard"])
+                print(f"split shard {candidates[0]['shard']} -> "
+                      f"{list(children)} under epoch "
+                      f"{cluster.router.table.epoch}")
+                post_split = cluster.predict(workload)
+                print(f"post-split merged prediction complete: "
+                      f"{post_split.complete}")
+            if args.scale_in:
+                if not scaled:
+                    print("--scale-in: nothing was scaled out; skipping")
+                for name in reversed(scaled):
+                    report = cluster.remove_replica(name)
+                    print(f"scaled in {name} under epoch "
+                          f"{report['epoch']}: drained and folded "
+                          f"retired ops {report['retired_ops']}")
             router = cluster.router.metrics()
             print(f"router: {router['dispatches']} dispatches, "
                   f"{router['failovers']} failovers, "
@@ -882,6 +933,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="with --chaos: also kill shard 0's last "
                               "owner for a window, forcing the "
                               "explicitly-degraded closed-form path")
+    cluster.add_argument("--scale-events", action="store_true",
+                         dest="scale_events",
+                         help="with --chaos: drive the topology axis "
+                              "too (mid-storm scale-out with a corrupt "
+                              "donor, kill during handoff, shard split, "
+                              "stale-epoch probes, graceful scale-in)")
+    cluster.add_argument("--scale-out", type=int, default=0,
+                         dest="scale_out", metavar="N",
+                         help="walkthrough: scale out N extra replicas "
+                              "mid-demo, warmed from peer bytes behind "
+                              "the epoch fence")
+    cluster.add_argument("--scale-in", action="store_true",
+                         dest="scale_in",
+                         help="walkthrough: gracefully remove the "
+                              "scaled-out replicas again (drain, fold "
+                              "books, fence)")
+    cluster.add_argument("--split-when", type=float, default=3.0,
+                         dest="split_when", metavar="RATIO",
+                         help="split a shard when its tuned predicted "
+                              "cost exceeds RATIO x the sibling median "
+                              "(default 3.0); candidates are reported "
+                              "and the first one split in the "
+                              "walkthrough")
     cluster.set_defaults(run=_cmd_cluster)
 
     costs = commands.add_parser("costs", help="analytical Eqs. 1-5")

@@ -1,5 +1,6 @@
 """Sharded prediction cluster: similarity partitioning, per-shard
-tuning, replica failover, failure-aware routing, anti-entropy repair."""
+tuning, replica failover, failure-aware routing, anti-entropy repair,
+and elastic topology (epoch-fenced scale, split, drift re-tune)."""
 
 from .chaos import (
     ClusterChaosOutcome,
@@ -8,7 +9,13 @@ from .chaos import (
     run_cluster_chaos,
 )
 from .cluster import ClusterPrediction, PredictionCluster
-from .loadtest import ClusterLoadTestResult, run_cluster_loadtest
+from .elasticity import DriftDetector, DriftProposal, TopologyManager
+from .loadtest import (
+    ClusterLoadTestResult,
+    ElasticityLoadTestResult,
+    run_cluster_loadtest,
+    run_elasticity_loadtest,
+)
 from .partition import WorkloadPartition, partition_workload
 from .replicas import Replica, shard_tenant
 from .routing import ClusterResponse, Router, RoutingTable
@@ -20,16 +27,21 @@ __all__ = [
     "ClusterLoadTestResult",
     "ClusterPrediction",
     "ClusterResponse",
+    "DriftDetector",
+    "DriftProposal",
+    "ElasticityLoadTestResult",
     "PredictionCluster",
     "Replica",
     "Router",
     "RoutingTable",
     "ShardConfig",
+    "TopologyManager",
     "WorkloadPartition",
     "assert_cluster_invariant",
     "partition_workload",
     "run_cluster_chaos",
     "run_cluster_loadtest",
+    "run_elasticity_loadtest",
     "shard_tenant",
     "tune_shard",
 ]

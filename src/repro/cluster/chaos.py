@@ -22,6 +22,21 @@ staleness (the table keeps naming a killed replica).  The invariant:
   drained per-leg sums == the sum over every replica's ledgers
   (including ledgers retired by kills) == the sum over the responses'
   own legs.
+
+**The topology axis** (``scale_events=True``) drives the same storm
+through *elastic* transitions: a replica is scaled out mid-storm with
+a deliberately corrupted donor artifact (warming must skip the corrupt
+copy, adopt a verified peer's bytes, and refit nothing), killed right
+after the handoff and later restarted; a shard is split into freshly
+tuned successors while its traffic continues; the scaled-out replica
+is finally removed with a graceful drain.  A stale-epoch probe pins
+each topology change's *previous* epoch and must be refused with a
+typed :class:`~repro.errors.StaleRoutingEpochError`, then succeed on
+retry against the fresh table.  The invariant extends across every
+epoch boundary: each response is still identical / failover-with-
+cause / degraded-with-cause / typed -- never dropped -- and the
+per-epoch op books summed across epochs equal the drained per-shard
+sums to the op.
 """
 
 from __future__ import annotations
@@ -31,6 +46,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import PredictionError, StaleRoutingEpochError
 from ..service.server import WorkerDeath
 from .cluster import PredictionCluster
 from .replicas import shard_tenant
@@ -68,6 +84,11 @@ class ClusterChaosScenario:
     ``corrupt_replicas`` artifacts of shard 0 are corrupted *before*
     the storm; the pre-storm anti-entropy pass must heal them from a
     peer without a single rebuild.
+
+    ``scale_events`` adds the topology axis: scale-out with a corrupt
+    donor early in the storm, a kill of the freshly added replica
+    right after the handoff, a mid-storm split of shard 1, a stale-
+    epoch probe at each fence, and a graceful scale-in near the end.
     """
 
     seed: int = 0
@@ -84,6 +105,7 @@ class ClusterChaosScenario:
     slow_replica: bool = True
     faulty_replica: bool = True
     double_kill: bool = False
+    scale_events: bool = False
     slow_s: float = 0.12
     hedge_after_s: float = 0.04
 
@@ -100,6 +122,14 @@ class ClusterChaosOutcome:
     rebuilds: int = 0
     router: dict = field(default_factory=dict)
     causes_seen: Counter = field(default_factory=Counter)
+    #: topology events (scale-out/in, splits) the storm performed
+    topology: list = field(default_factory=list)
+    #: charged ops per routing epoch per shard (epoch fence books)
+    epoch_books: dict = field(default_factory=dict)
+    #: stale-epoch probes that were (correctly) refused with the typed error
+    stale_rejections: int = 0
+    #: artifacts healed *mid-storm* (the corrupted scale-out donor)
+    warm_heals: int = 0
 
     @property
     def total_requests(self) -> int:
@@ -115,6 +145,13 @@ class ClusterChaosOutcome:
             "healed": list(self.healed),
             "rebuilds": self.rebuilds,
             "router": self.router,
+            "topology": list(self.topology),
+            "stale_rejections": self.stale_rejections,
+            "warm_heals": self.warm_heals,
+            "epoch_books": {
+                str(epoch): {str(s): int(v) for s, v in book.items()}
+                for epoch, book in sorted(self.epoch_books.items())
+            },
             "reconciliation": {
                 str(k): v for k, v in self.reconciliation.items()
             },
@@ -215,17 +252,27 @@ def run_cluster_chaos(
 
     # --- unloaded references: the bit-identity oracle -----------------
     # Warm predictions depend only on (shard points, tuned config,
-    # fit_seed), so any owner's model is *the* reference.
+    # fit_seed), so any live owner's model is *the* reference.  Split
+    # successors get their reference installed the moment they exist.
     workloads: dict[int, object] = {}
     references: dict[int, np.ndarray] = {}
-    for shard in range(cluster.n_shards):
+
+    def install_reference(shard: int) -> None:
         workload = _shard_workload(cluster, shard, rng, scenario)
         workloads[shard] = workload
-        owner = cluster.router.table.owners_of(shard)[0]
-        model = cluster.replicas[owner].service.tenant(
-            shard_tenant(shard)
-        ).model
-        references[shard] = model.predict(workload).per_query.copy()
+        for owner in cluster.router.table.owners_of(shard):
+            replica = cluster.replicas[owner]
+            if replica.down or replica.service is None:
+                continue
+            model = replica.service.tenant(shard_tenant(shard)).model
+            references[shard] = model.predict(workload).per_query.copy()
+            return
+        outcome.violations.append(
+            f"no live owner to build shard {shard}'s reference"
+        )
+
+    for shard in cluster.active_shards():
+        install_reference(shard)
 
     # --- the storm ----------------------------------------------------
     primary0 = shard0_owners[0]
@@ -236,9 +283,122 @@ def run_cluster_chaos(
         range(kill_at + 1, restart_at - 1) if scenario.double_kill
         else range(0)
     )
+    # Topology schedule (scale_events only), interleaved with the kill
+    # storm but never overlapping its down window with another down
+    # replica, so the single-kill availability guarantee stays testable.
+    scale_add_at = 2 if scenario.scale_events else -1
+    scale_kill_at = scale_add_at + 1       # killed right after handoff
+    scale_restart_at = scale_add_at + 3
+    split_at = scenario.rounds // 2 if scenario.scale_events else -1
+    scale_remove_at = (
+        (7 * scenario.rounds) // 9 if scenario.scale_events else -1
+    )
+    scaled_name: str | None = None
     responses = []
+
+    def downs() -> int:
+        return sum(1 for r in cluster.replicas.values() if r.down)
+
+    def probe_stale(shard: int, pinned_epoch: int) -> None:
+        """Pin the fenced-off epoch: the dispatch must be refused with
+        the typed error, and the un-pinned retry must serve normally
+        -- the stale-router recovery story, exercised at every fence."""
+        try:
+            cluster.request(shard, workloads[shard], epoch=pinned_epoch)
+        except StaleRoutingEpochError:
+            outcome.stale_rejections += 1
+        else:
+            outcome.violations.append(
+                f"dispatch pinned to fenced-off epoch {pinned_epoch} "
+                f"(shard {shard}) was not refused"
+            )
+        retry = cluster.request(shard, workloads[shard])
+        responses.append((
+            shard, downs(), "warm",
+            cluster.router.table.owners_of(shard), retry,
+        ))
+
     try:
         for round_i in range(scenario.rounds):
+            if round_i == scale_add_at:
+                # Scale out with a sabotaged donor: corrupt the
+                # cost-ordered first owner's copy of shard 0 -- the
+                # artifact the warm path would read first -- so the
+                # peer-bytes warm-up must skip it for a verified peer.
+                donor0 = cluster.router.table.owners_of(0)[0]
+                cluster.corrupt_artifact(donor0, 0)
+                pre_epoch = cluster.router.table.epoch
+                report = cluster.add_replica()
+                scaled_name = report["replica"]
+                outcome.topology.append({
+                    "op": "add", "replica": scaled_name,
+                    "epoch": report["epoch"],
+                    "refits": report["refits"],
+                    "warmed": report["warmed"],
+                })
+                if report["refits"]:
+                    outcome.violations.append(
+                        f"scale-out refit {report['refits']} artifact(s) "
+                        f"although verified peers existed"
+                    )
+                if any(w["shard"] == 0 and w["via"] == f"peer:{donor0}"
+                       for w in report["warmed"]):
+                    outcome.violations.append(
+                        f"scale-out warmed shard 0 from the corrupted "
+                        f"donor {donor0}"
+                    )
+                # heal the sabotaged donor mid-storm, from a peer
+                heal = cluster.anti_entropy()
+                outcome.warm_heals += sum(
+                    len(entry["healed"]) for entry in heal.values()
+                )
+                rebuilt = [s for s, entry in heal.items()
+                           if entry["rebuilt"] is not None]
+                if rebuilt:
+                    outcome.violations.append(
+                        f"mid-storm heal rebuilt shard(s) {rebuilt} from "
+                        f"data although verified peers existed"
+                    )
+                probe_stale(0, pre_epoch)
+            if round_i == scale_kill_at and scaled_name is not None:
+                cluster.kill_replica(scaled_name)
+            if round_i == scale_restart_at and scaled_name is not None:
+                cluster.restart_replica(scaled_name)
+            if round_i == split_at:
+                # Split the highest non-zero shard (shard 0 is the kill
+                # storm's stage) into freshly tuned successors.
+                target = max(
+                    (s for s in cluster.active_shards() if s != 0),
+                    default=None,
+                )
+                pre_epoch = cluster.router.table.epoch
+                if target is not None:
+                    try:
+                        children = cluster.split_shard(target)
+                    except PredictionError as error:
+                        outcome.topology.append({
+                            "op": "split-refused", "shard": target,
+                            "reason": str(error),
+                        })
+                    else:
+                        outcome.topology.append({
+                            "op": "split", "shard": target,
+                            "children": list(children),
+                            "epoch": cluster.router.table.epoch,
+                        })
+                        for child in children:
+                            install_reference(child)
+                        probe_stale(children[0], pre_epoch)
+            if round_i == scale_remove_at and scaled_name is not None:
+                pre_epoch = cluster.router.table.epoch
+                report = cluster.remove_replica(scaled_name)
+                outcome.topology.append({
+                    "op": "remove", "replica": scaled_name,
+                    "epoch": report["epoch"],
+                    "retired_ops": report["retired_ops"],
+                })
+                probe_stale(cluster.active_shards()[0], pre_epoch)
+                scaled_name = None
             if round_i == kill_at:
                 # Kill shard 0's primary and *leave the routing table
                 # stale* -- the router must discover the loss itself.
@@ -250,12 +410,13 @@ def run_cluster_chaos(
                     cluster.restart_replica(peer0)
             if round_i == restart_at:
                 cluster.restart_replica(primary0)
-            for shard in range(cluster.n_shards):
-                down = sum(
-                    1 for r in cluster.replicas.values() if r.down
-                )
+            for shard in cluster.active_shards():
+                down = downs()
+                owners_at_submit = cluster.router.table.owners_of(shard)
                 response = cluster.request(shard, workloads[shard])
-                responses.append((shard, down, "warm", response))
+                responses.append(
+                    (shard, down, "warm", owners_at_submit, response)
+                )
                 if round_i % 3 == 2:
                     # A charged full-method request per shard every
                     # third round keeps the reconciliation sums nonzero
@@ -265,26 +426,40 @@ def run_cluster_chaos(
                         shard, workloads[shard], method="cutoff",
                         seed=round_i,
                     )
-                    responses.append((shard, down, "cutoff", full))
+                    responses.append(
+                        (shard, down, "cutoff", owners_at_submit, full)
+                    )
         cluster.wait_idle(_HANG_TIMEOUT_S)
-        for shard, down_at_submit, method, response in responses:
+        for shard, down_at_submit, method, owners, response in responses:
             _classify(
-                outcome, cluster, shard, down_at_submit, method,
+                outcome, shard, down_at_submit, method, owners,
                 response, references,
             )
 
         # --- reconciliation: three per-shard sums must agree ----------
+        # Over every shard that ever carried traffic -- retired parents
+        # included: a split must not make a parent's charges vanish.
         router_ops = cluster.router.drain(timeout_s=_HANG_TIMEOUT_S)
-        for shard in range(cluster.n_shards):
+        all_shards = sorted(
+            {s for (s, *_rest) in responses} | set(cluster.active_shards())
+        )
+        for shard in all_shards:
             from_responses = sum(
                 r.charged_ops()
-                for (s, _, _, r) in responses if s == shard
+                for (s, _, _, _, r) in responses if s == shard
             )
             outcome.reconciliation[shard] = {
                 "router_ops": int(router_ops.get(shard, 0)),
                 "replica_ops": cluster.charged_ops(shard),
                 "response_ops": int(from_responses),
             }
+        # --- and the epoch books must sum to the same totals ----------
+        outcome.epoch_books = {
+            epoch: dict(book)
+            for epoch, book in cluster.router.epoch_ops(
+                timeout_s=_HANG_TIMEOUT_S
+            ).items()
+        }
         outcome.router = cluster.router.metrics()
     finally:
         cluster.stop()
@@ -308,12 +483,17 @@ def _shard_workload(cluster, shard, rng, scenario):
     )
 
 
-def _classify(outcome, cluster, shard, down_at_submit, method,
+def _classify(outcome, shard, down_at_submit, method, owners,
               response, references) -> None:
-    """File one verdict under its terminal state (or violation)."""
+    """File one verdict under its terminal state (or violation).
+
+    ``owners`` is the owner set *at submit time*: once topology can
+    change mid-storm, the final table would mis-attribute requests
+    admitted under an earlier epoch (a retired shard has no final
+    owners at all).
+    """
     if response.cause:
         outcome.causes_seen[response.cause] += 1
-    owners = cluster.router.table.owners_of(shard)
     if response.status == "ok":
         # Bit-identity is a *warm* guarantee: the fitted geometries are
         # identical across a shard's owners, so any owner's warm answer
@@ -395,4 +575,23 @@ def assert_cluster_invariant(outcome: ClusterChaosOutcome) -> None:
                 == sums["response_ops"]), (
             f"shard {shard} op sums do not reconcile: {sums} "
             f"(a charge leaked or went missing across failover)"
+        )
+    if outcome.epoch_books:
+        # Summed across epochs, the per-epoch books must equal the
+        # drained per-shard sums to the op: the two-epoch overlap of
+        # every handoff is exactly attributed, never double-counted.
+        across = Counter()
+        for book in outcome.epoch_books.values():
+            across.update(book)
+        for shard, sums in outcome.reconciliation.items():
+            assert int(across.get(shard, 0)) == sums["router_ops"], (
+                f"shard {shard}: epoch books sum to "
+                f"{int(across.get(shard, 0))} but the router drained "
+                f"{sums['router_ops']} (a charge crossed the epoch "
+                f"fence unattributed)"
+            )
+    if outcome.scenario.scale_events:
+        assert outcome.stale_rejections > 0, (
+            "topology storm ran but no stale-epoch probe was refused "
+            "-- the fence is not fencing"
         )

@@ -25,6 +25,20 @@ verifies every owner's on-disk artifact and heals a corrupt or
 version-skewed copy *bit-identically from a peer's bytes* (adoption),
 falling back to a single rebuild-from-data only when every copy of a
 shard is bad -- PR 4's repair-on-read semantics lifted to the cluster.
+
+**Elastic topology.**  The topology set at construction is a starting
+point, not a contract: a :class:`~.elasticity.TopologyManager`
+(``self.topology``) can add and remove replicas, split a shard whose
+tuned cost diverges from its siblings, and re-tune a shard whose live
+queries have drifted from its centroid -- all behind an epoch-fenced
+routing-table handoff (see :mod:`.elasticity`).  Two bookkeeping rules
+make that safe: **shard ids are never reused** (successor shards mint
+fresh ids from ``_next_shard_id``, because a reused id would collide
+with the retired shard's artifact key and ledger history -- so the
+partitioner's centroid *rows* map to shard ids through
+``_row_to_shard``), and **nothing is deleted from the books**
+(removed replicas move to ``retired_replicas``, replaced shards to
+``retired_shards``, and :meth:`charged_ops` sums across all of them).
 """
 
 from __future__ import annotations
@@ -43,8 +57,10 @@ from ..errors import (
     PredictionError,
     validate_points,
 )
+from ..runtime.budget import Budget
 from ..service.tenancy import TenantQuota
 from ..workload.queries import KNNWorkload
+from .elasticity import TopologyManager
 from .partition import WorkloadPartition, partition_workload
 from .replicas import Replica, shard_tenant
 from .routing import ClusterResponse, Router, RoutingTable
@@ -106,6 +122,10 @@ class PredictionCluster:
         hedge_after_s: float = 0.05,
         request_timeout_s: float = 30.0,
         breaker_cooldown_s: float = 0.2,
+        split_when: float = 3.0,
+        drift_threshold: float = 0.35,
+        min_drift_observations: int = 24,
+        reorg_budget: Budget | None = None,
     ):
         if n_replicas < 1:
             raise InputValidationError(
@@ -120,11 +140,27 @@ class PredictionCluster:
         self.data = data
         self.replication = replication
         self.fit_seed = fit_seed
+        # Tuning inputs kept for elastic reorganization: a split or
+        # re-tune re-runs the same tune_shard call on a new slice.
+        self.seed = seed
+        self.memory = memory
+        self.page_sizes = page_sizes
+        self.tuning_method = tuning_method
+        self.base_disk = base_disk
+        self.kernel = kernel
+        self.tuning_workload = tuning_workload
 
         # 1. partition: queries by similarity, data by the same centroids
         self.partition: WorkloadPartition = partition_workload(
             tuning_workload, n_shards, seed=seed
         )
+        #: centroid row -> shard id.  Rows and ids coincide at
+        #: construction; splits and re-tunes mint fresh ids (never
+        #: reused) while the partitioner keeps addressing rows.
+        self._row_to_shard: list[int] = list(range(n_shards))
+        self._next_shard_id = n_shards
+        self.retired_replicas: dict[str, Replica] = {}
+        self.retired_shards: dict[int, dict] = {}
         data_shards = self.partition.shard_of(data)
         self.shard_points: dict[int, np.ndarray] = {}
         #: global dataset index -> this shard's local row (query ids of
@@ -149,6 +185,9 @@ class PredictionCluster:
 
         # 2. tune: each shard's configuration from its own slices
         self.shard_configs: dict[int, ShardConfig] = {}
+        #: the remapped tuning slice each shard was tuned on, kept so a
+        #: split can re-partition exactly what construction saw
+        self.tuning_slices: dict[int, KNNWorkload] = {}
         for shard in range(n_shards):
             slice_workload = self._remap(
                 shard, self.partition.slice(tuning_workload, shard)
@@ -157,6 +196,7 @@ class PredictionCluster:
                 raise PredictionError(
                     f"shard {shard} received no tuning queries"
                 )
+            self.tuning_slices[shard] = slice_workload
             self.shard_configs[shard] = tune_shard(
                 shard, self.shard_points[shard], slice_workload,
                 memory=memory, page_sizes=page_sizes,
@@ -165,20 +205,17 @@ class PredictionCluster:
             )
 
         # 3. replicate: ring placement, identical config per owner
-        root = Path(artifact_root)
+        self._artifact_root = Path(artifact_root)
+        self._replica_kwargs = dict(
+            workers=workers_per_replica, max_queue=max_queue,
+            memory=memory, kernel=kernel, quota=quota,
+        )
         factors = latency_factors or {}
         self.replicas: dict[str, Replica] = {}
         names = [f"replica-{i}" for i in range(n_replicas)]
         for name in names:
-            self.replicas[name] = Replica(
-                name,
-                artifact_dir=root / name,
-                workers=workers_per_replica,
-                max_queue=max_queue,
-                memory=memory,
-                kernel=kernel,
-                latency_factor=factors.get(name, 1.0),
-                quota=quota,
+            self.replicas[name] = self._new_replica(
+                name, factors.get(name, 1.0)
             )
         owners: dict[int, tuple[str, ...]] = {}
         costs: dict[int, dict[str, float]] = {}
@@ -203,11 +240,32 @@ class PredictionCluster:
         # 4. route
         self.router = Router(
             self.replicas,
-            RoutingTable(version=1, owners=owners, costs=costs),
+            RoutingTable(version=1, epoch=1, owners=owners, costs=costs),
             hedge_after_s=hedge_after_s,
             request_timeout_s=request_timeout_s,
             degraded_fallback=self._closed_form,
             breaker_cooldown_s=breaker_cooldown_s,
+        )
+
+        # 5. elasticity: runtime topology surgery behind the epoch fence
+        self.topology = TopologyManager(
+            self,
+            split_when=split_when,
+            drift_threshold=drift_threshold,
+            min_drift_observations=min_drift_observations,
+            reorg_budget=reorg_budget,
+        )
+
+    def _new_replica(self, name: str, latency_factor: float = 1.0
+                     ) -> Replica:
+        """Build one replica under this cluster's uniform service
+        parameters (scale-out uses the same constructor construction
+        did, so a scaled-out replica differs only by latency factor)."""
+        return Replica(
+            name,
+            artifact_dir=self._artifact_root / name,
+            latency_factor=latency_factor,
+            **self._replica_kwargs,
         )
 
     # ------------------------------------------------------------------
@@ -218,8 +276,24 @@ class PredictionCluster:
     def n_shards(self) -> int:
         return self.partition.n_shards
 
+    def active_shards(self) -> list[int]:
+        """Shard ids currently routable (retired ids excluded)."""
+        return sorted(self._row_to_shard)
+
+    def _row_of(self, shard: int) -> int:
+        """The partitioner's centroid row backing an active shard id."""
+        try:
+            return self._row_to_shard.index(shard)
+        except ValueError:
+            raise InputValidationError(
+                f"shard {shard} is not active; active shards are "
+                f"{self.active_shards()}"
+            ) from None
+
     def shard_of(self, queries: np.ndarray) -> np.ndarray:
-        return self.partition.shard_of(queries)
+        """Shard *ids* (not centroid rows) for a batch of queries."""
+        rows = self.partition.shard_of(queries)
+        return np.asarray(self._row_to_shard, dtype=np.int64)[rows]
 
     def request(
         self,
@@ -229,11 +303,21 @@ class PredictionCluster:
         method: str = "warm",
         seed: int = 0,
         degrade: bool = True,
+        epoch: int | None = None,
     ) -> ClusterResponse:
-        """Route one per-shard request through the failure-aware path."""
-        return self.router.dispatch(
-            shard, workload, method=method, seed=seed, degrade=degrade
+        """Route one per-shard request through the failure-aware path.
+
+        ``epoch`` pins the dispatch to a routing epoch the caller
+        captured earlier; a topology change in between surfaces as a
+        typed :class:`~repro.errors.StaleRoutingEpochError` (refresh
+        and retry).  Served queries feed the drift detector.
+        """
+        response = self.router.dispatch(
+            shard, workload, method=method, seed=seed, degrade=degrade,
+            epoch=epoch,
         )
+        self.topology.drift.observe(shard, workload.queries)
+        return response
 
     def predict(
         self,
@@ -252,7 +336,8 @@ class PredictionCluster:
         """
         merged = np.full(workload.n_queries, np.nan)
         responses: list[ClusterResponse] = []
-        for shard, idx, sub in self.partition.split(workload):
+        for row, idx, sub in self.partition.split(workload):
+            shard = self._row_to_shard[row]
             if method != "warm":
                 # phased methods read query points by id from the
                 # shard's file; warm counting never touches the ids
@@ -326,6 +411,24 @@ class PredictionCluster:
         """
         self._replica(name).restart()
         self.router.reset_breakers(name)
+
+    # Elasticity entry points (delegate to the topology manager) --------
+
+    def add_replica(self, name: str | None = None, **kwargs) -> dict:
+        """Scale out: warm a new replica from peers, fence it in."""
+        return self.topology.add_replica(name, **kwargs)
+
+    def remove_replica(self, name: str, **kwargs) -> dict:
+        """Scale in: fence the replica out, drain, fold its books."""
+        return self.topology.remove_replica(name, **kwargs)
+
+    def split_shard(self, shard: int, **kwargs) -> tuple[int, int]:
+        """Split one shard in two freshly tuned successors."""
+        return self.topology.split_shard(shard, **kwargs)
+
+    def re_tune_shard(self, shard: int, **kwargs) -> int:
+        """Replace one shard with a freshly tuned successor."""
+        return self.topology.re_tune_shard(shard, **kwargs)
 
     def _replica(self, name: str) -> Replica:
         try:
@@ -440,10 +543,14 @@ class PredictionCluster:
         self.stop()
 
     def charged_ops(self, shard: int) -> int:
-        """All replicas' lifetime charged ops for one shard."""
+        """All replicas' lifetime charged ops for one shard -- live
+        *and* retired replicas, so scale-in never loses a charge."""
         return sum(
             replica.charged_ops(shard)
             for replica in self.replicas.values()
+        ) + sum(
+            replica.charged_ops(shard)
+            for replica in self.retired_replicas.values()
         )
 
     def metrics(self) -> dict:
@@ -461,6 +568,15 @@ class PredictionCluster:
                 name: replica.metrics()
                 for name, replica in self.replicas.items()
             },
+            "retired_replicas": {
+                name: replica.metrics()
+                for name, replica in self.retired_replicas.items()
+            },
+            "retired_shards": {
+                shard: dict(info)
+                for shard, info in self.retired_shards.items()
+            },
+            "topology": self.topology.report(),
         }
 
     # Convenience the chaos harness and tests use -----------------------

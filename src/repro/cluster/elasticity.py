@@ -1,0 +1,821 @@
+"""Elastic cluster topology: epoch-fenced scale, split, drift re-tune.
+
+PR 7 froze the cluster's topology at construction; this module makes it
+a *runtime* variable while keeping every invariant the frozen cluster
+already proved.  The paper's predictor is cheap enough to re-run
+online, so per-shard predicted cost can drive topology decisions --
+scale-out/in, shard splitting on cost divergence, workload-drift
+re-tuning -- instead of static placement.  Four mechanisms compose:
+
+1. **epoch fence** -- every topology change publishes a whole new
+   :class:`~.routing.RoutingTable` under a strictly larger epoch.
+   In-flight requests admitted under the old epoch drain to completion
+   against the geometry they captured at submit (the service binds the
+   tenant object into the queue item, so a straddling request answers
+   bit-identically to the pre-change cluster); dispatches pinned to the
+   old epoch are refused with a typed
+   :class:`~repro.errors.StaleRoutingEpochError`.  The ordering of
+   every change is *fence, drain, fold*: install the new table, drain
+   the router (a drained leg has settled its ledger), then fold
+   retiring ledgers -- which is what makes the op books exact across
+   the boundary.
+2. **scale-out/in** -- :meth:`TopologyManager.add_replica` warms the
+   new replica's artifacts over the anti-entropy peer-bytes path
+   (verify a live owner's copy, adopt its exact bytes, register as a
+   verified hit: zero refits when any verified peer exists);
+   :meth:`TopologyManager.remove_replica` fences, drains, and retires
+   the replica's ledgers exactly as a kill would, so nothing vanishes
+   from the accounting.
+3. **shard split / re-tune** -- successor shards get *fresh* ids
+   (ids are never reused: a reused id would collide with the retired
+   shard's artifact key and its ledger history), each half is re-tuned
+   on its own workload slice with the seeded partitioner, and the old
+   shard's ledgers fold into the owners' retired books under the old
+   id.
+4. **drift detection + governed reorganization** -- a
+   :class:`DriftDetector` compares live per-shard query centers
+   against the partitioner's frozen centroids and proposes re-tunes;
+   every split/re-tune is admitted against a reorg
+   :class:`~repro.runtime.budget.Budget` through a
+   :class:`~repro.runtime.governor.Governor` (``require_ops`` up
+   front, actual ``tuning_io_ops`` attributed after), so
+   reorganization cost is charged like any other I/O and an exhausted
+   budget refuses the change with a typed error *before* any surgery.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..disk.accounting import IOCost
+from ..errors import (
+    ArtifactCorruptError,
+    InputValidationError,
+    PredictionError,
+)
+from ..runtime.budget import Budget
+from ..runtime.governor import Governor
+from ..workload.queries import KNNWorkload, exact_knn_radii
+from .partition import WorkloadPartition, partition_workload
+from .replicas import shard_tenant
+from .routing import RoutingTable
+from .tuning import ShardConfig, tune_shard
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .cluster import PredictionCluster
+
+__all__ = ["DriftDetector", "DriftProposal", "TopologyManager"]
+
+#: how long a topology change waits for the old epoch's legs to drain
+_TOPOLOGY_DRAIN_S = 30.0
+
+#: how many recent query centers the drift detector retains per shard
+#: (the re-tune workload is synthesized from these)
+_DRIFT_WINDOW = 256
+
+
+@dataclass(frozen=True)
+class DriftProposal:
+    """One shard whose live queries have walked away from its centroid.
+
+    ``drift`` is the distance between the live query center and the
+    partitioner's frozen centroid, normalized by the mean pairwise
+    distance between frozen centroids (so the threshold is scale-free).
+    """
+
+    shard: int
+    drift: float
+    observations: int
+    action: str = "re-tune"
+
+    def as_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "drift": round(self.drift, 4),
+            "observations": self.observations,
+            "action": self.action,
+        }
+
+
+class DriftDetector:
+    """Live query centers vs the partitioner's frozen per-shard centers.
+
+    The partition routes a query to its nearest *frozen* centroid; if
+    the queries actually arriving at a shard concentrate far from that
+    centroid, the shard is serving a workload its configuration was
+    never tuned for.  The detector accumulates per-shard running sums
+    of observed query centers, reports normalized drift, and proposes a
+    re-tune once drift crosses ``threshold`` with at least
+    ``min_observations`` queries behind it (a handful of outliers must
+    not trigger surgery).  ``freeze`` re-anchors a shard after a
+    topology change and clears its observations -- drift is always
+    measured against the *current* topology.
+    """
+
+    def __init__(self, *, threshold: float = 0.35,
+                 min_observations: int = 24):
+        if threshold <= 0:
+            raise InputValidationError(
+                f"drift threshold must be positive, got {threshold}"
+            )
+        self.threshold = threshold
+        self.min_observations = int(min_observations)
+        self._frozen: dict[int, np.ndarray] = {}
+        self._sums: dict[int, np.ndarray] = {}
+        self._counts: Counter = Counter()
+        self._recent: dict[int, deque] = {}
+        self._scale = 1.0
+        self._lock = threading.Lock()
+
+    def freeze(self, centers: dict[int, np.ndarray]) -> None:
+        """(Re-)anchor shards at their frozen centroids.
+
+        Shards present in ``centers`` get the new anchor and a cleared
+        observation window; shards absent from ``centers`` but
+        previously frozen are dropped (they were retired).
+        """
+        with self._lock:
+            self._frozen = {
+                shard: np.asarray(c, dtype=np.float64).copy()
+                for shard, c in centers.items()
+            }
+            for shard in list(self._sums):
+                if shard not in self._frozen:
+                    del self._sums[shard]
+                    del self._recent[shard]
+                    del self._counts[shard]
+            for shard in centers:
+                self._sums[shard] = np.zeros_like(self._frozen[shard])
+                self._recent[shard] = deque(maxlen=_DRIFT_WINDOW)
+                self._counts[shard] = 0
+            anchors = list(self._frozen.values())
+            if len(anchors) >= 2:
+                stack = np.stack(anchors)
+                diff = stack[:, None, :] - stack[None, :, :]
+                dist = np.sqrt(np.einsum("abd,abd->ab", diff, diff))
+                off_diag = dist[~np.eye(len(anchors), dtype=bool)]
+                mean = float(off_diag.mean())
+                self._scale = mean if mean > 0 else 1.0
+            else:
+                self._scale = 1.0
+
+    def observe(self, shard: int, queries: np.ndarray) -> None:
+        """Fold a request's query centers into the shard's live stats."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        with self._lock:
+            if shard not in self._frozen:
+                return  # unknown/retired shard: nothing to compare to
+            if queries.shape[1] != self._frozen[shard].shape[0]:
+                return  # dimensionality mismatch cannot be drift
+            self._sums[shard] += queries.sum(axis=0)
+            self._counts[shard] += queries.shape[0]
+            self._recent[shard].extend(queries)
+
+    def live_center(self, shard: int) -> np.ndarray | None:
+        with self._lock:
+            count = self._counts.get(shard, 0)
+            if count == 0:
+                return None
+            return self._sums[shard] / count
+
+    def recent_queries(self, shard: int) -> np.ndarray:
+        with self._lock:
+            window = self._recent.get(shard)
+            if not window:
+                return np.empty((0, 0))
+            return np.stack(list(window))
+
+    def drift(self, shard: int) -> float:
+        """Normalized displacement of the live center (0.0 until
+        ``min_observations`` queries have been seen)."""
+        with self._lock:
+            count = self._counts.get(shard, 0)
+            if count < self.min_observations:
+                return 0.0
+            live = self._sums[shard] / count
+            return float(
+                np.linalg.norm(live - self._frozen[shard]) / self._scale
+            )
+
+    def proposals(self) -> list[DriftProposal]:
+        """Every shard whose drift has crossed the threshold."""
+        out = []
+        for shard in sorted(self._frozen):
+            value = self.drift(shard)
+            if value > self.threshold:
+                out.append(DriftProposal(
+                    shard=shard, drift=value,
+                    observations=int(self._counts[shard]),
+                ))
+        return out
+
+    def report(self) -> dict:
+        with self._lock:
+            shards = sorted(self._frozen)
+        return {
+            "threshold": self.threshold,
+            "min_observations": self.min_observations,
+            "shards": {
+                shard: {
+                    "observations": int(self._counts.get(shard, 0)),
+                    "drift": round(self.drift(shard), 4),
+                }
+                for shard in shards
+            },
+        }
+
+
+class TopologyManager:
+    """Runtime topology surgery for one :class:`PredictionCluster`.
+
+    All four operations (add/remove replica, split, re-tune) follow the
+    same fence-drain-fold protocol and serialize under one lock --
+    concurrent *requests* race the fence safely (the router snapshots
+    the table per dispatch), but two concurrent topology changes would
+    race each other's books.
+    """
+
+    def __init__(
+        self,
+        cluster: "PredictionCluster",
+        *,
+        split_when: float = 3.0,
+        drift_threshold: float = 0.35,
+        min_drift_observations: int = 24,
+        reorg_budget: Budget | None = None,
+    ):
+        if split_when <= 1.0:
+            raise InputValidationError(
+                f"split_when must exceed 1.0 (it is a cost *ratio* "
+                f"against the sibling median), got {split_when}"
+            )
+        self.cluster = cluster
+        self.split_when = split_when
+        self.governor = Governor(reorg_budget or Budget())
+        self.drift = DriftDetector(
+            threshold=drift_threshold,
+            min_observations=min_drift_observations,
+        )
+        self.events: list[dict] = []
+        self._lock = threading.Lock()
+        self.drift.freeze(self._current_centers())
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _current_centers(self) -> dict[int, np.ndarray]:
+        cluster = self.cluster
+        return {
+            cluster._row_to_shard[row]: cluster.partition.centroids[row]
+            for row in range(len(cluster._row_to_shard))
+        }
+
+    def _install(self, owners: dict, costs: dict) -> RoutingTable:
+        """Publish a topology change: new table, strictly larger epoch."""
+        old = self.cluster.router.table
+        table = RoutingTable(
+            version=old.version + 1,
+            epoch=old.epoch + 1,
+            owners=owners,
+            costs=costs,
+        )
+        self.cluster.router.install_table(table)
+        return table
+
+    def _ordered(self, placed: list[str], cost: dict[str, float]
+                 ) -> tuple[str, ...]:
+        return tuple(sorted(placed, key=lambda n: (cost[n], n)))
+
+    def _charge(self, phase: str, ops: int) -> None:
+        """Attribute actual reorganization I/O to the reorg budget."""
+        self.governor.observe(phase, IOCost(seeks=int(ops)))
+        self.governor.end_attempt()
+
+    def _warm_shard(self, replica, shard: int) -> dict:
+        """Warm one shard onto ``replica`` via the peer-bytes path.
+
+        Walks the shard's current owners for a copy that passes full
+        verification; the first verified copy's exact bytes are adopted
+        (the anti-entropy mechanism, reused), so the subsequent
+        registration is a warm hit and costs zero refits.  A corrupt
+        donor is skipped, not trusted -- mid-copy corruption of a
+        warming artifact downgrades to the next donor or, when no
+        donor verifies, to one deterministic fit.
+        """
+        cluster = self.cluster
+        key = shard_tenant(shard)
+        via = "fit"
+        for owner in cluster.router.table.owners_of(shard):
+            peer = cluster.replicas.get(owner)
+            if peer is None or peer.down or peer.service is None:
+                continue
+            store = peer.service.store
+            try:
+                store.verify(key)
+            except ArtifactCorruptError:
+                continue  # corrupt donor: never warm from it
+            data = peer.artifact_path(shard).read_bytes()
+            replica.adopt_shard_bytes(shard, data)
+            via = f"peer:{owner}"
+            break
+        replica.register_shard(
+            shard, cluster.shard_points[shard],
+            cluster.shard_configs[shard], fit_seed=cluster.fit_seed,
+        )
+        return {"shard": shard, "via": via}
+
+    # ------------------------------------------------------------------
+    # Scale-out / scale-in
+    # ------------------------------------------------------------------
+
+    def add_replica(
+        self,
+        name: str | None = None,
+        *,
+        latency_factor: float = 1.0,
+        shards: list[int] | None = None,
+    ) -> dict:
+        """Scale out: build, warm, and route to a new replica.
+
+        The replica is constructed, warmed shard by shard over the
+        peer-bytes path, registered, and only then published as an
+        owner under a new epoch -- requests never observe a
+        half-warmed owner.  Returns the warm report (``via`` per
+        shard: ``peer:<donor>`` or ``fit``).
+        """
+        with self._lock:
+            cluster = self.cluster
+            if name is None:
+                taken = set(cluster.replicas) | set(cluster.retired_replicas)
+                index = len(taken)
+                while f"replica-{index}" in taken:
+                    index += 1
+                name = f"replica-{index}"
+            elif (name in cluster.replicas
+                    or name in cluster.retired_replicas):
+                raise InputValidationError(
+                    f"replica name {name!r} is already "
+                    f"{'retired' if name in cluster.retired_replicas else 'live'}"
+                )
+            active = cluster.active_shards()
+            if shards is None:
+                shards = active
+            else:
+                shards = sorted(set(int(s) for s in shards))
+                unknown = [s for s in shards if s not in active]
+                if unknown:
+                    raise InputValidationError(
+                        f"cannot place unknown shard(s) {unknown}; "
+                        f"active shards are {active}"
+                    )
+            replica = cluster._new_replica(name, latency_factor)
+            warmed = [self._warm_shard(replica, shard) for shard in shards]
+            cluster.replicas[name] = replica
+            old = cluster.router.table
+            owners = dict(old.owners)
+            costs = {s: dict(c) for s, c in old.costs.items()}
+            for shard in shards:
+                cost = costs.setdefault(shard, {})
+                cost[name] = (
+                    cluster.shard_configs[shard].predicted_seconds
+                    * latency_factor
+                )
+                placed = [n for n in owners.get(shard, ()) if n != name]
+                placed.append(name)
+                owners[shard] = self._ordered(placed, cost)
+            table = self._install(owners, costs)
+            report = {
+                "replica": name,
+                "epoch": table.epoch,
+                "warmed": warmed,
+                "refits": replica.service.store.rebuilds(),
+            }
+            self.events.append({"op": "add_replica", **report})
+            return report
+
+    def remove_replica(
+        self, name: str, *, timeout_s: float = _TOPOLOGY_DRAIN_S
+    ) -> dict:
+        """Scale in: fence the replica out, drain, fold its ledgers.
+
+        The new table (without the replica) is installed *first*, so no
+        new leg can target it; the router then drains -- in-flight legs
+        on the retiring replica run to completion and settle their
+        ledgers -- and only then is the replica retired, folding its
+        books exactly as :meth:`~.replicas.Replica.kill` does.  Refuses
+        (typed) to remove the last owner of any shard.
+        """
+        with self._lock:
+            cluster = self.cluster
+            replica = cluster._replica(name)
+            old = cluster.router.table
+            for shard, owner_names in old.owners.items():
+                survivors = [n for n in owner_names if n != name]
+                if owner_names and not survivors:
+                    raise InputValidationError(
+                        f"cannot remove {name!r}: it is the last owner "
+                        f"of shard {shard}"
+                    )
+            owners = {
+                shard: tuple(n for n in owner_names if n != name)
+                for shard, owner_names in old.owners.items()
+            }
+            costs = {
+                shard: {n: c for n, c in cost.items() if n != name}
+                for shard, cost in old.costs.items()
+            }
+            table = self._install(owners, costs)
+            cluster.router.drain(timeout_s=timeout_s)
+            replica.retire()
+            del cluster.replicas[name]
+            cluster.retired_replicas[name] = replica
+            report = {
+                "replica": name,
+                "epoch": table.epoch,
+                "retired_ops": {
+                    int(s): int(v) for s, v in replica.retired_ops.items()
+                },
+            }
+            self.events.append({"op": "remove_replica", **report})
+            return report
+
+    # ------------------------------------------------------------------
+    # Shard surgery
+    # ------------------------------------------------------------------
+
+    def split_candidates(self) -> list[dict]:
+        """Shards whose tuned predicted cost diverges from siblings.
+
+        A shard is a candidate when its tuned ``predicted_seconds``
+        exceeds ``split_when`` times the median of its siblings' --
+        the predictor's own per-shard cost estimate driving topology,
+        which is the point of having a cheap predictor.
+        """
+        cluster = self.cluster
+        active = cluster.active_shards()
+        if len(active) < 2:
+            return []
+        seconds = {
+            s: cluster.shard_configs[s].predicted_seconds for s in active
+        }
+        out = []
+        for shard in active:
+            siblings = [v for s, v in seconds.items() if s != shard]
+            baseline = float(np.median(siblings))
+            if baseline > 0 and seconds[shard] / baseline >= self.split_when:
+                out.append({
+                    "shard": shard,
+                    "ratio": round(seconds[shard] / baseline, 3),
+                    "predicted_seconds": seconds[shard],
+                })
+        return out
+
+    def split_shard(
+        self,
+        shard: int,
+        *,
+        seed: int | None = None,
+        timeout_s: float = _TOPOLOGY_DRAIN_S,
+    ) -> tuple[int, int]:
+        """Split one shard in two, each half re-tuned on its own slice.
+
+        The parent's tuning slice is re-partitioned (seeded k-means,
+        k=2), the parent's points follow the same child centroids, and
+        each child is tuned on its own slice exactly as construction
+        tuned the parent.  Children get fresh, never-reused shard ids;
+        they are registered (one fit, peers adopt bytes) on the
+        parent's owners *before* the fence, then the new table routes
+        to them, the router drains, and the parent's ledgers fold into
+        the owners' retired books under the parent id.  A request that
+        straddles the handoff was admitted under the old epoch against
+        the parent's captured tenant, so its answer is bit-identical
+        to the pre-split cluster's.
+        """
+        with self._lock:
+            return self._replace_shard(
+                shard,
+                n_children=2,
+                seed=self.cluster.seed if seed is None else seed,
+                workload=None,
+                center=None,
+                phase="split",
+                timeout_s=timeout_s,
+            )
+
+    def re_tune_shard(
+        self,
+        shard: int,
+        *,
+        workload: KNNWorkload | None = None,
+        center: np.ndarray | None = None,
+        timeout_s: float = _TOPOLOGY_DRAIN_S,
+    ) -> int:
+        """Replace one shard with a freshly tuned successor (same data).
+
+        ``workload`` is the slice to tune against (defaults to the
+        shard's stored tuning slice); ``center`` re-anchors the
+        shard's routing centroid (the drift path passes the live query
+        center, so post-re-tune drift measures from the new anchor).
+        Returns the successor's shard id.
+        """
+        with self._lock:
+            (child,) = self._replace_shard(
+                shard,
+                n_children=1,
+                seed=self.cluster.seed,
+                workload=workload,
+                center=center,
+                phase="re-tune",
+                timeout_s=timeout_s,
+            )
+            return child
+
+    def _drift_workload(self, shard: int) -> KNNWorkload | None:
+        """A tuning workload synthesized from the observed drifted
+        queries: each recent query anchored to its nearest point of the
+        shard's slice (tuning reads query points by id from the
+        shard's own file), radii recomputed against the slice."""
+        cluster = self.cluster
+        recent = self.drift.recent_queries(shard)
+        if recent.size == 0:
+            return None
+        points = cluster.shard_points[shard]
+        if recent.shape[1] != points.shape[1]:
+            return None
+        diff = recent[:, None, :] - points[None, :, :]
+        nearest = np.argmin(
+            np.einsum("qnd,qnd->qn", diff, diff), axis=1
+        ).astype(np.int64)
+        k = cluster.tuning_slices[shard].k
+        k = min(k, points.shape[0])
+        radii = exact_knn_radii(points, points[nearest], k)
+        return KNNWorkload(
+            k=k, query_ids=nearest, queries=points[nearest], radii=radii,
+        )
+
+    def apply_drift_proposals(self) -> list[dict]:
+        """Execute every pending drift proposal as a governed re-tune.
+
+        Each fired proposal re-tunes the shard on a workload
+        synthesized from the drifted queries actually observed and
+        re-anchors its centroid at the live query center.  Returns one
+        record per proposal (including refusals: an exhausted reorg
+        budget refuses with the typed error recorded, topology
+        unchanged).
+        """
+        applied = []
+        for proposal in self.drift.proposals():
+            record = proposal.as_dict()
+            workload = self._drift_workload(proposal.shard)
+            center = self.drift.live_center(proposal.shard)
+            try:
+                record["successor"] = self.re_tune_shard(
+                    proposal.shard, workload=workload, center=center,
+                )
+            except (InputValidationError, PredictionError) as error:
+                record["refused"] = type(error).__name__
+                record["error"] = str(error)
+            applied.append(record)
+        return applied
+
+    def _replace_shard(
+        self,
+        shard: int,
+        *,
+        n_children: int,
+        seed: int,
+        workload: KNNWorkload | None,
+        center: np.ndarray | None,
+        phase: str,
+        timeout_s: float,
+    ) -> tuple[int, ...]:
+        """Common machinery of split (2 children) and re-tune (1).
+
+        Caller holds ``self._lock``.
+        """
+        cluster = self.cluster
+        row = cluster._row_of(shard)
+        owner_names = cluster.router.table.owners_of(shard)
+        if not owner_names:
+            raise InputValidationError(
+                f"shard {shard} has no owners to carry its successors"
+            )
+        base_workload = (
+            workload if workload is not None
+            else cluster.tuning_slices[shard]
+        )
+        parent_points = cluster.shard_points[shard]
+        parent_locals = cluster._local_ids[shard]
+
+        # --- admission: the reorg budget sees the change up front ----
+        estimate = max(
+            1,
+            cluster.shard_configs[shard].tuning_io_ops * n_children,
+        )
+        self.governor.require_ops(estimate, phase=phase)
+
+        # --- carve the children out of the parent --------------------
+        if n_children == 1:
+            point_half = np.zeros(parent_points.shape[0], dtype=np.int64)
+            query_half = np.zeros(base_workload.n_queries, dtype=np.int64)
+            centroids = [
+                np.asarray(center, dtype=np.float64)
+                if center is not None
+                else cluster.partition.centroids[row].copy()
+            ]
+        else:
+            if base_workload.n_queries < n_children:
+                raise PredictionError(
+                    f"shard {shard} has only {base_workload.n_queries} "
+                    f"tuning queries; cannot split into {n_children}"
+                )
+            child_part = partition_workload(
+                base_workload, n_children, seed=seed
+            )
+            point_half = child_part.shard_of(parent_points)
+            query_half = child_part.assignments
+            centroids = [child_part.centroids[h] for h in range(n_children)]
+
+        from .cluster import _MIN_SHARD_POINTS
+        children = []
+        for half in range(n_children):
+            idx = np.flatnonzero(point_half == half)
+            q_mask = query_half == half
+            if idx.size < _MIN_SHARD_POINTS or not np.any(q_mask):
+                raise PredictionError(
+                    f"splitting shard {shard} would create a sliver "
+                    f"({idx.size} points, {int(np.count_nonzero(q_mask))} "
+                    f"queries in half {half}); a geometry cannot be "
+                    f"fitted on a sliver -- topology unchanged"
+                )
+            parent_to_child = {int(g): j for j, g in enumerate(idx)}
+            try:
+                child_qids = np.fromiter(
+                    (parent_to_child[int(g)]
+                     for g in base_workload.query_ids[q_mask]),
+                    dtype=np.int64,
+                    count=int(np.count_nonzero(q_mask)),
+                )
+            except KeyError as missing:
+                raise InputValidationError(
+                    f"tuning query id {missing.args[0]} of shard {shard} "
+                    f"does not land in its own child's slice; re-tune "
+                    f"workloads must be drawn from the shard's data"
+                ) from None
+            child_workload = KNNWorkload(
+                k=base_workload.k,
+                query_ids=child_qids,
+                queries=base_workload.queries[q_mask],
+                radii=base_workload.radii[q_mask],
+            )
+            children.append({
+                "idx": idx,
+                "points": parent_points[idx],
+                "workload": child_workload,
+                "centroid": centroids[half],
+                "parent_to_child": parent_to_child,
+            })
+
+        # --- tune each child on its own slice, charging the budget ---
+        base = cluster._next_shard_id
+        charged = 0
+        for offset, child in enumerate(children):
+            config = tune_shard(
+                base + offset, child["points"], child["workload"],
+                memory=cluster.memory, page_sizes=cluster.page_sizes,
+                base_disk=cluster.base_disk, method=cluster.tuning_method,
+                seed=seed, kernel=cluster.kernel,
+            )
+            child["config"] = config
+            charged += config.tuning_io_ops
+        self._charge(phase, charged)
+
+        # --- register children on the parent's owners ----------------
+        # The first live owner fits once; every other owner adopts the
+        # fitted bytes first, so registration is a verified hit --
+        # at most one fit per child shard, cluster-wide.
+        for offset, child in enumerate(children):
+            child_id = base + offset
+            donor = None
+            for owner in owner_names:
+                replica = cluster.replicas[owner]
+                if replica.down or replica.service is None:
+                    continue
+                if donor is not None:
+                    data = (
+                        cluster.replicas[donor]
+                        .artifact_path(child_id).read_bytes()
+                    )
+                    replica.adopt_shard_bytes(child_id, data)
+                replica.register_shard(
+                    child_id, child["points"], child["config"],
+                    fit_seed=cluster.fit_seed,
+                )
+                if donor is None:
+                    donor = owner
+            if donor is None:
+                raise InputValidationError(
+                    f"no live owner of shard {shard} can carry its "
+                    f"successors; restart an owner first"
+                )
+            cluster.shard_points[child_id] = child["points"]
+            cluster.shard_configs[child_id] = child["config"]
+            cluster.tuning_slices[child_id] = child["workload"]
+            cluster._local_ids[child_id] = {
+                g: child["parent_to_child"][local]
+                for g, local in parent_locals.items()
+                if local in child["parent_to_child"]
+            }
+        child_ids = tuple(base + i for i in range(n_children))
+        cluster._next_shard_id += n_children
+
+        # --- new partition geometry: successor centroids -------------
+        new_centroids = cluster.partition.centroids.copy()
+        new_centroids[row] = children[0]["centroid"]
+        if n_children > 1:
+            new_centroids = np.vstack(
+                [new_centroids]
+                + [c["centroid"][None, :] for c in children[1:]]
+            )
+        cluster._row_to_shard[row] = child_ids[0]
+        cluster._row_to_shard.extend(child_ids[1:])
+        probe = WorkloadPartition(
+            centroids=new_centroids,
+            assignments=np.zeros(0, dtype=np.int64),
+        )
+        cluster.partition = WorkloadPartition(
+            centroids=new_centroids,
+            assignments=probe.shard_of(cluster.tuning_workload.queries),
+        )
+
+        # --- fence, drain, fold --------------------------------------
+        old = cluster.router.table
+        owners = {
+            s: o for s, o in old.owners.items() if s != shard
+        }
+        costs = {
+            s: dict(c) for s, c in old.costs.items() if s != shard
+        }
+        # Only owners that actually registered the children (the live
+        # ones) are routable for them -- a down parent owner never got
+        # the successor tenants, and listing it would route to a
+        # replica that will refuse the shard even after restarting.
+        live_owners = [
+            n for n in owner_names
+            if not cluster.replicas[n].down
+            and cluster.replicas[n].service is not None
+        ]
+        for offset, child in enumerate(children):
+            child_id = base + offset
+            cost = {
+                name: child["config"].predicted_seconds
+                * cluster.replicas[name].latency_factor
+                for name in live_owners
+            }
+            owners[child_id] = self._ordered(live_owners, cost)
+            costs[child_id] = cost
+        table = self._install(owners, costs)
+        cluster.router.drain(timeout_s=timeout_s)
+        for owner in owner_names:
+            replica = cluster.replicas.get(owner)
+            if replica is not None:
+                replica.retire_shard(shard)
+        cluster.retired_shards[shard] = {
+            "children": child_ids,
+            "epoch": table.epoch,
+            "reason": phase,
+        }
+        self.drift.freeze(self._current_centers())
+        self.events.append({
+            "op": phase,
+            "shard": shard,
+            "children": list(child_ids),
+            "epoch": table.epoch,
+            "charged_ops": charged,
+        })
+        return child_ids
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def proposals(self) -> dict:
+        return {
+            "split": self.split_candidates(),
+            "re_tune": [p.as_dict() for p in self.drift.proposals()],
+        }
+
+    def report(self) -> dict:
+        return {
+            "split_when": self.split_when,
+            "events": list(self.events),
+            "drift": self.drift.report(),
+            "reorg": self.governor.report(),
+            "proposals": self.proposals(),
+        }

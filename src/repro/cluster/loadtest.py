@@ -14,6 +14,17 @@ Closed-loop clients (one per shard, plus matching clients on the
 baseline) hammer for a fixed wall-clock window; a third of the way in
 the primary owner of shard 0 is killed, two thirds in it is restarted
 -- the routed side must keep answering through both transitions.
+
+:func:`run_elasticity_loadtest` measures the *elastic* question
+instead: a cluster under closed-loop load scales out mid-window -- a
+new replica is built, warmed from peer bytes, and fenced in under a
+new routing epoch while the clients keep hammering.  The committed
+``BENCH_elasticity.json`` must show the handoff was absorbed (zero
+errors across the epoch change) and that the added capacity actually
+bought throughput (post-scale >= pre-scale): the starting replicas
+carry a small synthetic per-request delay and the scaled-out replica
+does not, so if routing really moves traffic to the new primary the
+improvement is structural, not noise.
 """
 
 from __future__ import annotations
@@ -28,7 +39,12 @@ from ..service.server import PredictionService
 from ..workload.queries import density_biased_knn_workload
 from .cluster import PredictionCluster
 
-__all__ = ["ClusterLoadTestResult", "run_cluster_loadtest"]
+__all__ = [
+    "ClusterLoadTestResult",
+    "ElasticityLoadTestResult",
+    "run_cluster_loadtest",
+    "run_elasticity_loadtest",
+]
 
 
 def _percentiles(latencies_s: list[float]) -> dict:
@@ -244,4 +260,191 @@ def run_cluster_loadtest(
         elapsed, 1e-9
     )
     result.single_latency = _percentiles(single_latencies)
+    return result
+
+
+@dataclass
+class ElasticityLoadTestResult:
+    """One mid-window scale-out, split into pre/mid/post sub-windows.
+
+    ``pre`` covers requests fully resolved before the scale-out began,
+    ``post`` requests started after the new table was installed, and
+    ``mid`` everything straddling the handoff -- the requests the
+    epoch fence must absorb without a single dropped or errored
+    response.  ``post_over_pre`` is the throughput ratio the benchmark
+    asserts on.
+    """
+
+    duration_s: float
+    n_shards: int
+    n_replicas_start: int
+    scale: dict = field(default_factory=dict)
+    pre: dict = field(default_factory=dict)
+    mid: dict = field(default_factory=dict)
+    post: dict = field(default_factory=dict)
+    errors: int = 0
+    post_over_pre: float = 0.0
+    router: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "duration_s": self.duration_s,
+            "n_shards": self.n_shards,
+            "n_replicas_start": self.n_replicas_start,
+            "scale": self.scale,
+            "pre": self.pre,
+            "mid": self.mid,
+            "post": self.post,
+            "errors": self.errors,
+            "post_over_pre": round(self.post_over_pre, 3),
+            "router": self.router,
+        }
+
+
+def run_elasticity_loadtest(
+    *,
+    artifact_root: str,
+    n_shards: int = 2,
+    n_replicas: int = 2,
+    replication: int = 2,
+    workers_per_replica: int = 2,
+    duration_s: float = 1.5,
+    n_points: int = 600,
+    dim: int = 6,
+    memory: int = 200,
+    n_queries: int = 16,
+    k: int = 5,
+    seed: int = 0,
+    baseline_slow_s: float = 0.004,
+    scale_latency_factor: float = 0.5,
+) -> ElasticityLoadTestResult:
+    """One measured window with a scale-out a third of the way in.
+
+    The starting replicas each carry ``baseline_slow_s`` of synthetic
+    per-request delay; the replica added mid-window does not, and its
+    ``scale_latency_factor`` advertises it as the cheapest owner, so
+    the router's cost ordering moves primary traffic onto it the
+    moment the new epoch's table lands.  Post-scale throughput beating
+    pre-scale is therefore a *routing* claim, not a load-average
+    accident.
+    """
+    rng = np.random.default_rng(seed)
+    half = n_points // 2
+    data = np.vstack([
+        rng.normal(loc=0.0, scale=1.0, size=(half, dim)),
+        rng.normal(loc=6.0, scale=0.5, size=(n_points - half, dim)),
+    ])
+    tuning = density_biased_knn_workload(data, max(16, 4 * n_shards), k, rng)
+
+    result = ElasticityLoadTestResult(
+        duration_s=duration_s, n_shards=n_shards,
+        n_replicas_start=n_replicas,
+    )
+    lock = threading.Lock()
+    #: (t_start, t_end, status) per resolved request
+    records: list[tuple[float, float, str]] = []
+    marks: dict[str, float] = {}
+    failures: list[BaseException] = []
+
+    cluster = PredictionCluster(
+        data, tuning,
+        artifact_root=artifact_root,
+        n_shards=n_shards, n_replicas=n_replicas,
+        replication=replication,
+        workers_per_replica=workers_per_replica,
+        memory=memory, fit_seed=seed, seed=seed,
+    )
+    for replica in cluster.replicas.values():
+        replica.slow_s = baseline_slow_s
+    workloads = {
+        shard: density_biased_knn_workload(
+            cluster.shard_points[shard], n_queries, k,
+            np.random.default_rng(seed + shard),
+        )
+        for shard in cluster.active_shards()
+    }
+
+    def shard_client(shard: int) -> None:
+        local: list[tuple[float, float, str]] = []
+        stop_at = time.monotonic() + duration_s
+        while time.monotonic() < stop_at:
+            t_start = time.monotonic()
+            response = cluster.request(shard, workloads[shard])
+            local.append((t_start, time.monotonic(), response.status))
+        with lock:
+            records.extend(local)
+
+    def scale_operator() -> None:
+        time.sleep(duration_s / 3)
+        marks["scale_start"] = time.monotonic()
+        try:
+            report = cluster.add_replica(
+                latency_factor=scale_latency_factor
+            )
+        except BaseException as error:  # surfaced after join
+            failures.append(error)
+            report = {}
+        marks["scale_done"] = time.monotonic()
+        with lock:
+            result.scale = {
+                **report,
+                "wall_s": round(
+                    marks["scale_done"] - marks["scale_start"], 4
+                ),
+            }
+
+    try:
+        threads = [
+            threading.Thread(target=shard_client, args=(shard,),
+                             daemon=True)
+            for shard in cluster.active_shards()
+        ]
+        threads.append(
+            threading.Thread(target=scale_operator, daemon=True)
+        )
+        t0 = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[0]
+        t_end = max(end for _, end, _ in records)
+        scale_start = marks["scale_start"]
+        scale_done = marks["scale_done"]
+
+        def window(selected: list[tuple[float, float, str]],
+                   span_s: float) -> dict:
+            latencies = [end - start for start, end, _ in selected]
+            errors = sum(
+                1 for _, _, status in selected if status == "error"
+            )
+            return {
+                "resolved": len(selected),
+                "errors": errors,
+                "throughput_rps": round(
+                    len(selected) / max(span_s, 1e-9), 1
+                ),
+                "latency_ms": _percentiles(latencies),
+            }
+
+        pre = [r for r in records if r[1] <= scale_start]
+        post = [r for r in records if r[0] >= scale_done]
+        mid = [
+            r for r in records
+            if r[1] > scale_start and r[0] < scale_done
+        ]
+        result.pre = window(pre, scale_start - t0)
+        result.mid = window(mid, scale_done - scale_start)
+        result.post = window(post, t_end - scale_done)
+        result.errors = sum(
+            1 for _, _, status in records if status == "error"
+        )
+        result.post_over_pre = (
+            result.post["throughput_rps"]
+            / max(result.pre["throughput_rps"], 1e-9)
+        )
+        result.router = cluster.router.metrics()
+    finally:
+        cluster.stop()
     return result

@@ -15,7 +15,10 @@ with everything the cluster needs that a single service does not track:
 * **retired-op accounting** -- a killed service's ledgers die with it,
   so :meth:`kill` folds each shard's charged ops into ``retired_ops``
   first; :meth:`charged_ops` (retired + live) is what the cluster
-  chaos harness reconciles across restarts;
+  chaos harness reconciles across restarts.  :meth:`retire` is the
+  scale-in variant (fold the books, then drop the service reference
+  for good), and :meth:`retire_shard` folds a single shard's ledger
+  when a split or re-tune moves its traffic to successor shard ids;
 * **injection points** -- ``slow_s`` delays every request (the slow
   replica the router must hedge around) and ``request_hook`` raises
   into the serving path (the faulty replica whose typed error responses
@@ -80,6 +83,7 @@ class Replica:
         self.kills = 0
         self.restarts = 0
         self.down = False
+        self.retired = False
         self._quota = quota
         self._registered: dict[int, dict] = {}
         self._service_kwargs = dict(
@@ -171,6 +175,11 @@ class Replica:
         the chaos harness can tell healing from refitting).  Idempotent
         on a live replica.
         """
+        if self.retired:
+            raise InputValidationError(
+                f"replica {self.name!r} was retired by a scale-in and "
+                f"cannot restart; scale out a new replica instead"
+            )
         if not self.down:
             return
         self.service = self._new_service()
@@ -180,9 +189,43 @@ class Replica:
         self.restarts += 1
         self.down = False
 
+    def retire(self) -> None:
+        """Permanent scale-in removal: fold the books exactly as a kill.
+
+        :meth:`kill` stops the service and folds every owned shard's
+        live ledger into ``retired_ops``; retiring then drops the
+        service reference for good, so a dispatch racing the removal
+        observes ``service is None`` and takes the router's ghost-skip
+        path instead of an ``AttributeError``.  The caller must drain
+        in-flight legs *before* retiring (``stop()`` inside ``kill``
+        resolves the queue, and a resolved leg has settled its ledger),
+        which is what makes the fold exact.  Idempotent.
+        """
+        self.kill()
+        self.retired = True
+        self.service = None
+
+    def retire_shard(self, shard: int) -> None:
+        """Drop ownership of one shard, folding its live ledger first.
+
+        Used when a split or re-tune replaces a shard with successor
+        ids: the old tenant's charges move to ``retired_ops`` under the
+        *old* shard id, so per-shard books still reconcile across the
+        epoch boundary.  The caller must have drained in-flight legs
+        first (a drained leg has settled its ledger).  No-op for an
+        unowned shard; on a down replica the ledger was already folded
+        by the kill.
+        """
+        if shard not in self._registered:
+            return
+        if not self.down and self.service is not None:
+            ledger = self.service.tenant(shard_tenant(shard)).ledger
+            self.retired_ops[shard] += ledger.charged_ops
+        del self._registered[shard]
+
     def healthy(self) -> bool:
         """Liveness as the router's health probe sees it."""
-        if self.down:
+        if self.down or self.service is None:
             return False
         snapshot = self.service.metrics()
         return bool(snapshot["running"]) and snapshot["workers_alive"] > 0
@@ -204,7 +247,18 @@ class Replica:
                 f"replica {self.name!r} does not own shard {shard}; "
                 f"owns {self.shards()}"
             )
-        return self.service.submit(
+        # Snapshot the reference: a concurrent retire() nulls
+        # ``self.service``, and a submit that loses that race must
+        # surface as a typed refusal the router files under its
+        # ghost-skip path -- never as an AttributeError.
+        service = self.service
+        if self.down or service is None:
+            raise InputValidationError(
+                f"replica {self.name!r} is "
+                f"{'retired' if self.retired else 'down'}; "
+                f"cannot submit shard {shard}"
+            )
+        return service.submit(
             shard_tenant(shard), workload, method=method, seed=seed
         )
 
@@ -216,23 +270,45 @@ class Replica:
         """This replica's lifetime charged ops for one shard, across
         every kill/restart generation."""
         total = int(self.retired_ops.get(shard, 0))
-        if not self.down and shard in self._registered:
+        if (not self.down and self.service is not None
+                and shard in self._registered):
             total += self.service.tenant(shard_tenant(shard)).ledger.charged_ops
         return total
 
     def artifact_path(self, shard: int) -> Path:
-        assert self.service.store is not None
+        if self.service is None or self.service.store is None:
+            raise InputValidationError(
+                f"replica {self.name!r} has no artifact store "
+                f"{'(retired)' if self.retired else ''}"
+            )
         return self.service.store.path_for(shard_tenant(shard))
+
+    def adopt_shard_bytes(self, shard: int, data: bytes):
+        """Install a peer's verified artifact bytes for a shard.
+
+        The scale-out warm path: the new replica adopts an existing
+        owner's bytes *before* registering the shard, so the
+        registration's ``load_or_fit`` is a verified hit and the warm
+        start costs zero refits.  Returns the adopted model.
+        """
+        if self.down or self.service is None or self.service.store is None:
+            raise InputValidationError(
+                f"replica {self.name!r} cannot adopt artifact bytes "
+                f"while down or storeless"
+            )
+        return self.service.store.adopt(shard_tenant(shard), data)
 
     def adopt_model(self, shard: int, model) -> None:
         """Swap the live tenant's warm model (after an artifact heal)."""
-        if not self.down and shard in self._registered:
+        if (not self.down and self.service is not None
+                and shard in self._registered):
             self.service.tenant(shard_tenant(shard)).model = model
 
     def metrics(self) -> dict:
         info = {
             "name": self.name,
             "down": self.down,
+            "retired": self.retired,
             "latency_factor": self.latency_factor,
             "kills": self.kills,
             "restarts": self.restarts,

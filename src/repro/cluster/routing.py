@@ -30,6 +30,17 @@ Two failure modes get special handling:
 The table is deliberately allowed to go stale (chaos keeps routing to
 a killed replica on purpose): an entry naming a dead or unknown replica
 costs one recorded skip, never a hang or an untyped error.
+
+**Epoch fencing.**  Topology changes (scale-out/in, shard splits)
+publish a whole new table under a strictly larger ``epoch``.  A
+dispatch snapshots the table once, tags every leg it submits with the
+snapshot's epoch, and -- when the caller pins an ``epoch=`` -- is
+refused with a typed :class:`~repro.errors.StaleRoutingEpochError` if
+the pin no longer matches the live table.  In-flight legs admitted
+under the old epoch keep running to completion (nothing already
+submitted is dropped), and :meth:`Router.epoch_ops` reconciles the
+charged ops of the two-epoch overlap window exactly: summed across
+epochs it equals :meth:`Router.drain` to the op.
 """
 
 from __future__ import annotations
@@ -42,7 +53,13 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..core.counting import PredictionResult
-from ..errors import CircuitOpenError, ReplicaUnavailableError, ReproError
+from ..errors import (
+    CircuitOpenError,
+    InputValidationError,
+    ReplicaUnavailableError,
+    ReproError,
+    StaleRoutingEpochError,
+)
 from ..runtime.breaker import CircuitBreaker
 from ..service.server import PendingPrediction, ServiceResponse
 from ..workload.queries import KNNWorkload, RangeWorkload
@@ -63,11 +80,19 @@ class RoutingTable:
     ordering is auditable.  Tables are immutable; a topology change
     installs a new table with a bumped ``version`` (responses record
     the version that routed them, so staleness is diagnosable).
+
+    ``epoch`` is the fencing token: it moves strictly forward on every
+    *topology* change (membership or shard-set changes), while
+    ``version`` counts every install (a cost refresh may bump the
+    version inside one epoch).  Dispatches pinned to an old epoch are
+    refused with a typed error; legs are tagged with the epoch that
+    admitted them so the handoff window reconciles exactly.
     """
 
     version: int
     owners: dict[int, tuple[str, ...]]
     costs: dict[int, dict[str, float]]
+    epoch: int = 1
 
     def owners_of(self, shard: int) -> tuple[str, ...]:
         return self.owners.get(shard, ())
@@ -75,6 +100,7 @@ class RoutingTable:
     def as_dict(self) -> dict:
         return {
             "version": self.version,
+            "epoch": self.epoch,
             "owners": {s: list(o) for s, o in sorted(self.owners.items())},
             "costs": {
                 s: {n: round(c, 6) for n, c in costs.items()}
@@ -86,10 +112,12 @@ class RoutingTable:
 class _Leg:
     """One submitted attempt of one cluster request."""
 
-    def __init__(self, replica: str, shard: int, pending: PendingPrediction):
+    def __init__(self, replica: str, shard: int, pending: PendingPrediction,
+                 epoch: int = 0):
         self.replica = replica
         self.shard = shard
         self.pending = pending
+        self.epoch = epoch
         self._response: ServiceResponse | None = None
 
     def wait(self, timeout: float | None) -> ServiceResponse:
@@ -131,6 +159,7 @@ class ClusterResponse:
     error: str | None = None
     error_type: str | None = None
     routing_version: int = 0
+    routing_epoch: int = 0
     latency_s: float = 0.0
     legs: list = field(default_factory=list)
 
@@ -182,11 +211,33 @@ class Router:
         self.hedges = 0
         self.degraded_served = 0
         self.unavailable = 0
+        self.table_installs = 0
+        self.stale_rejections = 0
 
     # ------------------------------------------------------------------
 
     def install_table(self, table: RoutingTable) -> None:
-        self.table = table
+        """Publish a new table; the epoch may only move forward.
+
+        Same-epoch installs with a fresh version are allowed (a cost
+        refresh is not a topology change), but an epoch or a
+        same-epoch version *regression* would re-admit a topology the
+        cluster already fenced off -- that is a caller bug, refused
+        with a typed error.
+        """
+        with self._lock:
+            current = self.table
+            if table.epoch < current.epoch or (
+                table.epoch == current.epoch
+                and table.version < current.version
+            ):
+                raise InputValidationError(
+                    f"routing table regression: refusing epoch "
+                    f"{table.epoch} v{table.version} over installed "
+                    f"epoch {current.epoch} v{current.version}"
+                )
+            self.table = table
+            self.table_installs += 1
 
     def breaker_for(self, name: str, shard: int) -> CircuitBreaker:
         with self._lock:
@@ -234,14 +285,34 @@ class Router:
         method: str = "warm",
         seed: int = 0,
         degrade: bool = True,
+        epoch: int | None = None,
     ) -> ClusterResponse:
-        """Route one request; always returns a terminal verdict."""
+        """Route one request; always returns a terminal verdict.
+
+        ``epoch`` pins the dispatch to a routing epoch the caller read
+        earlier: if a topology change has moved the table past it, the
+        request is refused with a typed
+        :class:`~repro.errors.StaleRoutingEpochError` *before* any leg
+        is submitted -- a stale router must re-read and retry, never
+        dispatch against a ghost topology.  ``None`` (the default)
+        accepts whatever table is live.  The table is snapshotted once
+        per dispatch, so a concurrent install cannot split one request
+        across two topologies.
+        """
         started = time.monotonic()
         deadline = started + self.request_timeout_s
         request_id = next(self._ids)
         with self._lock:
-            self.dispatches += 1
-        owners = self.table.owners_of(shard)
+            table = self.table
+            if epoch is not None and epoch != table.epoch:
+                self.stale_rejections += 1
+                stale = StaleRoutingEpochError(shard, epoch, table.epoch)
+            else:
+                stale = None
+                self.dispatches += 1
+        if stale is not None:
+            raise stale
+        owners = table.owners_of(shard)
         tried: list[tuple[str, str]] = []
         legs: list[_Leg] = []
         hedged = False
@@ -272,7 +343,8 @@ class Router:
                 hedged=hedged,
                 tried=list(tried),
                 cause=response.cause,
-                routing_version=self.table.version,
+                routing_version=table.version,
+                routing_epoch=table.epoch,
                 latency_s=time.monotonic() - started,
                 legs=list(legs),
             )
@@ -280,8 +352,11 @@ class Router:
         # --- phase 1: walk the cost order, hedging past slow legs -----
         for name in owners:
             replica = self.replicas.get(name)
-            if replica is None:
-                tried.append((name, "unknown"))  # stale table entry
+            if replica is None or replica.service is None:
+                # Stale table entry: the name is unknown, or the
+                # replica was retired by a scale-in after the table
+                # snapshot -- either way a recorded skip, not a crash.
+                tried.append((name, "unknown"))
                 continue
             if not replica.healthy():
                 tried.append((name, "down"))
@@ -297,10 +372,17 @@ class Router:
                     shard, workload, method=method, seed=seed
                 )
             except ReproError as error:
+                if replica.service is None or replica.down:
+                    # Lost the race against a removal/kill between the
+                    # health probe and the submit: same ghost-skip
+                    # verdict as a stale entry, and no breaker penalty
+                    # -- the replica is gone, not misbehaving.
+                    tried.append((name, "down"))
+                    continue
                 breaker.record_failure()
                 tried.append((name, type(error).__name__))
                 continue
-            leg = _Leg(name, shard, pending)
+            leg = _Leg(name, shard, pending, epoch=table.epoch)
             legs.append(leg)
             with self._lock:
                 self._legs.append(leg)
@@ -354,7 +436,8 @@ class Router:
                 cause="unavailable",
                 error=str(error),
                 error_type=type(error).__name__,
-                routing_version=self.table.version,
+                routing_version=table.version,
+                routing_epoch=table.epoch,
                 latency_s=time.monotonic() - started,
                 legs=list(legs),
             )
@@ -370,7 +453,8 @@ class Router:
             cause="unavailable",
             error=str(error),
             error_type=type(error).__name__,
-            routing_version=self.table.version,
+            routing_version=table.version,
+            routing_epoch=table.epoch,
             latency_s=time.monotonic() - started,
             legs=list(legs),
         )
@@ -392,6 +476,26 @@ class Router:
             shard_ops[leg.shard] += leg.wait(timeout_s).io_ops
         return shard_ops
 
+    def epoch_ops(
+        self, *, timeout_s: float = _DRAIN_TIMEOUT_S
+    ) -> dict[int, Counter]:
+        """Charged ops per (routing epoch, shard) over every leg ever.
+
+        Every leg is tagged with the epoch of the table snapshot that
+        admitted it, so the two-epoch overlap window of a topology
+        handoff is *exactly* attributable: summed across epochs these
+        books equal :meth:`drain` per shard to the op -- a charge that
+        straddled the fence lands in the epoch that submitted it, once,
+        never dropped, never double-counted.
+        """
+        books: dict[int, Counter] = {}
+        with self._lock:
+            legs = list(self._legs)
+        for leg in legs:
+            ops = leg.wait(timeout_s).io_ops
+            books.setdefault(leg.epoch, Counter())[leg.shard] += ops
+        return books
+
     def metrics(self) -> dict:
         with self._lock:
             return {
@@ -400,7 +504,10 @@ class Router:
                 "hedges": self.hedges,
                 "degraded_served": self.degraded_served,
                 "unavailable": self.unavailable,
+                "table_installs": self.table_installs,
+                "stale_rejections": self.stale_rejections,
                 "legs": len(self._legs),
+                "routing_epoch": self.table.epoch,
                 "routing_version": self.table.version,
                 "breakers": {
                     f"{name}/shard-{shard}": breaker.state

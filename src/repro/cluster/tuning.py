@@ -26,6 +26,7 @@ import numpy as np
 from ..apps.pagesize import sweep_page_sizes
 from ..disk.accounting import DiskParameters
 from ..errors import PredictionError
+from ..runtime.budget import Budget
 from ..workload.queries import KNNWorkload
 
 __all__ = ["DEFAULT_TUNING_PAGE_SIZES", "ShardConfig", "tune_shard"]
@@ -44,6 +45,13 @@ class ShardConfig:
     winning page size; the router multiplies it by each owner's latency
     factor to order candidates.  ``disk`` carries the tuned page size
     with the transfer time rescaled to it.
+
+    ``tuning_io_ops`` is what producing this configuration *cost*: the
+    charged operations summed over every candidate the sweep priced.
+    Elastic reorganization (shard splits, drift re-tunes) uses it both
+    as the admission estimate against the reorg budget and as the
+    actual charge attributed after re-tuning -- reorganization I/O is
+    accounted like any other I/O, not hand-waved.
     """
 
     shard: int
@@ -54,6 +62,7 @@ class ShardConfig:
     predicted_seconds: float
     n_tuning_queries: int
     disk: DiskParameters
+    tuning_io_ops: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -64,6 +73,7 @@ class ShardConfig:
             "predicted_accesses": round(self.predicted_accesses, 3),
             "predicted_seconds": round(self.predicted_seconds, 6),
             "n_tuning_queries": self.n_tuning_queries,
+            "tuning_io_ops": self.tuning_io_ops,
         }
 
 
@@ -100,6 +110,11 @@ def tune_shard(
             f"optimum across {len(page_sizes)} candidates"
         )
     base = base_disk or DiskParameters()
+    charged = sum(
+        Budget.io_ops(point.io_cost)
+        for point in sweep.points
+        if point.io_cost is not None
+    )
     return ShardConfig(
         shard=shard,
         page_bytes=optimum.page_bytes,
@@ -109,4 +124,5 @@ def tune_shard(
         predicted_seconds=optimum.predicted_seconds,
         n_tuning_queries=workload.n_queries,
         disk=base.with_page_bytes(optimum.page_bytes),
+        tuning_io_ops=int(charged),
     )

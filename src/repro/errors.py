@@ -73,6 +73,13 @@ purpose by this package derives from :class:`ReproError`:
     (``degrade=False``).  With degradation enabled the router answers
     from the closed-form baseline instead and annotates the response.
     The CLI maps it to exit code 18.
+``StaleRoutingEpochError``
+    a dispatch pinned a routing epoch the cluster has already moved
+    past (a topology change -- scale-out, scale-in, shard split or
+    re-tune -- published a newer table).  The fence refuses the request
+    instead of routing it against a ghost topology; the caller re-reads
+    the table and retries on the fresh epoch.  The CLI maps it to exit
+    code 19.
 
 :class:`DegradedResultWarning` is a :class:`UserWarning`, not an error:
 the facade emits it when it had to fall back to a cheaper method and
@@ -101,6 +108,7 @@ __all__ = [
     "ServiceOverloadedError",
     "ArtifactCorruptError",
     "ReplicaUnavailableError",
+    "StaleRoutingEpochError",
     "DegradedResultWarning",
     "validate_points",
 ]
@@ -456,6 +464,35 @@ class ReplicaUnavailableError(ReproError):
         )
         return (
             f"no replica available for shard {self.shard}: {attempts}"
+        )
+
+
+class StaleRoutingEpochError(ReproError):
+    """A dispatch pinned a routing epoch the table has moved past.
+
+    Topology changes (scale-out/in, shard splits, drift re-tunes)
+    publish a new routing table under a monotonically increasing
+    epoch.  A caller that read the table before the change may pin the
+    old epoch on its dispatch; the fence rejects the request with this
+    typed error instead of silently dispatching against a ghost
+    topology.  Recovery is trivial and local: re-read the table
+    (``current`` carries the live epoch) and retry -- the in-flight
+    requests admitted under the old epoch still drain to completion,
+    so nothing already submitted is lost.  The CLI maps it to exit
+    code 19.
+    """
+
+    def __init__(self, shard: int, presented: int, current: int):
+        self.shard = shard
+        self.presented = presented
+        self.current = current
+        super().__init__(shard, presented, current)
+
+    def __str__(self) -> str:
+        return (
+            f"routing epoch {self.presented} is stale for shard "
+            f"{self.shard}: the table is at epoch {self.current}; "
+            f"refresh the routing table and retry"
         )
 
 

@@ -293,6 +293,34 @@ class TestClusterCommand:
         error = ReplicaUnavailableError(0, [("replica-0", "down")])
         assert _exit_code(error) == 18
 
+    def test_parser_accepts_elasticity_flags(self):
+        args = build_parser().parse_args(
+            ["cluster", "--scale-out", "2", "--scale-in",
+             "--split-when", "2.5", "--chaos", "--scale-events"]
+        )
+        assert args.scale_out == 2
+        assert args.scale_in is True
+        assert args.split_when == 2.5
+        assert args.scale_events is True
+
+    def test_stale_routing_epoch_maps_to_19(self):
+        from repro.cli import _exit_code
+        from repro.errors import StaleRoutingEpochError
+
+        error = StaleRoutingEpochError(0, 1, 2)
+        assert _exit_code(error) == 19
+
+    def test_cluster_walkthrough_covers_elasticity(self, capsys):
+        assert main(
+            ["cluster", "--scale", "0.005", "--queries", "8",
+             "--memory", "200", "--scale-out", "1", "--scale-in"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scaled out replica-" in out
+        assert "0 refits" in out
+        assert "stale router refused with exit-19 class" in out
+        assert "scaled in replica-" in out
+
 
 class TestServeInterrupt:
     def test_sigterm_drains_and_exits_130(self, capsys, monkeypatch):
@@ -341,8 +369,9 @@ class TestVersionAndHelp:
             main(["--help"])
         assert excinfo.value.code == 0
         out = capsys.readouterr().out
-        for code in ("3 ", "10 ", "11 ", "12 ", "13 "):
+        for code in ("3 ", "10 ", "11 ", "12 ", "13 ", "19 "):
             assert code in out
         assert "resource budget exhausted" in out
         assert "deadline exceeded" in out
         assert "unrecoverable at-rest corruption" in out
+        assert "stale routing epoch" in out

@@ -290,6 +290,35 @@ class TestAntiEntropy:
             assert cluster.replicas[name].artifact_path(0).read_bytes() \
                 == pristine
 
+    def test_second_pass_on_healed_cluster_is_idempotent(self, cluster):
+        """Anti-entropy must converge: a pass over a just-healed
+        cluster verifies every copy and moves no bytes -- zero heals,
+        zero adoptions, zero rebuilds."""
+        victim = cluster.router.table.owners_of(0)[0]
+        cluster.corrupt_artifact(victim, 0)
+        first = cluster.anti_entropy()
+        assert first[0]["healed"]
+
+        def store_events():
+            return {
+                name: len(replica.service.store.events)
+                for name, replica in cluster.replicas.items()
+            }
+
+        events_before = store_events()
+        second = cluster.anti_entropy()
+        for shard, entry in second.items():
+            assert entry["healed"] == [], f"shard {shard} re-healed"
+            assert entry["rebuilt"] is None
+            assert set(entry["verified"]) == \
+                set(cluster.router.table.owners_of(shard))
+        # no store activity at all: verification reads, no copies
+        assert store_events() == events_before
+        assert all(
+            r.service.store.rebuilds() == 0
+            for r in cluster.replicas.values()
+        )
+
     def test_serving_is_bit_identical_after_heal(self, cluster):
         workload = cluster.partition.split(cluster.make_workload(6, 4))[0][2]
         reference = cluster.request(0, workload)

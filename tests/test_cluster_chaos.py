@@ -9,6 +9,13 @@ peer without a data rebuild, and per-shard op sums reconcile exactly
 across the router's legs, every replica generation's ledgers, and the
 responses themselves.  Seeds come from ``CHAOS_SEED`` when set so CI
 shards the sweep like the disk and service chaos suites.
+
+The topology sweep adds the elastic axis on top: mid-storm scale-out
+with a corrupted donor, a kill during the handoff, a shard split under
+traffic, stale-epoch probes at every fence, and a graceful scale-in --
+with the invariant extended across epoch boundaries (per-epoch op
+books sum to the drained totals exactly).  ``CHAOS_SCALE=0`` skips the
+topology sweep so CI can matrix the axis on and off.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from repro.cluster import (
 
 SEEDS = ([int(os.environ["CHAOS_SEED"])]
          if os.environ.get("CHAOS_SEED") else [0, 1])
+SCALE_AXIS_OFF = os.environ.get("CHAOS_SCALE") == "0"
 
 
 @pytest.mark.parametrize("seed", SEEDS)
@@ -60,6 +68,39 @@ def test_double_kill_forces_explicit_degradation(seed, tmp_path):
     # a silent wrong answer
     assert outcome.classified.get("degraded", 0) > 0
     assert outcome.causes_seen.get("unavailable", 0) > 0
+
+
+@pytest.mark.skipif(SCALE_AXIS_OFF, reason="CHAOS_SCALE=0 disables the "
+                    "topology axis in this CI matrix cell")
+@pytest.mark.parametrize("seed", SEEDS)
+def test_topology_storm_invariant_holds(seed, tmp_path):
+    """The elastic storm: the same invariant must hold while the
+    topology itself is changing under the traffic."""
+    outcome = run_cluster_chaos(
+        ClusterChaosScenario(seed=seed, scale_events=True),
+        artifact_root=tmp_path,
+    )
+    assert_cluster_invariant(outcome)
+    # every scheduled topology event actually happened
+    assert [e["op"] for e in outcome.topology] == \
+        ["add", "split", "remove"]
+    add = outcome.topology[0]
+    assert add["refits"] == 0  # warmed from peer bytes, never refitted
+    assert all(w["via"].startswith("peer:") for w in add["warmed"])
+    # the corrupted donor was healed mid-storm, from a peer
+    assert outcome.warm_heals > 0 and outcome.rebuilds == 0
+    # every fence refused its stale-epoch probe (add, split, remove)
+    assert outcome.stale_rejections == 3
+    # the books span multiple epochs and still reconcile (the invariant
+    # asserted the cross-epoch sums; here: the handoffs really happened)
+    assert len(outcome.epoch_books) >= 3
+    # split successors carried charged traffic of their own
+    children = outcome.topology[1]["children"]
+    for child in children:
+        assert outcome.reconciliation[child]["router_ops"] > 0
+    # the parent's pre-split charges survived the handoff
+    parent = outcome.topology[1]["shard"]
+    assert outcome.reconciliation[parent]["router_ops"] > 0
 
 
 def test_storm_without_failures_is_all_identical(tmp_path):

@@ -27,6 +27,7 @@ EXAMPLE_NAMES = [
     "self_healing",
     "multi_tenant_service",
     "sharded_cluster",
+    "elastic_cluster",
 ]
 
 
