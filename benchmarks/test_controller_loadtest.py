@@ -1,0 +1,82 @@
+"""Controller load test: an autonomous merge under decaying load.
+
+An over-partitioned 3-shard cluster serves closed-loop clients; a
+third of the way into the window one client retires (the load decay)
+and an operator thread starts ticking the topology controller.  The
+controller must notice the stranded cheap sibling pair, wait out its
+dwell window, and fire one epoch-fenced merge while the surviving
+clients keep hammering.  The window is split into pre / mid / post
+sub-windows around the surgery and the result lands in
+``BENCH_controller.json`` at the repo root.
+
+Assertions are the autonomy gates: the topology actually shrank, the
+surgery cost zero errors anywhere (the fence drops nothing), the
+merged artifact was fitted once and adopted by peers (zero refits),
+post-merge throughput is within noise of pre-merge -- a *smaller*
+topology absorbing the same decayed load -- and the flap counter is
+zero, proving the hysteresis held.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cluster import run_controller_loadtest
+from repro.experiments import format_table
+
+RESULT_PATH = Path(__file__).parents[1] / "BENCH_controller.json"
+
+DURATION_S = 1.8
+
+
+def test_controller_loadtest(report, tmp_path):
+    result = run_controller_loadtest(
+        artifact_root=tmp_path, duration_s=DURATION_S, seed=0,
+    )
+    payload = result.as_dict()
+
+    rows = [
+        [window, f"{payload[window]['throughput_rps']:,.0f}",
+         f"{payload[window]['latency_ms']['p50']:.2f}",
+         f"{payload[window]['latency_ms']['p99']:.2f}",
+         f"{payload[window]['resolved']:,}",
+         f"{payload[window]['errors']:,}"]
+        for window in ("pre", "mid", "post")
+    ]
+    table = format_table(
+        ["window", "req/s", "p50 ms", "p99 ms", "resolved", "errors"],
+        rows,
+        title=f"Controller load test ({payload['n_shards_start']} -> "
+              f"{payload['n_shards_end']} shards; merge on tick "
+              f"{payload['merge'].get('tick')}, post/pre throughput "
+              f"{payload['post_over_pre']:.2f}x, "
+              f"{payload['flaps']} flaps)",
+    )
+    report(table)
+    RESULT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    # the controller really merged: a strictly smaller topology
+    assert payload["n_shards_end"] < payload["n_shards_start"]
+    assert payload["controller"]["counters"]["merge"] == 1
+    assert payload["merge"]["action"] == "merge"
+    # the autonomous surgery cost zero errors anywhere
+    assert payload["errors"] == 0
+    for window in ("pre", "mid", "post"):
+        assert payload[window]["errors"] == 0
+    assert payload["pre"]["resolved"] > 50
+    assert payload["post"]["resolved"] > 50
+    # the merged artifact was fitted once on the donor and adopted by
+    # every other owner: zero rebuilds across the whole window
+    assert payload["refits"] == 0
+    # post-merge throughput within noise of pre-merge: the smaller
+    # topology absorbed the decayed load (same client population on
+    # both sides of the fence)
+    assert payload["post_over_pre"] >= 0.8
+    # the hysteresis held: the controller never inverted a surgery
+    # within the dwell window
+    assert payload["flaps"] == 0
+    assert payload["router"]["unavailable"] == 0
+    assert payload["router"]["stale_rejections"] == 0

@@ -36,6 +36,7 @@ from __future__ import annotations
 import argparse
 import signal
 import sys
+import textwrap
 from typing import Sequence
 
 import numpy as np
@@ -54,6 +55,7 @@ from .core.costmodel import AnalyticalCostModel
 from .core.predictor import IndexCostPredictor
 from .data import datasets
 from .errors import (
+    EXIT_CODES,
     ArtifactCorruptError,
     BudgetExceededError,
     ChecksumError,
@@ -71,6 +73,7 @@ from .errors import (
     TransientReadError,
     UnknownKernelError,
     UnrecoverableCorruptionError,
+    exit_code_for,
 )
 from .experiments.tables import format_signed_percent, format_table
 from .kernels.registry import KERNEL_ENV_VAR, available_kernels
@@ -80,68 +83,36 @@ from .workload.queries import density_biased_knn_workload
 
 __all__ = ["main"]
 
-# Distinct non-zero exit codes per failure class (argparse owns 2).
-# Ordered most-specific-first; the first matching class wins.
-_EXIT_CODES: tuple[tuple[type[ReproError], int], ...] = (
-    (UnknownKernelError, 14),
-    (InputValidationError, 3),
-    (TransientReadError, 4),
-    (TornWriteError, 5),
-    (ChecksumError, 9),
-    (UnrecoverableCorruptionError, 13),
-    (DeadlineExceededError, 12),
-    (BudgetExceededError, 11),
-    (DiskError, 6),
-    (PredictionError, 7),
-    (CrashPoint, 10),
-    (TenantQuotaExceededError, 15),
-    (ServiceOverloadedError, 16),
-    (ArtifactCorruptError, 17),
-    (ReplicaUnavailableError, 18),
-    (StaleRoutingEpochError, 19),
-    (ReproError, 8),
+# Exit codes live with the error hierarchy (``errors.EXIT_CODES``) so
+# a new error class cannot ship without deciding its code; the CLI
+# renders the table into the --help epilog and resolves raised errors
+# through ``errors.exit_code_for``.  Codes 0/2/130 are process-level
+# outcomes with no exception class, so they are appended here.
+_STATIC_EXIT_CODES: tuple[tuple[int, str], ...] = (
+    (0, "success"),
+    (2, "argument error (argparse)"),
+    (130, "interrupted: SIGINT/SIGTERM during a serving session; "
+          "queued requests were drained with typed shutdown responses "
+          "before exit"),
 )
 
-_EXIT_CODE_HELP = """\
-exit codes:
-  0   success
-  2   argument error (argparse)
-  3   invalid input (NaN/inf, empty matrix, bad rates)
-  4   transient read fault, retries exhausted
-  5   torn multi-page write, retries exhausted
-  6   other disk error (includes an open circuit breaker)
-  7   every prediction method failed
-  8   other repro error
-  9   checksum mismatch (silent corruption caught)
-  10  simulated crash point hit (resume via checkpoint APIs)
-  11  resource budget exhausted (--max-io-ops, --strict-budget)
-  12  deadline exceeded (--deadline-s, --strict-budget)
-  13  unrecoverable at-rest corruption: every copy of a page failed
-      verification (raise --replication-factor or enable --parity)
-  14  unknown counting kernel (--kernel / REPRO_KERNEL did not match a
-      registered backend)
-  15  tenant quota exceeded: the tenant's own in-flight slots or
-      charged-op allowance refused the request at admission
-  16  service overloaded: the shared bounded request queue is full and
-      load was shed instead of queued unboundedly
-  17  model artifact corrupt: a saved warm-start artifact failed its
-      CRC/version verification and was not trusted
-  18  replica unavailable: every replica owning a shard was dead,
-      breaker-open, or erroring, and closed-form degradation was not
-      taken
-  19  stale routing epoch: the dispatch pinned a routing epoch an
-      elastic topology change has fenced off; refresh the routing
-      table and retry
-  130 interrupted: SIGINT/SIGTERM during a serving session; queued
-      requests were drained with typed shutdown responses before exit
-"""
+
+def _render_exit_code_help() -> str:
+    entries = {code: desc for _, code, desc in EXIT_CODES}
+    entries.update(dict(_STATIC_EXIT_CODES))
+    lines = ["exit codes:"]
+    for code in sorted(entries):
+        wrapped = textwrap.wrap(entries[code], width=64)
+        lines.append(f"  {code:<3} {wrapped[0]}")
+        lines.extend(f"      {cont}" for cont in wrapped[1:])
+    return "\n".join(lines) + "\n"
+
+
+_EXIT_CODE_HELP = _render_exit_code_help()
 
 
 def _exit_code(error: ReproError) -> int:
-    for klass, code in _EXIT_CODES:
-        if isinstance(error, klass):
-            return code
-    return 8
+    return exit_code_for(error)
 
 
 def _version() -> str:
@@ -608,10 +579,21 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     import tempfile
 
     if args.chaos:
-        scenario = ClusterChaosScenario(
-            seed=args.seed, double_kill=args.double_kill,
-            scale_events=args.scale_events,
-        )
+        if args.controller:
+            scenario = ClusterChaosScenario(
+                seed=args.seed, double_kill=args.double_kill,
+                scale_events=args.scale_events,
+                n_shards=max(args.shards, 3), controller=True,
+                # the storm's kill/restart schedule assumes the merge
+                # fires within the first third of the rounds
+                controller_dwell=min(args.dwell_epochs, 3),
+                merge_when=2.5,
+            )
+        else:
+            scenario = ClusterChaosScenario(
+                seed=args.seed, double_kill=args.double_kill,
+                scale_events=args.scale_events,
+            )
         with tempfile.TemporaryDirectory() as root:
             outcome = run_cluster_chaos(scenario, artifact_root=root)
         print(json.dumps(outcome.summary(), indent=2, sort_keys=True))
@@ -637,7 +619,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             replication=min(args.replication, args.replicas),
             memory=args.memory, seed=args.seed,
             kernel=getattr(args, "kernel", None),
-            split_when=args.split_when,
+            split_when=args.split_when, merge_when=args.merge_when,
         ) as cluster:
             table = cluster.router.table.as_dict()
             rows = []
@@ -711,13 +693,38 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             print(f"split candidates at ratio {args.split_when:g}: "
                   f"{candidates or 'none'}")
             if candidates:
-                children = cluster.split_shard(candidates[0]["shard"])
-                print(f"split shard {candidates[0]['shard']} -> "
-                      f"{list(children)} under epoch "
-                      f"{cluster.router.table.epoch}")
-                post_split = cluster.predict(workload)
-                print(f"post-split merged prediction complete: "
-                      f"{post_split.complete}")
+                try:
+                    children = cluster.split_shard(candidates[0]["shard"])
+                except PredictionError as refused:
+                    # a sliver refusal is the split validating itself,
+                    # not a walkthrough failure -- topology unchanged
+                    print(f"split refused (topology unchanged): {refused}")
+                else:
+                    print(f"split shard {candidates[0]['shard']} -> "
+                          f"{list(children)} under epoch "
+                          f"{cluster.router.table.epoch}")
+                    post_split = cluster.predict(workload)
+                    print(f"post-split merged prediction complete: "
+                          f"{post_split.complete}")
+            if args.controller:
+                # deterministic ticks (no background thread): show the
+                # hysteresis gauntlet working the current proposals
+                controller = cluster.start_controller(
+                    autostart=False, dwell_epochs=args.dwell_epochs,
+                )
+                for _ in range(args.dwell_epochs + 2):
+                    record = controller.tick()
+                    detail = {k: v for k, v in record.items()
+                              if k in ("pair", "shard", "successors",
+                                       "ratio", "error")}
+                    print(f"controller tick {record['tick']}: "
+                          f"{record['action']}"
+                          f"{f' {detail}' if detail else ''}")
+                report = controller.report()
+                print(f"controller: {dict(report['counters'])}, "
+                      f"flaps {report['flaps']} (zero proves the "
+                      f"no-flap rule held), active shards "
+                      f"{cluster.active_shards()}")
             if args.scale_in:
                 if not scaled:
                     print("--scale-in: nothing was scaled out; skipping")
@@ -956,6 +963,29 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default 3.0); candidates are reported "
                               "and the first one split in the "
                               "walkthrough")
+    cluster.add_argument("--merge-when", type=float, default=1.5,
+                         dest="merge_when", metavar="RATIO",
+                         help="merge a sibling pair when their combined "
+                              "tuned cost stays under RATIO x the other "
+                              "siblings' median (default 1.5; must be "
+                              "below --split-when -- the gap is the "
+                              "anti-flap hysteresis band)")
+    cluster.add_argument("--controller", action="store_true",
+                         help="walkthrough: attach the autonomous "
+                              "topology controller and drive "
+                              "deterministic ticks (re-tune > split > "
+                              "merge behind dwell/cool-down/no-flap "
+                              "hysteresis); with --chaos: run the "
+                              "controller storm instead (decaying load, "
+                              "kill and corruption mid-merge, topology "
+                              "must shrink with zero errors)")
+    cluster.add_argument("--dwell-epochs", type=int, default=3,
+                         dest="dwell_epochs", metavar="N",
+                         help="controller hysteresis: a merge pair must "
+                              "persist N consecutive ticks before it "
+                              "fires, and a surgery may not be inverted "
+                              "within N ticks of the shard's birth "
+                              "(default 3)")
     cluster.set_defaults(run=_cmd_cluster)
 
     costs = commands.add_parser("costs", help="analytical Eqs. 1-5")

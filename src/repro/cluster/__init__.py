@@ -1,6 +1,7 @@
 """Sharded prediction cluster: similarity partitioning, per-shard
 tuning, replica failover, failure-aware routing, anti-entropy repair,
-and elastic topology (epoch-fenced scale, split, drift re-tune)."""
+elastic topology (epoch-fenced scale, split, merge, drift re-tune),
+and an autonomous hysteresis-governed topology controller."""
 
 from .chaos import (
     ClusterChaosOutcome,
@@ -9,11 +10,14 @@ from .chaos import (
     run_cluster_chaos,
 )
 from .cluster import ClusterPrediction, PredictionCluster
+from .controller import TopologyController
 from .elasticity import DriftDetector, DriftProposal, TopologyManager
 from .loadtest import (
     ClusterLoadTestResult,
+    ControllerLoadTestResult,
     ElasticityLoadTestResult,
     run_cluster_loadtest,
+    run_controller_loadtest,
     run_elasticity_loadtest,
 )
 from .partition import WorkloadPartition, partition_workload
@@ -27,6 +31,7 @@ __all__ = [
     "ClusterLoadTestResult",
     "ClusterPrediction",
     "ClusterResponse",
+    "ControllerLoadTestResult",
     "DriftDetector",
     "DriftProposal",
     "ElasticityLoadTestResult",
@@ -35,12 +40,14 @@ __all__ = [
     "Router",
     "RoutingTable",
     "ShardConfig",
+    "TopologyController",
     "TopologyManager",
     "WorkloadPartition",
     "assert_cluster_invariant",
     "partition_workload",
     "run_cluster_chaos",
     "run_cluster_loadtest",
+    "run_controller_loadtest",
     "run_elasticity_loadtest",
     "shard_tenant",
     "tune_shard",

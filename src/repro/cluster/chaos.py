@@ -23,6 +23,19 @@ staleness (the table keeps naming a killed replica).  The invariant:
   (including ledgers retired by kills) == the sum over the responses'
   own legs.
 
+**The controller axis** (``controller=True``) hands the topology to
+the autonomous loop instead of the operator: the storm starts
+over-partitioned (one blob carved into a cheap sibling pair), traffic
+*decays* a third of the way in, and the controller -- ticked
+deterministically once per round -- must notice the stranded pair,
+wait out its dwell window, and merge it while one of the pair's owners
+is killed mid-surgery and the merged artifact is corrupted right after
+the fence (anti-entropy must adopt a peer's bytes, never refit).  The
+invariant extends: the topology must *shrink* with zero erroneous
+responses, the flap counter must stay zero (no split-then-merge or
+inverse within the dwell window), and the per-epoch op books still
+reconcile exactly across the autonomous fence.
+
 **The topology axis** (``scale_events=True``) drives the same storm
 through *elastic* transitions: a replica is scaled out mid-storm with
 a deliberately corrupted donor artifact (warming must skip the corrupt
@@ -89,6 +102,13 @@ class ClusterChaosScenario:
     donor early in the storm, a kill of the freshly added replica
     right after the handoff, a mid-storm split of shard 1, a stale-
     epoch probe at each fence, and a graceful scale-in near the end.
+
+    ``controller`` adds the autonomous axis: the cluster starts
+    over-partitioned (use ``n_shards=3`` so one blob is carved into a
+    cheap sibling pair), per-round request volume decays at
+    ``rounds // 3``, and the controller is ticked once per round; one
+    owner of the merge pair is killed on the tick that fires the
+    surgery and the merged artifact is corrupted right after it.
     """
 
     seed: int = 0
@@ -106,6 +126,9 @@ class ClusterChaosScenario:
     faulty_replica: bool = True
     double_kill: bool = False
     scale_events: bool = False
+    controller: bool = False
+    controller_dwell: int = 2
+    merge_when: float = 1.5
     slow_s: float = 0.12
     hedge_after_s: float = 0.04
 
@@ -130,6 +153,8 @@ class ClusterChaosOutcome:
     stale_rejections: int = 0
     #: artifacts healed *mid-storm* (the corrupted scale-out donor)
     warm_heals: int = 0
+    #: controller-axis summary: shard counts and the loop's own report
+    controller: dict = field(default_factory=dict)
 
     @property
     def total_requests(self) -> int:
@@ -148,6 +173,7 @@ class ClusterChaosOutcome:
             "topology": list(self.topology),
             "stale_rejections": self.stale_rejections,
             "warm_heals": self.warm_heals,
+            "controller": dict(self.controller),
             "epoch_books": {
                 str(epoch): {str(s): int(v) for s, v in book.items()}
                 for epoch, book in sorted(self.epoch_books.items())
@@ -190,7 +216,18 @@ def run_cluster_chaos(
         seed=scenario.seed,
         latency_factors=latency_factors,
         hedge_after_s=scenario.hedge_after_s,
+        merge_when=scenario.merge_when,
     )
+    controller = None
+    if scenario.controller:
+        # Attached but never started: the storm drives tick() itself so
+        # the kill/corrupt schedule lands deterministically mid-surgery.
+        controller = cluster.start_controller(
+            autostart=False,
+            dwell_epochs=scenario.controller_dwell,
+            cooldown_epochs=2,
+        )
+        outcome.controller["shards_start"] = len(cluster.active_shards())
 
     # --- pre-storm corruption + anti-entropy heal ---------------------
     shard0_owners = cluster.router.table.owners_of(0)
@@ -318,8 +355,71 @@ def run_cluster_chaos(
             cluster.router.table.owners_of(shard), retry,
         ))
 
+    # Controller-axis schedule: the merge fires on tick ``dwell`` (the
+    # pair is a candidate from tick 1 and must persist the dwell
+    # window), so the mid-surgery kill lands on that round's tick and
+    # the victim restarts two rounds later.  Request volume decays a
+    # third of the way in -- the load story that justifies shrinking.
+    merge_kill_at = (
+        scenario.controller_dwell - 1 if scenario.controller else -1
+    )
+    decay_at = scenario.rounds // 3 if scenario.controller else -1
+    merge_victim: str | None = None
+    heal_pending = False
+
+    def controller_tick(round_i: int) -> None:
+        nonlocal merge_victim, heal_pending
+        pre_epoch = cluster.router.table.epoch
+        if round_i == merge_kill_at:
+            pairs = cluster.topology.merge_candidates()
+            if pairs:
+                owners = cluster.router.table.owners_of(pairs[0]["pair"][0])
+                if len(owners) > 1 and downs() == 0:
+                    merge_victim = owners[-1]
+                    cluster.kill_replica(merge_victim)
+        record = controller.tick()
+        if record["action"] not in ("idle",) and "skip" not in record["action"]:
+            outcome.topology.append(
+                {"op": f"controller:{record['action']}", **{
+                    k: v for k, v in record.items()
+                    if k in ("tick", "pair", "shard", "successors", "ratio")
+                }}
+            )
+        for successor in record.get("successors", ()):
+            install_reference(successor)
+        if record["action"] == "merge":
+            merged = record["successors"][0]
+            # Corrupt one owner's copy of the *just-merged* artifact.
+            # The warm in-memory model keeps serving bit-identically;
+            # the on-disk rot is healed once every listed owner is back
+            # up -- anti-entropy must adopt a verified peer's bytes,
+            # never refit.
+            owner = cluster.router.table.owners_of(merged)[0]
+            cluster.corrupt_artifact(owner, merged)
+            heal_pending = True
+            probe_stale(merged, pre_epoch)
+        if round_i == merge_kill_at + 2:
+            if merge_victim is not None:
+                cluster.restart_replica(merge_victim)
+                merge_victim = None
+            if heal_pending:
+                heal = cluster.anti_entropy()
+                outcome.warm_heals += sum(
+                    len(entry["healed"]) for entry in heal.values()
+                )
+                rebuilt = [s for s, entry in heal.items()
+                           if entry["rebuilt"] is not None]
+                if rebuilt:
+                    outcome.violations.append(
+                        f"post-merge heal rebuilt shard(s) {rebuilt} "
+                        f"from data although verified peers existed"
+                    )
+                heal_pending = False
+
     try:
         for round_i in range(scenario.rounds):
+            if controller is not None:
+                controller_tick(round_i)
             if round_i == scale_add_at:
                 # Scale out with a sabotaged donor: corrupt the
                 # cost-ordered first owner's copy of shard 0 -- the
@@ -410,13 +510,18 @@ def run_cluster_chaos(
                     cluster.restart_replica(peer0)
             if round_i == restart_at:
                 cluster.restart_replica(primary0)
+            # The controller axis models its load decay explicitly:
+            # double request volume before ``decay_at``, single after
+            # -- the drop in demand is what justifies shrinking.
+            reps = 2 if scenario.controller and round_i < decay_at else 1
             for shard in cluster.active_shards():
                 down = downs()
                 owners_at_submit = cluster.router.table.owners_of(shard)
-                response = cluster.request(shard, workloads[shard])
-                responses.append(
-                    (shard, down, "warm", owners_at_submit, response)
-                )
+                for _ in range(reps):
+                    response = cluster.request(shard, workloads[shard])
+                    responses.append(
+                        (shard, down, "warm", owners_at_submit, response)
+                    )
                 if round_i % 3 == 2:
                     # A charged full-method request per shard every
                     # third round keeps the reconciliation sums nonzero
@@ -461,6 +566,15 @@ def run_cluster_chaos(
             ).items()
         }
         outcome.router = cluster.router.metrics()
+        if controller is not None:
+            report = controller.report()
+            outcome.controller.update({
+                "shards_end": len(cluster.active_shards()),
+                "flaps": report["flaps"],
+                "counters": dict(report["counters"]),
+                "born": report["born"],
+                "epoch": report["epoch"],
+            })
     finally:
         cluster.stop()
     return outcome
@@ -594,4 +708,22 @@ def assert_cluster_invariant(outcome: ClusterChaosOutcome) -> None:
         assert outcome.stale_rejections > 0, (
             "topology storm ran but no stale-epoch probe was refused "
             "-- the fence is not fencing"
+        )
+    if outcome.scenario.controller:
+        ctl = outcome.controller
+        assert ctl["shards_end"] < ctl["shards_start"], (
+            f"controller storm ended with {ctl['shards_end']} shards, "
+            f"started with {ctl['shards_start']} -- the load decay was "
+            f"never absorbed into a smaller topology"
+        )
+        assert ctl["counters"].get("merge", 0) >= 1, (
+            "controller storm fired no merge"
+        )
+        assert ctl["flaps"] == 0, (
+            f"controller flapped {ctl['flaps']} time(s): a shard was "
+            f"split and merged back (or inverse) within the dwell window"
+        )
+        assert outcome.stale_rejections > 0, (
+            "controller merge fenced no stale probe -- the autonomous "
+            "surgery is not epoch-fenced"
         )

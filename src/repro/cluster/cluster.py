@@ -29,9 +29,13 @@ shard is bad -- PR 4's repair-on-read semantics lifted to the cluster.
 **Elastic topology.**  The topology set at construction is a starting
 point, not a contract: a :class:`~.elasticity.TopologyManager`
 (``self.topology``) can add and remove replicas, split a shard whose
-tuned cost diverges from its siblings, and re-tune a shard whose live
-queries have drifted from its centroid -- all behind an epoch-fenced
-routing-table handoff (see :mod:`.elasticity`).  Two bookkeeping rules
+tuned cost diverges from its siblings, merge a sibling pair stranded
+cheap by load decay, and re-tune a shard whose live queries have
+drifted from its centroid -- all behind an epoch-fenced routing-table
+handoff (see :mod:`.elasticity`).  A
+:class:`~.controller.TopologyController`
+(:meth:`start_controller`) closes the policy loop autonomously, with
+hysteresis so the topology never flaps.  Two bookkeeping rules
 make that safe: **shard ids are never reused** (successor shards mint
 fresh ids from ``_next_shard_id``, because a reused id would collide
 with the retired shard's artifact key and ledger history -- so the
@@ -60,6 +64,7 @@ from ..errors import (
 from ..runtime.budget import Budget
 from ..service.tenancy import TenantQuota
 from ..workload.queries import KNNWorkload
+from .controller import TopologyController
 from .elasticity import TopologyManager
 from .partition import WorkloadPartition, partition_workload
 from .replicas import Replica, shard_tenant
@@ -123,6 +128,7 @@ class PredictionCluster:
         request_timeout_s: float = 30.0,
         breaker_cooldown_s: float = 0.2,
         split_when: float = 3.0,
+        merge_when: float = 1.5,
         drift_threshold: float = 0.35,
         min_drift_observations: int = 24,
         reorg_budget: Budget | None = None,
@@ -251,10 +257,13 @@ class PredictionCluster:
         self.topology = TopologyManager(
             self,
             split_when=split_when,
+            merge_when=merge_when,
             drift_threshold=drift_threshold,
             min_drift_observations=min_drift_observations,
             reorg_budget=reorg_budget,
         )
+        #: the autonomous policy loop, attached on demand
+        self.controller: TopologyController | None = None
 
     def _new_replica(self, name: str, latency_factor: float = 1.0
                      ) -> Replica:
@@ -430,6 +439,37 @@ class PredictionCluster:
         """Replace one shard with a freshly tuned successor."""
         return self.topology.re_tune_shard(shard, **kwargs)
 
+    def merge_shards(self, a: int, b: int, **kwargs) -> int:
+        """Merge two shards into one freshly tuned successor."""
+        return self.topology.merge_shards(a, b, **kwargs)
+
+    def start_controller(
+        self, *, autostart: bool = True, **kwargs
+    ) -> TopologyController:
+        """Attach the autonomous topology controller (and start it).
+
+        ``autostart=False`` attaches without spawning the background
+        thread -- callers then drive :meth:`TopologyController.tick`
+        themselves (tests and the chaos storm do, for determinism).
+        Keyword arguments go to :class:`TopologyController` --
+        ``interval_s``, ``dwell_epochs``, ``cooldown_epochs``, and an
+        injectable ``clock``.
+        """
+        if self.controller is not None and self.controller.running:
+            raise InputValidationError(
+                "a topology controller is already running; stop it "
+                "before attaching a new one"
+            )
+        self.controller = TopologyController(self, **kwargs)
+        if autostart:
+            self.controller.start()
+        return self.controller
+
+    def stop_controller(self) -> None:
+        """Stop the controller's background loop, if one is attached."""
+        if self.controller is not None:
+            self.controller.stop()
+
     def _replica(self, name: str) -> Replica:
         try:
             return self.replicas[name]
@@ -530,7 +570,10 @@ class PredictionCluster:
     # ------------------------------------------------------------------
 
     def stop(self) -> None:
-        """Drain the router, then stop every live replica.  Idempotent."""
+        """Stop the controller, drain the router, stop every live
+        replica.  Idempotent.  The controller goes first: a surgery
+        scheduled after the drain would race the shutdown."""
+        self.stop_controller()
         self.router.drain()
         for replica in self.replicas.values():
             if not replica.down:
@@ -577,6 +620,10 @@ class PredictionCluster:
                 for shard, info in self.retired_shards.items()
             },
             "topology": self.topology.report(),
+            "controller": (
+                self.controller.report()
+                if self.controller is not None else None
+            ),
         }
 
     # Convenience the chaos harness and tests use -----------------------

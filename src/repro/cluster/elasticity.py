@@ -26,12 +26,17 @@ re-tuning -- instead of static placement.  Four mechanisms compose:
    :meth:`TopologyManager.remove_replica` fences, drains, and retires
    the replica's ledgers exactly as a kill would, so nothing vanishes
    from the accounting.
-3. **shard split / re-tune** -- successor shards get *fresh* ids
-   (ids are never reused: a reused id would collide with the retired
-   shard's artifact key and its ledger history), each half is re-tuned
-   on its own workload slice with the seeded partitioner, and the old
-   shard's ledgers fold into the owners' retired books under the old
-   id.
+3. **shard split / merge / re-tune** -- successor shards get *fresh*
+   ids (ids are never reused: a reused id would collide with the
+   retired shard's artifact key and its ledger history), each
+   successor is re-tuned on its own workload slice -- a split's halves
+   on the seeded re-partition of the parent's slice, a merge's single
+   child on the parents' *concatenated* slices -- and the old shards'
+   ledgers fold into the owners' retired books under the old ids.
+   ``merge_when < split_when`` is enforced so the two detectors leave
+   a hysteresis band between them, and a merge whose re-tuned cost
+   would immediately re-trip ``split_when`` is refused before the
+   fence.
 4. **drift detection + governed reorganization** -- a
    :class:`DriftDetector` compares live per-shard query centers
    against the partitioner's frozen centroids and proposes re-tunes;
@@ -130,6 +135,7 @@ class DriftDetector:
         self._counts: Counter = Counter()
         self._recent: dict[int, deque] = {}
         self._scale = 1.0
+        self._degenerate = False
         self._lock = threading.Lock()
 
     def freeze(self, centers: dict[int, np.ndarray]) -> None:
@@ -160,8 +166,14 @@ class DriftDetector:
                 dist = np.sqrt(np.einsum("abd,abd->ab", diff, diff))
                 off_diag = dist[~np.eye(len(anchors), dtype=bool)]
                 mean = float(off_diag.mean())
+                # All centers coinciding is a *degenerate* partition:
+                # there is no inter-centroid scale to normalize against,
+                # so drift is defined as 0.0 (see :meth:`drift`) rather
+                # than dividing by zero or an arbitrary unit scale.
+                self._degenerate = mean <= 0.0
                 self._scale = mean if mean > 0 else 1.0
             else:
+                self._degenerate = False
                 self._scale = 1.0
 
     def observe(self, shard: int, queries: np.ndarray) -> None:
@@ -197,6 +209,12 @@ class DriftDetector:
             count = self._counts.get(shard, 0)
             if count < self.min_observations:
                 return 0.0
+            if self._degenerate:
+                # Every frozen center coincides: displacement has no
+                # scale to be measured against, and a partition whose
+                # centroids are identical routes arbitrarily anyway --
+                # drift against it is meaningless, explicitly 0.0.
+                return 0.0
             live = self._sums[shard] / count
             return float(
                 np.linalg.norm(live - self._frozen[shard]) / self._scale
@@ -220,6 +238,7 @@ class DriftDetector:
         return {
             "threshold": self.threshold,
             "min_observations": self.min_observations,
+            "degenerate": self._degenerate,
             "shards": {
                 shard: {
                     "observations": int(self._counts.get(shard, 0)),
@@ -245,6 +264,7 @@ class TopologyManager:
         cluster: "PredictionCluster",
         *,
         split_when: float = 3.0,
+        merge_when: float = 1.5,
         drift_threshold: float = 0.35,
         min_drift_observations: int = 24,
         reorg_budget: Budget | None = None,
@@ -254,8 +274,16 @@ class TopologyManager:
                 f"split_when must exceed 1.0 (it is a cost *ratio* "
                 f"against the sibling median), got {split_when}"
             )
+        if not 0.0 < merge_when < split_when:
+            raise InputValidationError(
+                f"merge_when must lie in (0, split_when={split_when}): "
+                f"the gap between the two thresholds is the hysteresis "
+                f"band that keeps split and merge from flapping; got "
+                f"{merge_when}"
+            )
         self.cluster = cluster
         self.split_when = split_when
+        self.merge_when = merge_when
         self.governor = Governor(reorg_budget or Budget())
         self.drift = DriftDetector(
             threshold=drift_threshold,
@@ -475,6 +503,54 @@ class TopologyManager:
                     "predicted_seconds": seconds[shard],
                 })
         return out
+
+    def merge_candidates(self) -> list[dict]:
+        """Sibling pairs cheap enough to share one shard again.
+
+        A pair is a candidate when the *sum* of both tuned
+        ``predicted_seconds`` stays within ``merge_when`` times the
+        median of the remaining siblings' -- i.e. even merged, the
+        combined shard would sit well below the ``split_when`` ratio
+        (``merge_when < split_when`` is enforced; the gap is the
+        hysteresis band).  Pairs are greedily chosen cheapest-ratio
+        first with no shard in two pairs.  The controller additionally
+        requires a candidate to *persist* for a dwell window before it
+        fires -- one cheap tuning snapshot must not trigger surgery.
+        """
+        cluster = self.cluster
+        active = cluster.active_shards()
+        # a pair is judged against the *other* shards' median; with
+        # fewer than 3 active shards there is no external baseline and
+        # candidacy would be self-referential (any balanced pair rates
+        # ratio 2.0 against itself), so a 2-shard cluster never merges
+        # autonomously -- folding to a single shard erases routing.
+        if len(active) < 3:
+            return []
+        seconds = {
+            s: cluster.shard_configs[s].predicted_seconds for s in active
+        }
+        pairs = []
+        for i, a in enumerate(active):
+            for b in active[i + 1:]:
+                combined = seconds[a] + seconds[b]
+                others = [v for s, v in seconds.items() if s not in (a, b)]
+                baseline = float(np.median(others))
+                if baseline > 0 and combined / baseline <= self.merge_when:
+                    pairs.append({
+                        "pair": (a, b),
+                        "ratio": round(combined / baseline, 3),
+                        "combined_seconds": combined,
+                    })
+        pairs.sort(key=lambda p: (p["ratio"], p["pair"]))
+        chosen: list[dict] = []
+        used: set[int] = set()
+        for pair in pairs:
+            a, b = pair["pair"]
+            if a in used or b in used:
+                continue
+            used.update((a, b))
+            chosen.append(pair)
+        return chosen
 
     def split_shard(
         self,
@@ -801,6 +877,208 @@ class TopologyManager:
         })
         return child_ids
 
+    def merge_shards(
+        self,
+        a: int,
+        b: int,
+        *,
+        timeout_s: float = _TOPOLOGY_DRAIN_S,
+    ) -> int:
+        """Merge two shards into one fresh successor -- split, inverted.
+
+        The parents' tuning slices are concatenated (b's query ids
+        re-anchored past a's points), the merged shard is re-tuned on
+        the combined slice exactly as construction tuned each parent,
+        and it gets a fresh never-reused id.  Admission is charged
+        against the reorg budget *before* any surgery, and a merged
+        configuration that would immediately re-trip ``split_when``
+        against the surviving siblings is refused (typed) with the
+        routing table untouched -- merging and promptly re-splitting is
+        the flap the hysteresis band exists to prevent.  The handoff is
+        the same fence-drain-fold as a split: the merged shard is
+        registered on the union of the parents' live owners (one fit,
+        peers adopt the donor's bytes), the new table lands under a
+        strictly larger epoch, the router drains -- a straddling
+        request admitted under the old epoch still answers
+        bit-identically against the parent tenant it captured -- and
+        both parents' ledgers fold into the owners' retired books.
+        Returns the merged shard's id.
+        """
+        with self._lock:
+            cluster = self.cluster
+            if a == b:
+                raise InputValidationError(
+                    f"cannot merge shard {a} with itself"
+                )
+            row_a = cluster._row_of(a)
+            row_b = cluster._row_of(b)
+            table = cluster.router.table
+            owners_a = table.owners_of(a)
+            owners_b = table.owners_of(b)
+            owner_names = list(owners_a)
+            owner_names += [n for n in owners_b if n not in owner_names]
+
+            points_a = cluster.shard_points[a]
+            points_b = cluster.shard_points[b]
+            n_a = points_a.shape[0]
+            slice_a = cluster.tuning_slices[a]
+            slice_b = cluster.tuning_slices[b]
+
+            # --- admission: the reorg budget sees the merge up front --
+            estimate = max(
+                1,
+                cluster.shard_configs[a].tuning_io_ops
+                + cluster.shard_configs[b].tuning_io_ops,
+            )
+            self.governor.require_ops(estimate, phase="merge")
+
+            # --- re-tune the merged shard on the combined slice -------
+            merged_points = np.vstack([points_a, points_b])
+            merged_workload = KNNWorkload(
+                k=min(slice_a.k, slice_b.k),
+                query_ids=np.concatenate(
+                    [slice_a.query_ids, slice_b.query_ids + n_a]
+                ),
+                queries=np.vstack([slice_a.queries, slice_b.queries]),
+                radii=np.concatenate([slice_a.radii, slice_b.radii]),
+            )
+            merged_id = cluster._next_shard_id
+            config = tune_shard(
+                merged_id, merged_points, merged_workload,
+                memory=cluster.memory, page_sizes=cluster.page_sizes,
+                base_disk=cluster.base_disk,
+                method=cluster.tuning_method,
+                seed=cluster.seed, kernel=cluster.kernel,
+            )
+            self._charge("merge", config.tuning_io_ops)
+
+            # --- refuse a merge that would immediately re-trip --------
+            survivors = [
+                cluster.shard_configs[s].predicted_seconds
+                for s in cluster.active_shards() if s not in (a, b)
+            ]
+            if survivors:
+                baseline = float(np.median(survivors))
+                if (baseline > 0
+                        and config.predicted_seconds / baseline
+                        >= self.split_when):
+                    raise PredictionError(
+                        f"merging shards {a}+{b} would re-trip "
+                        f"split_when immediately (merged cost "
+                        f"{config.predicted_seconds:.4g} is "
+                        f"{config.predicted_seconds / baseline:.2f}x "
+                        f"the sibling median, threshold "
+                        f"{self.split_when:g}) -- topology unchanged"
+                    )
+
+            # --- register the merged shard on the parents' owners -----
+            # One fit on the first live owner; every other owner adopts
+            # the donor's exact bytes, so the merged artifact exists at
+            # most one fit cluster-wide -- same contract as a split.
+            donor = None
+            for owner in owner_names:
+                replica = cluster.replicas.get(owner)
+                if replica is None or replica.down or replica.service is None:
+                    continue
+                if donor is not None:
+                    data = (
+                        cluster.replicas[donor]
+                        .artifact_path(merged_id).read_bytes()
+                    )
+                    replica.adopt_shard_bytes(merged_id, data)
+                replica.register_shard(
+                    merged_id, merged_points, config,
+                    fit_seed=cluster.fit_seed,
+                )
+                if donor is None:
+                    donor = owner
+            if donor is None:
+                raise InputValidationError(
+                    f"no live owner of shards {a}/{b} can carry their "
+                    f"merged successor; restart an owner first"
+                )
+            cluster.shard_points[merged_id] = merged_points
+            cluster.shard_configs[merged_id] = config
+            cluster.tuning_slices[merged_id] = merged_workload
+            merged_locals = dict(cluster._local_ids[a])
+            for g, local in cluster._local_ids[b].items():
+                # a global id present in both parents (both were sliver
+                # shards serving the full dataset) keeps a's anchor --
+                # the point values are identical either way
+                merged_locals.setdefault(g, local + n_a)
+            cluster._local_ids[merged_id] = merged_locals
+            cluster._next_shard_id += 1
+
+            # --- new partition geometry: one centroid for two rows ----
+            n_b = points_b.shape[0]
+            centroid = (
+                n_a * cluster.partition.centroids[row_a]
+                + n_b * cluster.partition.centroids[row_b]
+            ) / (n_a + n_b)
+            keep = [
+                r for r in range(len(cluster._row_to_shard))
+                if r not in (row_a, row_b)
+            ]
+            new_centroids = np.vstack(
+                [cluster.partition.centroids[keep], centroid[None, :]]
+            )
+            cluster._row_to_shard = [
+                cluster._row_to_shard[r] for r in keep
+            ] + [merged_id]
+            probe = WorkloadPartition(
+                centroids=new_centroids,
+                assignments=np.zeros(0, dtype=np.int64),
+            )
+            cluster.partition = WorkloadPartition(
+                centroids=new_centroids,
+                assignments=probe.shard_of(
+                    cluster.tuning_workload.queries
+                ),
+            )
+
+            # --- fence, drain, fold -----------------------------------
+            old = cluster.router.table
+            owners = {
+                s: o for s, o in old.owners.items() if s not in (a, b)
+            }
+            costs = {
+                s: dict(c) for s, c in old.costs.items() if s not in (a, b)
+            }
+            live_owners = [
+                n for n in owner_names
+                if cluster.replicas.get(n) is not None
+                and not cluster.replicas[n].down
+                and cluster.replicas[n].service is not None
+            ]
+            cost = {
+                name: config.predicted_seconds
+                * cluster.replicas[name].latency_factor
+                for name in live_owners
+            }
+            owners[merged_id] = self._ordered(live_owners, cost)
+            costs[merged_id] = cost
+            new_table = self._install(owners, costs)
+            cluster.router.drain(timeout_s=timeout_s)
+            for parent, parent_owners in ((a, owners_a), (b, owners_b)):
+                for owner in parent_owners:
+                    replica = cluster.replicas.get(owner)
+                    if replica is not None:
+                        replica.retire_shard(parent)
+                cluster.retired_shards[parent] = {
+                    "children": (merged_id,),
+                    "epoch": new_table.epoch,
+                    "reason": "merge",
+                }
+            self.drift.freeze(self._current_centers())
+            self.events.append({
+                "op": "merge",
+                "shards": [a, b],
+                "children": [merged_id],
+                "epoch": new_table.epoch,
+                "charged_ops": config.tuning_io_ops,
+            })
+            return merged_id
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -808,12 +1086,14 @@ class TopologyManager:
     def proposals(self) -> dict:
         return {
             "split": self.split_candidates(),
+            "merge": self.merge_candidates(),
             "re_tune": [p.as_dict() for p in self.drift.proposals()],
         }
 
     def report(self) -> dict:
         return {
             "split_when": self.split_when,
+            "merge_when": self.merge_when,
             "events": list(self.events),
             "drift": self.drift.report(),
             "reorg": self.governor.report(),

@@ -15,6 +15,17 @@ baseline) hammer for a fixed wall-clock window; a third of the way in
 the primary owner of shard 0 is killed, two thirds in it is restarted
 -- the routed side must keep answering through both transitions.
 
+:func:`run_controller_loadtest` measures the *autonomous* question: an
+over-partitioned cluster under closed-loop load has its load decay a
+third of the way in (one client retires); the topology controller,
+ticked by an operator thread, notices the stranded cheap sibling pair,
+waits out its dwell window, and merges -- shrinking the topology under
+live traffic.  The committed ``BENCH_controller.json`` must show the
+loop absorbed the surgery: zero errored responses across the merge
+fence, zero refits (the merged artifact is fitted once and adopted by
+peers), post-merge throughput within noise of pre-merge, and a zero
+flap counter.
+
 :func:`run_elasticity_loadtest` measures the *elastic* question
 instead: a cluster under closed-loop load scales out mid-window -- a
 new replica is built, warmed from peer bytes, and fenced in under a
@@ -41,8 +52,10 @@ from .cluster import PredictionCluster
 
 __all__ = [
     "ClusterLoadTestResult",
+    "ControllerLoadTestResult",
     "ElasticityLoadTestResult",
     "run_cluster_loadtest",
+    "run_controller_loadtest",
     "run_elasticity_loadtest",
 ]
 
@@ -444,6 +457,242 @@ def run_elasticity_loadtest(
             result.post["throughput_rps"]
             / max(result.pre["throughput_rps"], 1e-9)
         )
+        result.router = cluster.router.metrics()
+    finally:
+        cluster.stop()
+    return result
+
+
+@dataclass
+class ControllerLoadTestResult:
+    """One load-decay window absorbed by the autonomous controller.
+
+    ``pre`` covers requests fully resolved between the load decay and
+    the merge surgery (same client population as ``post``, so the
+    throughput ratio is apples-to-apples), ``post`` requests started
+    after the merged table landed, and ``mid`` everything straddling
+    the surgery.  ``post_over_pre`` is the ratio the benchmark gates
+    on: the merge must be absorbed, not paid for in throughput.
+    """
+
+    duration_s: float
+    n_shards_start: int
+    n_shards_end: int = 0
+    n_replicas: int = 0
+    merge_when: float = 0.0
+    dwell_epochs: int = 0
+    merge: dict = field(default_factory=dict)
+    controller: dict = field(default_factory=dict)
+    pre: dict = field(default_factory=dict)
+    mid: dict = field(default_factory=dict)
+    post: dict = field(default_factory=dict)
+    errors: int = 0
+    degraded: int = 0
+    refits: int = 0
+    flaps: int = -1
+    post_over_pre: float = 0.0
+    router: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "duration_s": self.duration_s,
+            "n_shards_start": self.n_shards_start,
+            "n_shards_end": self.n_shards_end,
+            "n_replicas": self.n_replicas,
+            "merge_when": self.merge_when,
+            "dwell_epochs": self.dwell_epochs,
+            "merge": self.merge,
+            "controller": self.controller,
+            "pre": self.pre,
+            "mid": self.mid,
+            "post": self.post,
+            "errors": self.errors,
+            "degraded": self.degraded,
+            "refits": self.refits,
+            "flaps": self.flaps,
+            "post_over_pre": round(self.post_over_pre, 3),
+            "router": self.router,
+        }
+
+
+def run_controller_loadtest(
+    *,
+    artifact_root: str,
+    n_shards: int = 3,
+    n_replicas: int = 3,
+    replication: int = 2,
+    workers_per_replica: int = 2,
+    duration_s: float = 1.8,
+    n_points: int = 600,
+    dim: int = 6,
+    memory: int = 200,
+    n_queries: int = 12,
+    k: int = 5,
+    seed: int = 0,
+    n_clients: int = 3,
+    merge_when: float = 2.5,
+    split_when: float = 4.0,
+    dwell_epochs: int = 2,
+    tick_every_s: float = 0.05,
+) -> ControllerLoadTestResult:
+    """One measured window with a load decay and an autonomous merge.
+
+    The dataset is two blobs carved into ``n_shards`` > 2 shards, so
+    one blob is over-partitioned into a cheap sibling pair from the
+    start -- the topology a sustained load decay strands.  A third of
+    the way in one closed-loop client retires (the decay); an operator
+    thread then starts ticking the attached controller, which must
+    wait out the merge pair's dwell window and fire exactly one
+    epoch-fenced merge under the surviving traffic.  Clients follow
+    the live topology (they re-read ``active_shards`` every loop), so
+    the same client population hammers 3 shards before the surgery
+    and 2 after it.
+    """
+    rng = np.random.default_rng(seed)
+    half = n_points // 2
+    data = np.vstack([
+        rng.normal(loc=0.0, scale=1.0, size=(half, dim)),
+        rng.normal(loc=6.0, scale=0.5, size=(n_points - half, dim)),
+    ])
+    tuning = density_biased_knn_workload(data, max(16, 4 * n_shards), k, rng)
+
+    result = ControllerLoadTestResult(
+        duration_s=duration_s, n_shards_start=n_shards,
+        n_replicas=n_replicas, merge_when=merge_when,
+        dwell_epochs=dwell_epochs,
+    )
+    lock = threading.Lock()
+    #: (t_start, t_end, status) per resolved request
+    records: list[tuple[float, float, str]] = []
+    marks: dict[str, float] = {}
+    failures: list[BaseException] = []
+    workloads: dict[int, object] = {}
+
+    cluster = PredictionCluster(
+        data, tuning,
+        artifact_root=artifact_root,
+        n_shards=n_shards, n_replicas=n_replicas,
+        replication=replication,
+        workers_per_replica=workers_per_replica,
+        memory=memory, fit_seed=seed, seed=seed,
+        merge_when=merge_when, split_when=split_when,
+    )
+    controller = cluster.start_controller(
+        autostart=False, dwell_epochs=dwell_epochs,
+    )
+
+    def workload_for(shard: int):
+        with lock:
+            workload = workloads.get(shard)
+            if workload is None:
+                workload = density_biased_knn_workload(
+                    cluster.shard_points[shard], n_queries, k,
+                    np.random.default_rng(seed + shard),
+                )
+                workloads[shard] = workload
+        return workload
+
+    decay_at = duration_s / 3
+
+    def client(index: int) -> None:
+        # the last client is the decaying load: it retires at t/3
+        my_stop = time.monotonic() + (
+            decay_at if index == n_clients - 1 else duration_s
+        )
+        local: list[tuple[float, float, str]] = []
+        while time.monotonic() < my_stop:
+            for shard in cluster.active_shards():
+                t_start = time.monotonic()
+                response = cluster.request(shard, workload_for(shard))
+                local.append(
+                    (t_start, time.monotonic(), response.status)
+                )
+        with lock:
+            records.extend(local)
+
+    def operator() -> None:
+        time.sleep(decay_at)
+        marks["decay"] = time.monotonic()
+        deadline = marks["decay"] + duration_s
+        try:
+            while time.monotonic() < deadline:
+                before = time.monotonic()
+                record = controller.tick()
+                if record["action"] == "merge":
+                    marks["merge_start"] = before
+                    marks["merge_done"] = time.monotonic()
+                    with lock:
+                        result.merge = dict(record)
+                    return
+                time.sleep(tick_every_s)
+        except BaseException as error:  # surfaced after join
+            failures.append(error)
+
+    try:
+        threads = [
+            threading.Thread(target=client, args=(i,), daemon=True)
+            for i in range(n_clients)
+        ]
+        threads.append(threading.Thread(target=operator, daemon=True))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[0]
+
+        result.n_shards_end = len(cluster.active_shards())
+        report = controller.report()
+        result.flaps = report["flaps"]
+        result.controller = {
+            "epoch": report["epoch"],
+            "counters": report["counters"],
+            "born": report["born"],
+        }
+        result.refits = sum(
+            replica.service.store.rebuilds()
+            for replica in cluster.replicas.values()
+            if not replica.down and replica.service is not None
+        )
+        result.errors = sum(
+            1 for _, _, status in records if status == "error"
+        )
+        result.degraded = sum(
+            1 for _, _, status in records if status == "degraded"
+        )
+
+        if "merge_start" in marks:
+            t_end = max(end for _, end, _ in records)
+            decay = marks["decay"]
+            merge_start = marks["merge_start"]
+            merge_done = marks["merge_done"]
+
+            def window(selected, span_s: float) -> dict:
+                latencies = [end - start for start, end, _ in selected]
+                errors = sum(
+                    1 for _, _, status in selected if status == "error"
+                )
+                return {
+                    "resolved": len(selected),
+                    "errors": errors,
+                    "throughput_rps": round(
+                        len(selected) / max(span_s, 1e-9), 1
+                    ),
+                    "latency_ms": _percentiles(latencies),
+                }
+
+            pre = [r for r in records
+                   if r[0] >= decay and r[1] <= merge_start]
+            post = [r for r in records if r[0] >= merge_done]
+            mid = [r for r in records
+                   if r[1] > merge_start and r[0] < merge_done]
+            result.pre = window(pre, merge_start - decay)
+            result.mid = window(mid, merge_done - merge_start)
+            result.post = window(post, t_end - merge_done)
+            result.post_over_pre = (
+                result.post["throughput_rps"]
+                / max(result.pre["throughput_rps"], 1e-9)
+            )
         result.router = cluster.router.metrics()
     finally:
         cluster.stop()

@@ -496,6 +496,17 @@ class Router:
             books.setdefault(leg.epoch, Counter())[leg.shard] += ops
         return books
 
+    def in_flight(self) -> int:
+        """Legs submitted but not yet resolved.
+
+        The controller's tick records this gauge so a surgery decision
+        is attributable to the load it was made under, and load tests
+        report it at window edges.
+        """
+        with self._lock:
+            legs = list(self._legs)
+        return sum(1 for leg in legs if not leg.done())
+
     def metrics(self) -> dict:
         with self._lock:
             return {

@@ -111,6 +111,8 @@ __all__ = [
     "StaleRoutingEpochError",
     "DegradedResultWarning",
     "validate_points",
+    "EXIT_CODES",
+    "exit_code_for",
 ]
 
 
@@ -529,3 +531,71 @@ def validate_points(points, *, name: str = "points") -> np.ndarray:
             f"{'s' if bad != 1 else ''} (NaN or inf)"
         )
     return array
+
+
+#: The CLI exit code and ``--help`` description for every error class,
+#: most-specific-first: :func:`exit_code_for` walks this table and the
+#: first :func:`issubclass` match wins, so a subclass entry must sit
+#: above its parent (``DeadlineExceededError`` above
+#: ``BudgetExceededError``, every ``DiskError`` leaf above
+#: ``DiskError``, everything above the ``ReproError`` catch-all).
+#: :class:`CircuitOpenError` deliberately has no row of its own -- an
+#: open breaker means the device is effectively unavailable, so it
+#: resolves through :class:`DiskError` to code 6.  The test suite
+#: asserts every exported :class:`ReproError` subclass resolves to
+#: exactly one code, so a new error class cannot ship without deciding
+#: its exit code here.
+EXIT_CODES: tuple[tuple[type, int, str], ...] = (
+    (UnknownKernelError, 14,
+     "unknown counting kernel (--kernel / REPRO_KERNEL did not match "
+     "a registered backend)"),
+    (InputValidationError, 3,
+     "invalid input (NaN/inf, empty matrix, bad rates)"),
+    (TransientReadError, 4, "transient read fault, retries exhausted"),
+    (TornWriteError, 5, "torn multi-page write, retries exhausted"),
+    (ChecksumError, 9, "checksum mismatch (silent corruption caught)"),
+    (UnrecoverableCorruptionError, 13,
+     "unrecoverable at-rest corruption: every copy of a page failed "
+     "verification (raise --replication-factor or enable --parity)"),
+    (DeadlineExceededError, 12,
+     "deadline exceeded (--deadline-s, --strict-budget)"),
+    (BudgetExceededError, 11,
+     "resource budget exhausted (--max-io-ops, --strict-budget)"),
+    (DiskError, 6,
+     "other disk error (includes an open circuit breaker)"),
+    (PredictionError, 7, "every prediction method failed"),
+    (CrashPoint, 10,
+     "simulated crash point hit (resume via checkpoint APIs)"),
+    (TenantQuotaExceededError, 15,
+     "tenant quota exceeded: the tenant's own in-flight slots or "
+     "charged-op allowance refused the request at admission"),
+    (ServiceOverloadedError, 16,
+     "service overloaded: the shared bounded request queue is full "
+     "and load was shed instead of queued unboundedly"),
+    (ArtifactCorruptError, 17,
+     "model artifact corrupt: a saved warm-start artifact failed its "
+     "CRC/version verification and was not trusted"),
+    (ReplicaUnavailableError, 18,
+     "replica unavailable: every replica owning a shard was dead, "
+     "breaker-open, or erroring, and closed-form degradation was not "
+     "taken"),
+    (StaleRoutingEpochError, 19,
+     "stale routing epoch: the dispatch pinned a routing epoch an "
+     "elastic topology change has fenced off; refresh the routing "
+     "table and retry"),
+    (ReproError, 8, "other repro error"),
+)
+
+
+def exit_code_for(error) -> int:
+    """The process exit code for an error instance or class.
+
+    Walks :data:`EXIT_CODES` most-specific-first; the first matching
+    entry wins.  Anything outside the hierarchy falls back to the
+    :class:`ReproError` catch-all code.
+    """
+    klass = error if isinstance(error, type) else type(error)
+    for registered, code, _description in EXIT_CODES:
+        if issubclass(klass, registered):
+            return code
+    return 8

@@ -109,6 +109,71 @@ class TestDurabilityFlags:
         assert "predicted leaf accesses" in capsys.readouterr().out
 
 
+class TestExitCodeTable:
+    """The centralized table in ``errors.EXIT_CODES`` is the single
+    source of truth: complete over the exported hierarchy, unambiguous,
+    and what both the CLI resolver and the --help epilog consume."""
+
+    def test_every_exported_error_has_exactly_one_code(self):
+        import repro.errors as errors_mod
+
+        exported = [
+            getattr(errors_mod, name) for name in errors_mod.__all__
+        ]
+        classes = [
+            cls for cls in exported
+            if isinstance(cls, type)
+            and issubclass(cls, errors_mod.ReproError)
+        ]
+        assert len(classes) >= 17
+        registered = [cls for cls, _, _ in errors_mod.EXIT_CODES]
+        # no class appears twice, no code is shared between entries
+        assert len(registered) == len(set(registered))
+        codes = [code for _, code, _ in errors_mod.EXIT_CODES]
+        assert len(codes) == len(set(codes))
+        # every registered class is part of the exported hierarchy
+        assert set(registered) <= set(classes)
+        for cls in classes:
+            code = errors_mod.exit_code_for(cls)
+            assert isinstance(code, int) and 3 <= code <= 19, (
+                f"{cls.__name__} resolves to no usable exit code"
+            )
+            # most-specific-first actually holds: the resolved code is
+            # the first subclass match, and a class with its own row
+            # resolves to that row (never shadowed by a parent above it)
+            expected = next(
+                c for k, c, _ in errors_mod.EXIT_CODES
+                if issubclass(cls, k)
+            )
+            assert code == expected
+
+    def test_cli_resolver_delegates_to_the_table(self):
+        from repro.cli import _exit_code
+        from repro.errors import (
+            EXIT_CODES,
+            CircuitOpenError,
+            exit_code_for,
+        )
+
+        for cls, code, _description in EXIT_CODES:
+            error = cls.__new__(cls)
+            assert _exit_code(error) == exit_code_for(error) == code
+        # the breaker has no row of its own: it resolves via DiskError
+        breaker = CircuitOpenError.__new__(CircuitOpenError)
+        assert _exit_code(breaker) == 6
+
+    def test_help_epilog_is_generated_from_the_table(self):
+        from repro.cli import _EXIT_CODE_HELP
+        from repro.errors import EXIT_CODES
+
+        for _cls, code, description in EXIT_CODES:
+            assert f"\n  {code:<3}" in _EXIT_CODE_HELP
+            assert description.split(":")[0].split("(")[0].strip() \
+                in _EXIT_CODE_HELP
+        for code in (0, 2, 130):
+            assert f"\n  {code:<3}" in _EXIT_CODE_HELP
+
+
 class TestFailureExitCodes:
     def test_crash_point_exits_10(self, capsys):
         code = main(["predict", *FAST, "--crash-at", "1"])
@@ -309,6 +374,29 @@ class TestClusterCommand:
 
         error = StaleRoutingEpochError(0, 1, 2)
         assert _exit_code(error) == 19
+
+    def test_parser_accepts_controller_flags(self):
+        args = build_parser().parse_args(
+            ["cluster", "--controller", "--merge-when", "2.5",
+             "--dwell-epochs", "2"]
+        )
+        assert args.controller is True
+        assert args.merge_when == 2.5
+        assert args.dwell_epochs == 2
+        # and the defaults keep the hysteresis band open
+        defaults = build_parser().parse_args(["cluster"])
+        assert defaults.merge_when < defaults.split_when
+
+    def test_cluster_walkthrough_covers_controller(self, capsys):
+        assert main(
+            ["cluster", "--scale", "0.005", "--queries", "8",
+             "--memory", "200", "--shards", "3",
+             "--controller", "--merge-when", "2.5",
+             "--dwell-epochs", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "controller tick 1:" in out
+        assert "flaps 0" in out
 
     def test_cluster_walkthrough_covers_elasticity(self, capsys):
         assert main(

@@ -16,6 +16,13 @@ traffic, stale-epoch probes at every fence, and a graceful scale-in --
 with the invariant extended across epoch boundaries (per-epoch op
 books sum to the drained totals exactly).  ``CHAOS_SCALE=0`` skips the
 topology sweep so CI can matrix the axis on and off.
+
+The controller sweep hands the topology to the autonomous loop: an
+over-partitioned cluster's load decays mid-storm and the controller --
+ticked deterministically once per round -- must merge the stranded
+sibling pair through a mid-surgery replica kill and a post-fence
+artifact corruption, shrinking the topology with zero erroneous
+responses and a zero flap counter.  ``CHAOS_CONTROLLER=0`` skips it.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from repro.cluster import (
 SEEDS = ([int(os.environ["CHAOS_SEED"])]
          if os.environ.get("CHAOS_SEED") else [0, 1])
 SCALE_AXIS_OFF = os.environ.get("CHAOS_SCALE") == "0"
+CONTROLLER_AXIS_OFF = os.environ.get("CHAOS_CONTROLLER") == "0"
 
 
 @pytest.mark.parametrize("seed", SEEDS)
@@ -101,6 +109,43 @@ def test_topology_storm_invariant_holds(seed, tmp_path):
     # the parent's pre-split charges survived the handoff
     parent = outcome.topology[1]["shard"]
     assert outcome.reconciliation[parent]["router_ops"] > 0
+
+
+@pytest.mark.skipif(CONTROLLER_AXIS_OFF, reason="CHAOS_CONTROLLER=0 "
+                    "disables the controller axis in this CI matrix cell")
+@pytest.mark.parametrize("seed", SEEDS)
+def test_controller_storm_shrinks_topology(seed, tmp_path):
+    """The autonomous storm: the controller must merge the stranded
+    cheap pair under decaying load -- through a mid-surgery replica
+    kill and a post-fence artifact corruption -- with the full
+    invariant intact and the flap counter at zero."""
+    outcome = run_cluster_chaos(
+        ClusterChaosScenario(seed=seed, n_shards=3, controller=True,
+                             controller_dwell=2, merge_when=2.5),
+        artifact_root=tmp_path,
+    )
+    assert_cluster_invariant(outcome)
+    ctl = outcome.controller
+    # the topology shrank: the invariant already asserted end < start
+    # and flaps == 0; here, the storm's specific shape
+    assert ctl["shards_start"] == 3 and ctl["shards_end"] == 2
+    assert ctl["counters"]["merge"] == 1
+    # the controller waited out the dwell window before firing
+    assert ctl["counters"]["dwell_waits"] >= 1
+    merges = [e for e in outcome.topology if e["op"] == "controller:merge"]
+    assert len(merges) == 1
+    merged = merges[0]["successors"][0]
+    # the merged child is on the controller's birth book (flap guard)
+    assert str(merged) in {str(k) for k in ctl["born"]}
+    # zero erroneous responses anywhere in the storm
+    assert outcome.classified.get("untyped_error", 0) == 0
+    assert outcome.classified.get("mismatch", 0) == 0
+    # the post-fence corruption was healed by peer adoption, no refit
+    assert outcome.warm_heals > 0 and outcome.rebuilds == 0
+    # the merged shard carried charged traffic under the new epoch
+    assert outcome.reconciliation[merged]["router_ops"] > 0
+    # the merge fence refused its stale-epoch probe
+    assert outcome.stale_rejections == 1
 
 
 def test_storm_without_failures_is_all_identical(tmp_path):
