@@ -1,0 +1,81 @@
+"""Coalesced-serving throughput: the batched execution plane, pinned.
+
+The same eight-tenant warm workload as ``BENCH_service.json`` runs
+twice with bursty closed-loop clients (``burst=8`` pipelined
+submissions per iteration, so a queue depth exists): once with request
+coalescing off, once with it on.  Responses are bit-identical either
+way -- the chaos suite proves that -- so the only thing this measures
+is how much throughput the fused dispatch buys.  The pair lands in
+``BENCH_batching.json`` at the repo root, and the coalesced side must
+sustain at least twice the uncoalesced baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments import format_table
+from repro.service import run_loadtest
+
+RESULT_PATH = Path(__file__).parents[1] / "BENCH_batching.json"
+
+N_TENANTS = 8
+WORKERS = 4
+DURATION_S = 2.0
+BURST = 8
+
+
+def test_batching_loadtest(report):
+    common = dict(
+        n_tenants=N_TENANTS, workers=WORKERS, duration_s=DURATION_S,
+        method="warm", seed=0, burst=BURST,
+    )
+    baseline = run_loadtest(coalesce=False, **common)
+    coalesced = run_loadtest(coalesce=True, **common)
+    speedup = coalesced.throughput_rps / max(baseline.throughput_rps, 1e-9)
+
+    rows = []
+    for label, res in (("uncoalesced", baseline), ("coalesced", coalesced)):
+        batching = res.batching
+        rows.append([
+            label,
+            f"{res.throughput_rps:,.0f}",
+            f"{res.p50_ms:.2f}",
+            f"{res.p99_ms:.2f}",
+            f"{res.resolved:,}",
+            f"{batching['mean_batch_size']:.1f}"
+            if batching.get("enabled") else "-",
+        ])
+    report(format_table(
+        ["mode", "req/s", "p50 ms", "p99 ms", "resolved", "mean batch"],
+        rows,
+        title=f"Coalesced vs uncoalesced serving ({N_TENANTS} tenants, "
+              f"{WORKERS} workers, burst {BURST}) -- "
+              f"speedup {speedup:.2f}x",
+    ))
+
+    RESULT_PATH.write_text(json.dumps({
+        "baseline": baseline.as_dict(),
+        "coalesced": coalesced.as_dict(),
+        "speedup": round(speedup, 2),
+    }, indent=2, sort_keys=True) + "\n")
+
+    # correctness floors first: same workload, zero errors on both sides
+    for res in (baseline, coalesced):
+        assert res.errors == 0
+        assert res.resolved > N_TENANTS * 10
+        assert all(
+            snap["completed"] > 0 for snap in res.tenants.values()
+        ), "a tenant was starved during the load test"
+    # occupancy: the coalescer found real batches, not singletons
+    assert coalesced.batching["enabled"]
+    assert (coalesced.batching["batched_requests"]
+            > coalesced.batching["batches_dispatched"] > 0)
+    assert coalesced.batching["mean_batch_size"] > 1.5
+    # the performance gate: fused dispatch at least doubles throughput
+    assert speedup >= 2.0, (
+        f"coalescing only bought {speedup:.2f}x over the uncoalesced "
+        f"baseline ({baseline.throughput_rps:,.0f} -> "
+        f"{coalesced.throughput_rps:,.0f} req/s)"
+    )

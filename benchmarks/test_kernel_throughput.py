@@ -7,6 +7,12 @@ kernel, counts are asserted bit-identical, and the speedup of
 a paper-scale workload against a paper-scale leaf set -- must come out
 at least 5x faster; results land in ``BENCH_kernels.json`` at the repo
 root so the claim is pinned in version control.
+
+The fused multi-radius entry point is measured alongside: one
+``count_grid`` dispatch over ``GRID_ROWS`` radius rows against the same
+geometry vs. the per-row ``count_knn`` loop it replaces.  The fused
+dispatch walks the query/leaf pairs once instead of once per row, so it
+must beat the loop clearly on the batched backend.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from repro.kernels import LeafGeometry, available_kernels, get_kernel
 
 DIM = 16
 GRID = ((100, 1_000), (1_000, 5_000), (5_000, 20_000))
+GRID_ROWS = 8
 RESULT_PATH = Path(__file__).parents[1] / "BENCH_kernels.json"
 
 
@@ -55,6 +62,24 @@ def _time_kernel(kernel, geometry, queries, radii, repeats: int = 3):
         counts = kernel.count_knn(geometry, queries, radii)
         best = min(best, time.perf_counter() - start)
     return counts, best
+
+
+def _time_fused_grid(kernel, geometry, queries, grid, repeats: int = 3):
+    kernel.count_grid(geometry, queries, grid)  # warm-up / JIT
+    best_fused = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fused = kernel.count_grid(geometry, queries, grid)
+        best_fused = min(best_fused, time.perf_counter() - start)
+    best_loop = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        looped = np.stack([
+            kernel.count_knn(geometry, queries, row) for row in grid
+        ])
+        best_loop = min(best_loop, time.perf_counter() - start)
+    np.testing.assert_array_equal(fused, looped, kernel.name)
+    return best_fused, best_loop
 
 
 def test_kernel_throughput(report):
@@ -101,16 +126,57 @@ def test_kernel_throughput(report):
         rows,
         title=f"Counting-kernel throughput (d={DIM}, best of 3)",
     ))
+    # The fused multi-radius dispatch on the mid-size cell: one
+    # count_grid over GRID_ROWS scaled radius rows vs the per-row loop.
+    n_queries, n_leaves = GRID[1]
+    geometry, queries, radii = _workbench(n_queries, n_leaves)
+    gen = np.random.default_rng(1)
+    radius_grid = radii[None, :] * (
+        0.25 + 1.5 * gen.random((GRID_ROWS, 1))
+    )
+    grid_rows = []
+    grid_cells = {}
+    for name in available_kernels():
+        fused_s, loop_s = _time_fused_grid(
+            get_kernel(name), geometry, queries, radius_grid
+        )
+        grid_cells[name] = {
+            "fused_seconds": round(fused_s, 6),
+            "per_row_loop_seconds": round(loop_s, 6),
+            "grid_speedup": round(loop_s / fused_s, 2),
+        }
+        grid_rows.append([
+            name, f"{fused_s * 1e3:,.1f}", f"{loop_s * 1e3:,.1f}",
+            f"{loop_s / fused_s:.1f}x",
+        ])
+    report(format_table(
+        ["kernel", "fused (ms)", "per-row loop (ms)", "grid speedup"],
+        grid_rows,
+        title=f"Fused count_grid, {GRID_ROWS} radius rows on "
+              f"{n_queries:,} x {n_leaves:,} (best of 3)",
+    ))
+
     RESULT_PATH.write_text(json.dumps({
         "dim": DIM,
         "kernels": list(available_kernels()),
         "cells": cells,
+        "count_grid": {
+            "n_queries": n_queries,
+            "n_leaves": n_leaves,
+            "grid_rows": GRID_ROWS,
+            "kernels": grid_cells,
+        },
     }, indent=2) + "\n")
 
     headline = cells[-1]["speedup_vs_reference"]["numpy_batched"]
     assert headline >= 5.0, (
         f"numpy_batched only {headline:.1f}x faster than reference "
         f"on the {GRID[-1]} cell"
+    )
+    grid_headline = grid_cells["numpy_batched"]["grid_speedup"]
+    assert grid_headline >= 2.0, (
+        f"fused count_grid only {grid_headline:.1f}x faster than the "
+        f"per-row count_knn loop on numpy_batched"
     )
 
 
@@ -122,4 +188,9 @@ def test_numba_matches_on_benchmark_cell():
     np.testing.assert_array_equal(
         get_kernel("numba").count_knn(geometry, queries, radii),
         get_kernel("reference").count_knn(geometry, queries, radii),
+    )
+    grid = np.stack([radii * 0.5, radii, radii * 2.0])
+    np.testing.assert_array_equal(
+        get_kernel("numba").count_grid(geometry, queries, grid),
+        get_kernel("reference").count_grid(geometry, queries, grid),
     )

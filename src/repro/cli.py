@@ -186,9 +186,9 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--kernel", default=None,
                         help="counting kernel backend "
                              f"({', '.join(available_kernels())}; default "
-                             f"from ${KERNEL_ENV_VAR}, then numpy_batched); "
-                             "all kernels count identically, this only "
-                             "changes speed")
+                             f"from ${KERNEL_ENV_VAR}, then numba if "
+                             "installed, else numpy_batched); all kernels "
+                             "count identically, this only changes speed")
 
 
 def _load_points(args: argparse.Namespace) -> np.ndarray:
@@ -401,6 +401,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         memory=args.memory, default_quota=quota,
         artifact_dir=args.artifact_dir,
         kernel=getattr(args, "kernel", None),
+        coalesce=args.coalesce,
+        coalesce_window_ms=args.coalesce_window_ms,
     )
     rng = np.random.default_rng(args.seed)
     workloads = {}
@@ -500,6 +502,9 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         memory=args.memory, method=args.method, seed=args.seed,
         max_inflight=args.max_inflight,
         artifact_dir=args.artifact_dir,
+        coalesce=args.coalesce,
+        coalesce_window_ms=args.coalesce_window_ms,
+        burst=args.burst,
     )
     payload = result.as_dict()
     rows = [
@@ -513,6 +518,15 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         ["shed / refused", f"{payload['shed_overload']:,} / "
                            f"{payload['refused_quota']:,}"],
     ]
+    batching = payload["batching"]
+    if batching.get("enabled"):
+        rows.extend([
+            ["batches", f"{batching['batches_dispatched']:,} "
+                        f"({batching['batched_requests']:,} requests)"],
+            ["batch size", f"mean {batching['mean_batch_size']:.2f}, "
+                           f"max {batching['max_batch_size']}"],
+            ["window hit rate", f"{batching['window_hit_rate']:.2f}"],
+        ])
     print(format_table(
         ["metric", "value"], rows,
         title=f"load test: {args.tenants} tenants, {args.workers} workers, "
@@ -859,6 +873,15 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("warm", "mini", "cutoff", "resampled"),
                        help="prediction method requests ask for "
                             "(default warm: the amortized fast path)")
+    serve.add_argument("--coalesce", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="coalesce compatible queued warm requests into "
+                            "fused kernel batches (default on for serving; "
+                            "responses are bit-identical either way)")
+    serve.add_argument("--coalesce-window-ms", type=float, default=2.0,
+                       dest="coalesce_window_ms",
+                       help="how long a worker lingers on the queue to grow "
+                            "a batch once it holds a request (default 2.0)")
     serve.add_argument("--artifact-dir", default=None, dest="artifact_dir",
                        help="directory for checksummed warm-start "
                             "artifacts (persist/reuse across sessions)")
@@ -884,6 +907,23 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--method", default="warm",
                           choices=("warm", "mini", "cutoff", "resampled"))
     loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument("--coalesce", action=argparse.BooleanOptionalAction,
+                          default=False,
+                          help="coalesce compatible queued warm requests "
+                               "into fused kernel batches (default off so "
+                               "the measurement matches the committed "
+                               "baseline; responses are bit-identical "
+                               "either way)")
+    loadtest.add_argument("--coalesce-window-ms", type=float, default=2.0,
+                          dest="coalesce_window_ms",
+                          help="how long a worker lingers on the queue to "
+                               "grow a batch once it holds a request "
+                               "(default 2.0)")
+    loadtest.add_argument("--burst", type=int, default=1,
+                          help="pipelined submissions per client iteration "
+                               "(clamped to --max-inflight); >1 creates "
+                               "queue depth for the coalescer to find "
+                               "(default 1)")
     loadtest.add_argument("--artifact-dir", default=None,
                           dest="artifact_dir",
                           help="warm-start artifact directory")

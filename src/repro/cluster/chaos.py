@@ -131,6 +131,11 @@ class ClusterChaosScenario:
     merge_when: float = 1.5
     slow_s: float = 0.12
     hedge_after_s: float = 0.04
+    #: run every replica service with the batched execution plane on --
+    #: the cluster invariant (bit-identity / failover-with-cause /
+    #: degraded / typed, plus exact per-shard op reconciliation of the
+    #: split attributions) must hold unchanged
+    coalesce: bool = False
 
 
 @dataclass
@@ -217,6 +222,7 @@ def run_cluster_chaos(
         latency_factors=latency_factors,
         hedge_after_s=scenario.hedge_after_s,
         merge_when=scenario.merge_when,
+        coalesce=scenario.coalesce,
     )
     controller = None
     if scenario.controller:

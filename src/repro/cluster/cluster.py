@@ -132,6 +132,8 @@ class PredictionCluster:
         drift_threshold: float = 0.35,
         min_drift_observations: int = 24,
         reorg_budget: Budget | None = None,
+        coalesce: bool = False,
+        coalesce_window_ms: float = 2.0,
     ):
         if n_replicas < 1:
             raise InputValidationError(
@@ -212,9 +214,14 @@ class PredictionCluster:
 
         # 3. replicate: ring placement, identical config per owner
         self._artifact_root = Path(artifact_root)
+        # coalescing is replica-side: the router already forwards one
+        # shard-local multi-query batch per leg, so fusing happens in
+        # each replica's service, leaving hedging and epoch fencing
+        # untouched
         self._replica_kwargs = dict(
             workers=workers_per_replica, max_queue=max_queue,
             memory=memory, kernel=kernel, quota=quota,
+            coalesce=coalesce, coalesce_window_ms=coalesce_window_ms,
         )
         factors = latency_factors or {}
         self.replicas: dict[str, Replica] = {}

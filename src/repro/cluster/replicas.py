@@ -67,6 +67,8 @@ class Replica:
         kernel: str | None = None,
         latency_factor: float = 1.0,
         quota: TenantQuota | None = None,
+        coalesce: bool = False,
+        coalesce_window_ms: float = 2.0,
     ):
         if latency_factor <= 0:
             raise InputValidationError(
@@ -89,6 +91,7 @@ class Replica:
         self._service_kwargs = dict(
             workers=workers, max_queue=max_queue, memory=memory,
             kernel=kernel, artifact_dir=str(self.artifact_dir),
+            coalesce=coalesce, coalesce_window_ms=coalesce_window_ms,
         )
         self.service = self._new_service()
         self.service.start()

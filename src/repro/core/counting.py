@@ -24,6 +24,7 @@ from ..workload.queries import KNNWorkload, RangeWorkload
 __all__ = [
     "PredictionResult",
     "count_accesses",
+    "count_grid_accesses",
     "knn_accesses_per_query",
     "range_accesses_per_query",
 ]
@@ -74,6 +75,25 @@ def count_accesses(
     if isinstance(workload, KNNWorkload):
         return backend.count_knn(geometry, workload.queries, workload.radii)
     return backend.count_range(geometry, workload.lower, workload.upper)
+
+
+def count_grid_accesses(
+    geometry: LeafGeometry,
+    workload: KNNWorkload,
+    radii_grid: np.ndarray,
+    *,
+    kernel: str | None = None,
+) -> np.ndarray:
+    """Fused (queries x radii) counts: one geometry pass, ``(g, q)`` rows.
+
+    Row ``r`` is bit-identical to
+    ``count_accesses(geometry, workload.with_radii(radii_grid[r]))`` --
+    the fused dispatch exists so sweeps probing one geometry at many
+    radius rows stop re-dispatching the kernel per row.  ``radii_grid``
+    may be ``(g, q)`` or ``(g,)`` (a constant radius per row).
+    """
+    backend = get_kernel(kernel)
+    return backend.count_grid(geometry, workload.queries, radii_grid)
 
 
 def knn_accesses_per_query(

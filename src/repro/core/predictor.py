@@ -67,7 +67,7 @@ from ..workload.queries import (
     RangeWorkload,
     density_biased_knn_workload,
 )
-from .counting import PredictionResult
+from .counting import PredictionResult, count_grid_accesses
 from .cutoff import CutoffModel
 from .minindex import MiniIndexModel
 from .resampled import ResampledModel
@@ -308,6 +308,52 @@ class IndexCostPredictor:
             sampling_fraction=sampling_fraction, seed=seed,
             degrade=degrade, budget=budget, clock=clock,
         )
+
+    def predict_radius_grid(
+        self,
+        points: np.ndarray,
+        workload: KNNWorkload,
+        radii_grid: np.ndarray,
+        *,
+        sampling_fraction: float | None = None,
+        seed: int = 0,
+    ) -> list[PredictionResult]:
+        """Probe one fitted geometry at many radius rows, fused.
+
+        Fits the in-memory mini model once (identical sampling and
+        compensation to ``predict(method="mini", seed=seed)``) and
+        answers every row of ``radii_grid`` -- ``(g, q)`` per-query
+        radii, or ``(g,)`` constant radii -- through a single
+        ``count_grid`` dispatch instead of ``g`` separate kernel calls.
+        Result ``r`` is bit-identical to
+        ``predict(points, workload.with_radii(radii_grid[r]),
+        method="mini", seed=seed)``: the fused-grid contract guarantees
+        each row equals its stand-alone ``count_knn``.
+        """
+        points = validate_points(points)
+        if not isinstance(workload, KNNWorkload):
+            raise InputValidationError(
+                "predict_radius_grid needs a KNNWorkload: a radius grid "
+                "re-probes the same query spheres at different radii"
+            )
+        rng = np.random.default_rng(seed)
+        fraction = (sampling_fraction if sampling_fraction is not None
+                    else min(1.0, self.memory / points.shape[0]))
+        model = MiniIndexModel(
+            self.c_data, self.c_dir, config=self.config, kernel=self.kernel,
+        )
+        geometry, detail = model.fit_geometry(points, fraction, rng)
+        detail["kernel"] = get_kernel(self.kernel).name
+        grid = count_grid_accesses(
+            geometry, workload, radii_grid, kernel=self.kernel
+        )
+        return [
+            PredictionResult(
+                per_query=grid[r],
+                detail={**detail, "grid_row": r, "grid_rows": grid.shape[0]},
+            )
+            for r in range(grid.shape[0])
+        ]
 
     def _predict_governed(
         self,

@@ -13,19 +13,27 @@ caches, and a registry of interchangeable counting backends:
     pruning (the default),
 ``numba``
     an optional compiled backend, auto-detected when numba is
-    installed.
+    installed and promoted to default when present.
 
 All kernels return bit-identical ``per_query`` counts (the equivalence
 property tests enforce it), so the selection -- via
 ``IndexCostPredictor(kernel=...)``, the CLI ``--kernel`` flag, or the
 ``REPRO_KERNEL`` environment variable -- is purely a performance knob
 and no paper figure depends on it.
+
+Every kernel also exposes the fused ``count_grid`` entry point -- one
+geometry pass answering a whole (queries x radii) grid -- and
+:class:`BatchPlan` describes a fused multi-request dispatch (member
+segments plus the exact charged-op attribution split), the vocabulary
+the service coalescer and the ``apps/`` sweeps share.
 """
 
+from .batch import BatchPlan, as_radii_grid
 from .geometry import LeafGeometry
 from .registry import (
     DEFAULT_KERNEL,
     KERNEL_ENV_VAR,
+    PREFERRED_KERNEL,
     CountingKernel,
     available_kernels,
     default_kernel_name,
@@ -46,11 +54,14 @@ __all__ = [
     "KERNEL_ENV_VAR",
     "MEMORY_CAP_ENV_VAR",
     "NUMBA_AVAILABLE",
+    "PREFERRED_KERNEL",
+    "BatchPlan",
     "CountingKernel",
     "LeafGeometry",
     "NumbaKernel",
     "NumpyBatchedKernel",
     "ReferenceKernel",
+    "as_radii_grid",
     "available_kernels",
     "default_kernel_name",
     "get_kernel",

@@ -24,6 +24,7 @@ import os
 
 import numpy as np
 
+from .batch import as_radii_grid
 from .geometry import LeafGeometry
 from .registry import register_kernel
 
@@ -110,6 +111,74 @@ class NumpyBatchedKernel:
                 cols = cols[keep]
                 dist_sq = dist_sq[keep]
         return np.bincount(rows, minlength=queries.shape[0]).astype(np.int64)
+
+    # -- fused grid ------------------------------------------------------
+
+    def count_grid(
+        self, geometry: LeafGeometry, centers: np.ndarray,
+        radii_grid: np.ndarray,
+    ) -> np.ndarray:
+        """Fused (queries x radii) grid sharing one geometry pass.
+
+        The tile pass prunes each (query, leaf) pair against the
+        *envelope* -- that query's largest squared radius across the
+        grid rows -- and keeps the exact squared mindist of the
+        survivors.  Each row then re-tests the survivors against its
+        own squared radii.  Envelope pruning is exact for every row by
+        the same monotonicity argument as :meth:`count_knn`: a pair
+        pruned under the envelope already exceeds every row's radius,
+        and a surviving pair carries the full sequential j = 0 .. d-1
+        sum, so each row's counts are bit-identical to a stand-alone
+        ``count_knn`` call with that row's radii.
+        """
+        centers = np.ascontiguousarray(centers, dtype=np.float64)
+        grid = as_radii_grid(centers, radii_grid)
+        n_rows, n_queries = grid.shape
+        counts = np.zeros((n_rows, n_queries), dtype=np.int64)
+        if geometry.is_empty or n_queries == 0 or n_rows == 0:
+            return counts
+        grid_sq = grid * grid
+        envelope_sq = grid_sq.max(axis=0)
+        tile = self._tile_height(n_queries, geometry.k)
+        for start in range(0, n_queries, tile):
+            stop = min(start + tile, n_queries)
+            rows, dist_sq = self._grid_tile(
+                geometry, centers[start:stop], envelope_sq[start:stop]
+            )
+            width = stop - start
+            for r in range(n_rows):
+                hits = dist_sq <= grid_sq[r, start:stop][rows]
+                counts[r, start:stop] = np.bincount(
+                    rows[hits], minlength=width
+                ).astype(np.int64)
+        return counts
+
+    @staticmethod
+    def _grid_tile(
+        geometry: LeafGeometry, queries: np.ndarray, envelope_sq: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Surviving (query-row, exact dist_sq) pairs under the envelope."""
+        lower_t, upper_t = geometry.lower_t, geometry.upper_t
+        n_dims = lower_t.shape[0]
+        point = queries[:, 0][:, None]
+        gap = np.maximum(lower_t[0][None, :] - point, 0.0)
+        gap += np.maximum(point - upper_t[0][None, :], 0.0)
+        gap *= gap
+        rows, cols = np.nonzero(gap <= envelope_sq[:, None])
+        dist_sq = gap[rows, cols]
+        del gap
+        for j in range(1, n_dims):
+            point_j = queries[rows, j]
+            gap_j = np.maximum(lower_t[j][cols] - point_j, 0.0)
+            gap_j += np.maximum(point_j - upper_t[j][cols], 0.0)
+            gap_j *= gap_j
+            dist_sq += gap_j
+            keep = dist_sq <= envelope_sq[rows]
+            if not keep.all():
+                rows = rows[keep]
+                cols = cols[keep]
+                dist_sq = dist_sq[keep]
+        return rows, dist_sq
 
     # -- range ----------------------------------------------------------
 

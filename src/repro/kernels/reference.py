@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .batch import as_radii_grid
 from .geometry import LeafGeometry
 from .registry import register_kernel
 
@@ -57,6 +58,37 @@ class ReferenceKernel:
             for j in range(1, gap.shape[1]):
                 dist_sq += gap[:, j]
             counts[i] = np.count_nonzero(dist_sq <= radii[i] * radii[i])
+        return counts
+
+    def count_grid(
+        self, geometry: LeafGeometry, centers: np.ndarray,
+        radii_grid: np.ndarray,
+    ) -> np.ndarray:
+        """Fused grid: each center's mindist vector tested per grid row.
+
+        One geometry pass per center answers all ``g`` rows -- the
+        squared-mindist vector is exactly the one :meth:`count_knn`
+        computes (same sequential j = 0 .. d-1 accumulation), so row
+        ``r`` is bit-identical to a ``count_knn`` call with
+        ``radii_grid[r]``.
+        """
+        centers = np.asarray(centers, dtype=np.float64)
+        grid = as_radii_grid(centers, radii_grid)
+        counts = np.zeros(grid.shape, dtype=np.int64)
+        if geometry.is_empty or centers.shape[0] == 0 or grid.shape[0] == 0:
+            return counts
+        lower, upper = geometry.lower, geometry.upper
+        for i in range(centers.shape[0]):
+            point = centers[i]
+            gap = np.maximum(lower - point, 0.0) + np.maximum(point - upper, 0.0)
+            gap *= gap
+            dist_sq = gap[:, 0].copy()
+            for j in range(1, gap.shape[1]):
+                dist_sq += gap[:, j]
+            for r in range(grid.shape[0]):
+                counts[r, i] = np.count_nonzero(
+                    dist_sq <= grid[r, i] * grid[r, i]
+                )
         return counts
 
     def count_range(

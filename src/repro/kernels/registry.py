@@ -9,8 +9,9 @@ property tests), so selecting one is purely a performance decision and
 no paper result can change with the selection.
 
 Selection order: an explicit name beats the ``REPRO_KERNEL``
-environment variable beats the default (``numpy_batched``).  Unknown
-names raise the typed
+environment variable beats ``numba`` when that backend registered
+(i.e. the package is importable) beats the fallback default
+(``numpy_batched``).  Unknown names raise the typed
 :class:`~repro.errors.UnknownKernelError` -- eagerly, so a typo fails
 before any I/O is spent.  Optional backends (numba) register themselves
 as *unavailable* with a reason when their dependency is missing, which
@@ -32,6 +33,7 @@ __all__ = [
     "CountingKernel",
     "DEFAULT_KERNEL",
     "KERNEL_ENV_VAR",
+    "PREFERRED_KERNEL",
     "available_kernels",
     "default_kernel_name",
     "get_kernel",
@@ -39,8 +41,11 @@ __all__ = [
     "register_unavailable",
 ]
 
-#: the kernel used when neither an argument nor the environment chooses
+#: the fallback kernel when nothing else chooses and numba is absent
 DEFAULT_KERNEL = "numpy_batched"
+
+#: the backend promoted to default whenever it managed to register
+PREFERRED_KERNEL = "numba"
 
 #: environment variable consulted when no explicit name is given (this
 #: is what the CI kernel matrix sets to run the whole suite per backend)
@@ -69,6 +74,19 @@ class CountingKernel(Protocol):
         self, geometry: LeafGeometry, q_lower: np.ndarray, q_upper: np.ndarray
     ) -> np.ndarray:
         """Leaves intersecting each closed box ``[q_lower[i], q_upper[i]]``."""
+        ...
+
+    def count_grid(
+        self, geometry: LeafGeometry, centers: np.ndarray,
+        radii_grid: np.ndarray,
+    ) -> np.ndarray:
+        """Fused (queries x radii) grid: one geometry pass, ``(g, q)`` counts.
+
+        ``radii_grid`` is ``(g, q)`` (or ``(g,)``, broadcast to a
+        constant radius per row); row ``r`` of the returned int64 array
+        must be bit-identical to
+        ``count_knn(geometry, centers, radii_grid[r])``.
+        """
         ...
 
 
@@ -100,8 +118,19 @@ def available_kernels() -> tuple[str, ...]:
 
 
 def default_kernel_name() -> str:
-    """The name an unqualified :func:`get_kernel` call resolves to."""
-    return os.environ.get(KERNEL_ENV_VAR) or DEFAULT_KERNEL
+    """The name an unqualified :func:`get_kernel` call resolves to.
+
+    ``REPRO_KERNEL`` wins when set; otherwise the compiled ``numba``
+    backend whenever it registered in this process (importable numba),
+    falling back to ``numpy_batched``.
+    """
+    env = os.environ.get(KERNEL_ENV_VAR)
+    if env:
+        return env
+    with _lock:
+        if PREFERRED_KERNEL in _factories:
+            return PREFERRED_KERNEL
+    return DEFAULT_KERNEL
 
 
 def get_kernel(name: str | None = None) -> CountingKernel:

@@ -42,9 +42,14 @@ from pathlib import Path
 
 import numpy as np
 
-from ..core.counting import PredictionResult, count_accesses
+from ..core.counting import (
+    PredictionResult,
+    count_accesses,
+    count_grid_accesses,
+)
 from ..core.minindex import MiniIndexModel
 from ..errors import ArtifactCorruptError, InputValidationError
+from ..kernels.batch import BatchPlan
 from ..kernels.geometry import LeafGeometry
 from ..kernels.registry import get_kernel
 from ..workload.queries import KNNWorkload, RangeWorkload
@@ -108,6 +113,95 @@ class FittedModel:
                 "kernel": get_kernel(backend).name,
             },
         )
+
+    def predict_many(
+        self,
+        workloads: "list[KNNWorkload] | list[RangeWorkload]",
+        *,
+        kernel: str | None = None,
+    ) -> list[PredictionResult]:
+        """One fused kernel dispatch answering several workloads.
+
+        The service coalescer's fast path: the members' queries are
+        concatenated under a :class:`~repro.kernels.batch.BatchPlan`,
+        counted in a *single* kernel call, and carved back per member.
+        Every kernel counts each query independently of its neighbours,
+        so member ``m``'s counts are bit-identical to a stand-alone
+        ``predict(workloads[m])`` -- and the fused dispatch's charged
+        cost (zero here: warm counting touches no disk) is attributed
+        across members exactly via ``BatchPlan.attribute``.  Workloads
+        must all be k-NN or all be range: mixed shapes cannot share a
+        kernel call.
+        """
+        if not workloads:
+            return []
+        if len({isinstance(w, KNNWorkload) for w in workloads}) > 1:
+            raise InputValidationError(
+                "predict_many cannot mix k-NN and range workloads in "
+                "one fused dispatch"
+            )
+        backend = kernel if kernel is not None else self.meta.get("kernel")
+        impl = get_kernel(backend)
+        plan = BatchPlan.for_members(
+            [str(m) for m in range(len(workloads))],
+            [w.n_queries for w in workloads],
+            kernel=impl.name,
+            n_leaves=self.geometry.k,
+        )
+        if isinstance(workloads[0], KNNWorkload):
+            fused = impl.count_knn(
+                self.geometry,
+                np.concatenate([w.queries for w in workloads], axis=0),
+                np.concatenate([w.radii for w in workloads]),
+            )
+        else:
+            fused = impl.count_range(
+                self.geometry,
+                np.concatenate([w.lower for w in workloads], axis=0),
+                np.concatenate([w.upper for w in workloads], axis=0),
+            )
+        detail = {
+            "warm": True,
+            "n_mini_leaves": self.geometry.k,
+            "kernel": impl.name,
+        }
+        return [
+            PredictionResult(per_query=part, detail=dict(detail))
+            for part in plan.split(fused)
+        ]
+
+    def predict_grid(
+        self,
+        workload: KNNWorkload,
+        radii_grid: np.ndarray,
+        *,
+        kernel: str | None = None,
+    ) -> list[PredictionResult]:
+        """Probe the fitted geometry at many radius rows, fused.
+
+        One ``count_grid`` dispatch answers every row of ``radii_grid``
+        (``(g, q)`` per-query radii or ``(g,)`` constant rows); result
+        ``r``'s ``per_query`` is bit-identical to
+        ``predict(workload.with_radii(radii_grid[r]))``.
+        """
+        backend = kernel if kernel is not None else self.meta.get("kernel")
+        grid = count_grid_accesses(
+            self.geometry, workload, radii_grid, kernel=backend
+        )
+        name = get_kernel(backend).name
+        return [
+            PredictionResult(
+                per_query=grid[r],
+                detail={
+                    "warm": True,
+                    "n_mini_leaves": self.geometry.k,
+                    "kernel": name,
+                    "grid_row": r,
+                    "grid_rows": grid.shape[0],
+                },
+            )
+            for r in range(grid.shape[0])
+        ]
 
 
 def fit_model(

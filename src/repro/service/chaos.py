@@ -93,6 +93,12 @@ class ServiceChaosScenario:
     n_points: int = 600
     dim: int = 6
     memory: int = 200
+    #: run the storm over the batched execution plane -- the invariant
+    #: (warm bit-identity against the unloaded reference, three-way
+    #: per-tenant op reconciliation of the split attributions) must
+    #: hold unchanged with fused dispatches on
+    coalesce: bool = False
+    coalesce_window_ms: float = 2.0
 
 
 @dataclass
@@ -116,6 +122,9 @@ class ServiceChaosOutcome:
     workers_respawned: int = 0
     artifact_rebuilds: int = 0
     causes_seen: Counter = field(default_factory=Counter)
+    #: the service's batch-occupancy snapshot (fused dispatches, mean/
+    #: max batch size, window hit rate) -- all-zero with coalesce off
+    batching: dict = field(default_factory=dict)
 
     @property
     def total_requests(self) -> int:
@@ -130,6 +139,7 @@ class ServiceChaosOutcome:
             "violations": list(self.violations),
             "workers_respawned": self.workers_respawned,
             "artifact_rebuilds": self.artifact_rebuilds,
+            "batching": dict(self.batching),
             "reconciliation": self.reconciliation,
         }
 
@@ -190,6 +200,8 @@ def run_service_chaos(
         artifact_dir=artifact_dir,
         memory=scenario.memory,
         pre_request_hook=hook,
+        coalesce=scenario.coalesce,
+        coalesce_window_ms=scenario.coalesce_window_ms,
     )
 
     for name, points in datasets.items():
@@ -263,6 +275,7 @@ def run_service_chaos(
     outcome.workers_respawned = service.workers_respawned
     outcome.artifact_rebuilds = (service.store.rebuilds()
                                  if service.store else 0)
+    outcome.batching = service.metrics()["batching"]
 
     # --- reconciliation: three sums per tenant must agree -------------
     for name in datasets:

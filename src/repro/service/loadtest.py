@@ -56,6 +56,10 @@ class LoadTestResult:
     p99_ms: float = 0.0
     mean_ms: float = 0.0
     max_ms: float = 0.0
+    #: pipelined submissions per client iteration (1 = strict closed loop)
+    burst: int = 1
+    #: the service's batch-occupancy snapshot (all-zero with coalesce off)
+    batching: dict = field(default_factory=dict)
     tenants: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -79,6 +83,8 @@ class LoadTestResult:
                 "mean": round(self.mean_ms, 3),
                 "max": round(self.max_ms, 3),
             },
+            "burst": self.burst,
+            "batching": dict(self.batching),
             "tenants": self.tenants,
         }
 
@@ -98,6 +104,9 @@ def run_loadtest(
     seed: int = 0,
     max_inflight: int = 8,
     artifact_dir: str | None = None,
+    coalesce: bool = False,
+    coalesce_window_ms: float = 2.0,
+    burst: int = 1,
 ) -> LoadTestResult:
     """Hammer a fresh service with ``n_tenants`` closed-loop clients.
 
@@ -107,12 +116,23 @@ def run_loadtest(
     what the clients request -- ``"warm"`` measures the amortized
     serving fast path, a full method (``"resampled"`` etc.) measures
     the governed prediction pipeline under contention.
+
+    ``coalesce``/``coalesce_window_ms`` thread straight into the
+    service's batched execution plane.  ``burst`` pipelines that many
+    submissions per client iteration (bounded by ``max_inflight``)
+    before waiting for them all -- the closed loop still bounds offered
+    load, but a queue depth exists for the coalescer to find; use the
+    same burst on both sides when comparing coalesced vs uncoalesced.
     """
+    if burst < 1:
+        raise ValueError("burst must be >= 1")
+    burst = min(burst, max_inflight)
     rng = np.random.default_rng(seed)
     service = PredictionService(
         workers=workers, max_queue=max_queue, memory=memory,
         artifact_dir=artifact_dir,
         default_quota=TenantQuota(max_inflight=max_inflight),
+        coalesce=coalesce, coalesce_window_ms=coalesce_window_ms,
     )
     workloads = {}
     for i in range(n_tenants):
@@ -125,7 +145,7 @@ def run_loadtest(
 
     result = LoadTestResult(
         duration_s=duration_s, n_tenants=n_tenants, workers=workers,
-        method=method,
+        method=method, burst=burst,
     )
     latencies: list[float] = []
     lock = threading.Lock()
@@ -136,27 +156,31 @@ def run_loadtest(
         local_latencies = []
         stop_at = time.monotonic() + duration_s
         while time.monotonic() < stop_at:
-            try:
-                pending = service.submit(name, workloads[name],
-                                         method=method)
-            except TenantQuotaExceededError:
-                refused += 1
+            pendings = []
+            for _ in range(burst):
+                try:
+                    pendings.append(service.submit(name, workloads[name],
+                                                   method=method))
+                except TenantQuotaExceededError:
+                    refused += 1
+                    break
+                except ServiceOverloadedError:
+                    shed += 1
+                    break
+            if not pendings:
                 time.sleep(0.001)
                 continue
-            except ServiceOverloadedError:
-                shed += 1
-                time.sleep(0.001)
-                continue
-            sent += 1
-            response = pending.result(timeout=60.0)
-            resolved += 1
-            local_latencies.append(response.latency_s)
-            if response.status == "ok":
-                ok += 1
-            elif response.status == "degraded":
-                degraded += 1
-            else:
-                errors += 1
+            sent += len(pendings)
+            for pending in pendings:
+                response = pending.result(timeout=60.0)
+                resolved += 1
+                local_latencies.append(response.latency_s)
+                if response.status == "ok":
+                    ok += 1
+                elif response.status == "degraded":
+                    degraded += 1
+                else:
+                    errors += 1
         with lock:
             result.requests_sent += sent
             result.resolved += resolved
@@ -187,6 +211,7 @@ def run_loadtest(
         result.mean_ms = float(lat_ms.mean())
         result.max_ms = float(lat_ms.max())
     result.throughput_rps = result.resolved / max(elapsed, 1e-9)
+    result.batching = service.metrics()["batching"]
     result.tenants = {
         name: service.tenant(name).ledger.snapshot() for name in workloads
     }

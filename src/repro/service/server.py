@@ -196,6 +196,18 @@ class PredictionService:
     saved there and verified-loaded on re-registration; corrupt files
     are rebuilt.  ``clock`` must be monotonic; ``sleeper`` performs
     retry backoff -- both injectable for deterministic tests.
+
+    ``coalesce=True`` turns on the batched execution plane: a worker
+    that picks up a request waits up to ``coalesce_window_ms`` for more
+    queued work (at most ``coalesce_max_batch`` items), then serves the
+    claim as a batch -- compatible warm requests (same tenant model,
+    hence same geometry and kernel, same workload shape) fuse into one
+    kernel dispatch whose answers and charged-op attribution are split
+    back per request.  Responses stay bit-identical to uncoalesced
+    serving and every member settles its own tenant ledger, so the
+    chaos reconciliation invariant holds with the knob on or off; it
+    defaults off (the identity configuration) and the serving entry
+    points (CLI ``serve``/``loadtest``, the cluster's replicas) opt in.
     """
 
     def __init__(
@@ -210,11 +222,20 @@ class PredictionService:
         clock: Callable[[], float] = time.monotonic,
         sleeper: Callable[[float], None] = time.sleep,
         pre_request_hook: Callable[["_Item"], None] | None = None,
+        coalesce: bool = False,
+        coalesce_window_ms: float = 2.0,
+        coalesce_max_batch: int = 32,
     ):
         if workers < 1:
             raise InputValidationError("workers must be positive")
         if max_queue < 1:
             raise InputValidationError("max_queue must be positive")
+        if coalesce_window_ms < 0:
+            raise InputValidationError(
+                "coalesce_window_ms must be non-negative"
+            )
+        if coalesce_max_batch < 1:
+            raise InputValidationError("coalesce_max_batch must be positive")
         self.workers = workers
         self.max_queue = max_queue
         self.default_quota = default_quota or TenantQuota()
@@ -238,6 +259,17 @@ class PredictionService:
         self.shed_overload = 0
         self.workers_respawned = 0
         self.requests_resolved = 0
+        #: request coalescing (off by default: the identity-preserving
+        #: configuration; serving entry points turn it on)
+        self.coalesce = coalesce
+        self.coalesce_window_ms = coalesce_window_ms
+        self.coalesce_max_batch = coalesce_max_batch
+        #: batch-occupancy counters, mutated under ``_lock``
+        self.batches_dispatched = 0
+        self.batched_requests = 0
+        self.batch_max = 0
+        self.coalesce_windows = 0
+        self.coalesce_window_hits = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -483,35 +515,199 @@ class PredictionService:
             item = self._queue.get()
             if item is _STOP:
                 return
-            response: ServiceResponse | None = None
-            died: WorkerDeath | None = None
-            try:
-                response = self._serve(item, worker=name)
-            except WorkerDeath as death:
-                died = death
-                response = self._error_response(
-                    item, death, cause="worker", worker=name
-                )
-            except BaseException as error:  # noqa: BLE001 - typed response
-                response = self._error_response(
-                    item, error, cause="internal", worker=name
-                )
-            finally:
-                if response is None:  # unreachable belt-and-braces
-                    response = self._error_response(
-                        item, RuntimeError("worker produced no response"),
-                        cause="internal", worker=name,
-                    )
-                self._finish(item, response)
+            if self.coalesce:
+                died = self._serve_claimed(self._claim_batch(item), name)
+            else:
+                died = self._serve_one(item, name)
             if died is not None:
-                # The worker answered its request; now it actually
-                # dies -- but first it spawns its own replacement, so
-                # the pool never shrinks even when no submit (the other
-                # respawn trigger) ever comes again.  A thread cannot
-                # see itself as dead via is_alive(), hence the explicit
-                # hand-off rather than _maintain_workers().
+                # The worker answered its request (and, when
+                # coalescing, every other member it had claimed); now
+                # it actually dies -- but first it spawns its own
+                # replacement, so the pool never shrinks even when no
+                # submit (the other respawn trigger) ever comes again.
+                # A thread cannot see itself as dead via is_alive(),
+                # hence the explicit hand-off rather than
+                # _maintain_workers().
                 self._respawn_self()
                 return
+
+    def _serve_one(self, item: "_Item", worker: str,
+                   *, admitted: bool = False) -> WorkerDeath | None:
+        """Serve one request end to end, always answering it.
+
+        Returns the :class:`WorkerDeath` when the request killed this
+        worker (the caller respawns), else ``None``.  ``admitted=True``
+        skips the pre-request hook and queue-deadline check -- the
+        coalesced path already ran them via :meth:`_admit_member`.
+        """
+        response: ServiceResponse | None = None
+        died: WorkerDeath | None = None
+        try:
+            if admitted:
+                queue_wait = item.started_at - item.submitted_at
+                if item.method == "warm":
+                    response = self._serve_warm(item, worker, queue_wait)
+                else:
+                    response = self._serve_full(item, worker, queue_wait)
+            else:
+                response = self._serve(item, worker=worker)
+        except WorkerDeath as death:
+            died = death
+            response = self._error_response(
+                item, death, cause="worker", worker=worker
+            )
+        except BaseException as error:  # noqa: BLE001 - typed response
+            response = self._error_response(
+                item, error, cause="internal", worker=worker
+            )
+        finally:
+            if response is None:  # unreachable belt-and-braces
+                response = self._error_response(
+                    item, RuntimeError("worker produced no response"),
+                    cause="internal", worker=worker,
+                )
+            self._finish(item, response)
+        return died
+
+    # ------------------------------------------------------------------
+    # Coalescing
+    # ------------------------------------------------------------------
+
+    def _claim_batch(self, first: "_Item") -> "list[_Item]":
+        """Drain more queued requests behind ``first``, bounded.
+
+        The worker holds its first request and waits up to the coalesce
+        window for additional queued work, claiming at most
+        ``coalesce_max_batch`` items in arrival order.  Claiming is
+        tenant-blind -- compatibility is decided later, per group, by
+        :meth:`_serve_claimed` -- so one claim can carry many tenants'
+        requests (the cross-tenant batch).  A stop sentinel ends the
+        drain and is handed back so shutdown still reaches its worker.
+        """
+        claimed = [first]
+        if self.coalesce_max_batch <= 1 or not self._running:
+            return claimed
+        deadline = time.monotonic() + self.coalesce_window_ms / 1_000.0
+        while len(claimed) < self.coalesce_max_batch:
+            timeout = deadline - time.monotonic()
+            try:
+                if timeout > 0:
+                    extra = self._queue.get(timeout=timeout)
+                else:
+                    extra = self._queue.get_nowait()
+            except Empty:
+                break
+            if extra is _STOP:
+                try:
+                    self._queue.put_nowait(_STOP)
+                except Full:  # pragma: no cover - queue full of requests
+                    threading.Thread(
+                        target=self._queue.put, args=(_STOP,), daemon=True
+                    ).start()
+                break
+            claimed.append(extra)
+        with self._lock:
+            self.coalesce_windows += 1
+            if len(claimed) > 1:
+                self.coalesce_window_hits += 1
+        return claimed
+
+    def _serve_claimed(self, claimed: "list[_Item]",
+                       worker: str) -> WorkerDeath | None:
+        """Serve a claimed batch: admit each member, fuse the compatible.
+
+        Every member is admitted individually first (pre-request hook,
+        queue-deadline check), so a member that errors here -- a chaos
+        kill, an expired deadline -- is answered with its own typed
+        response and *never poisons the batch*.  Survivors are grouped
+        by compatibility (same tenant model, hence same geometry and
+        kernel, and same workload shape); each group of two or more
+        warm requests becomes one fused dispatch, everything else is
+        served alone.  Each member is settled through :meth:`_finish`
+        on its own tenant ledger, exactly as if served alone.
+        """
+        died: WorkerDeath | None = None
+        admitted: list[_Item] = []
+        for item in claimed:
+            verdict: ServiceResponse | None = None
+            try:
+                verdict = self._admit_member(item, worker=worker)
+            except WorkerDeath as death:
+                died = death if died is None else died
+                verdict = self._error_response(
+                    item, death, cause="worker", worker=worker
+                )
+            except BaseException as error:  # noqa: BLE001 - typed response
+                verdict = self._error_response(
+                    item, error, cause="internal", worker=worker
+                )
+            if verdict is None:
+                admitted.append(item)
+            else:
+                self._finish(item, verdict)
+        groups: dict = {}
+        order = []
+        for item in admitted:
+            if item.method == "warm":
+                key = (item.tenant.name, type(item.workload))
+            else:
+                # full methods run the governed chain; never fused
+                key = ("solo", id(item))
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(item)
+        for key in order:
+            group = groups[key]
+            if group[0].method == "warm":
+                with self._lock:
+                    self.batches_dispatched += 1
+                    self.batched_requests += len(group)
+                    self.batch_max = max(self.batch_max, len(group))
+            if len(group) > 1:
+                self._serve_warm_fused(group, worker)
+            else:
+                solo_died = self._serve_one(group[0], worker, admitted=True)
+                died = died if died is not None else solo_died
+        return died
+
+    def _serve_warm_fused(self, group: "list[_Item]", worker: str) -> None:
+        """One fused kernel dispatch answering a whole compatible group.
+
+        The answers and the charged-op attribution are split back per
+        request: each member's response carries exactly its own slice
+        (bit-identical to an uncoalesced serve) and settles its own
+        tenant ledger via :meth:`_finish`.  If the fused dispatch
+        itself fails, every member receives the typed error it would
+        have gotten alone.
+        """
+        tenant = group[0].tenant
+        try:
+            if tenant.model is None:
+                tenant.model = self._warm_model(tenant)
+            results = tenant.model.predict_many(
+                [item.workload for item in group]
+            )
+        except BaseException as error:  # noqa: BLE001 - typed response
+            for item in group:
+                self._finish(item, self._error_response(
+                    item, error, cause="internal", worker=worker
+                ))
+            return
+        now = self._clock()
+        for item, result in zip(group, results):
+            self._finish(item, ServiceResponse(
+                tenant=tenant.name,
+                request_id=item.pending.request_id,
+                status="ok",
+                result=result,
+                method_requested="warm",
+                method_used="warm",
+                io_ops=result.io_cost.ops,
+                latency_s=now - item.submitted_at,
+                queue_wait_s=item.started_at - item.submitted_at,
+                worker=worker,
+            ))
 
     def _respawn_self(self) -> None:
         me = threading.current_thread()
@@ -561,22 +757,34 @@ class PredictionService:
     # Serving
     # ------------------------------------------------------------------
 
-    def _serve(self, item: _Item, *, worker: str) -> ServiceResponse:
+    def _admit_member(
+        self, item: _Item, *, worker: str
+    ) -> ServiceResponse | None:
+        """Pre-serve admission: hook, then the queued-deadline check.
+
+        Returns ``None`` when the request may proceed to serving, or
+        the refusal response when its deadline already expired in the
+        queue: the tenant asked for an answer by then, and burning I/O
+        on a request nobody is waiting for anymore is pure waste.
+        """
         item.started_at = self._clock()
         queue_wait = item.started_at - item.submitted_at
         if self._pre_request_hook is not None:
             self._pre_request_hook(item)
-        # A deadline that expired while queued is answered immediately:
-        # the tenant asked for an answer by then, and burning I/O on a
-        # request nobody is waiting for anymore is pure waste.
         if item.deadline_s is not None and queue_wait > item.deadline_s:
             error = DeadlineExceededError(
                 queue_wait, item.deadline_s, phase="queue"
             )
-            response = self._error_response(
+            return self._error_response(
                 item, error, cause="deadline", worker=worker
             )
-            return response
+        return None
+
+    def _serve(self, item: _Item, *, worker: str) -> ServiceResponse:
+        refused = self._admit_member(item, worker=worker)
+        if refused is not None:
+            return refused
+        queue_wait = item.started_at - item.submitted_at
         if item.method == "warm":
             return self._serve_warm(item, worker, queue_wait)
         return self._serve_full(item, worker, queue_wait)
@@ -725,5 +933,21 @@ class PredictionService:
                 "requests_resolved": self.requests_resolved,
                 "artifact_rebuilds": (self.store.rebuilds()
                                       if self.store else 0),
+                "batching": {
+                    "enabled": self.coalesce,
+                    "window_ms": self.coalesce_window_ms,
+                    "max_batch": self.coalesce_max_batch,
+                    "batches_dispatched": self.batches_dispatched,
+                    "batched_requests": self.batched_requests,
+                    "mean_batch_size": (
+                        self.batched_requests / self.batches_dispatched
+                        if self.batches_dispatched else 0.0
+                    ),
+                    "max_batch_size": self.batch_max,
+                    "window_hit_rate": (
+                        self.coalesce_window_hits / self.coalesce_windows
+                        if self.coalesce_windows else 0.0
+                    ),
+                },
                 "tenants": tenants,
             }

@@ -55,6 +55,20 @@ class KNNWorkload:
     def n_queries(self) -> int:
         return int(self.queries.shape[0])
 
+    def with_radii(self, radii: np.ndarray) -> "KNNWorkload":
+        """The same query centers probed at different radii.
+
+        This is one row of a radius grid as a stand-alone workload --
+        the per-row equivalent the fused ``count_grid`` dispatch is
+        held bit-identical to.
+        """
+        return KNNWorkload(
+            k=self.k,
+            query_ids=self.query_ids,
+            queries=self.queries,
+            radii=np.asarray(radii, dtype=np.float64),
+        )
+
 
 @dataclass(frozen=True)
 class RangeWorkload:

@@ -41,6 +41,7 @@ SEEDS = ([int(os.environ["CHAOS_SEED"])]
          if os.environ.get("CHAOS_SEED") else [0, 1])
 SCALE_AXIS_OFF = os.environ.get("CHAOS_SCALE") == "0"
 CONTROLLER_AXIS_OFF = os.environ.get("CHAOS_CONTROLLER") == "0"
+COALESCE_AXIS_OFF = os.environ.get("COALESCE") == "0"
 
 
 @pytest.mark.parametrize("seed", SEEDS)
@@ -58,6 +59,27 @@ def test_storm_invariant_holds(seed, tmp_path):
     assert all(h["via"].startswith("peer:") for h in outcome.healed)
     assert outcome.router["hedges"] > 0  # the slow replica was hedged
     # reconciliation ran over nonzero books (all-zero sums prove nothing)
+    assert any(
+        sums["router_ops"] > 0
+        for sums in outcome.reconciliation.values()
+    )
+
+
+@pytest.mark.skipif(COALESCE_AXIS_OFF, reason="COALESCE=0 disables the "
+                    "request-coalescing axis")
+@pytest.mark.parametrize("seed", SEEDS)
+def test_storm_invariant_holds_with_coalescing(seed, tmp_path):
+    """The same storm with replica-side request coalescing on: fused
+    shard legs must stay bit-identical, failovers keep their causal
+    records, and per-shard op books still reconcile exactly across the
+    router's legs, every replica generation, and the responses."""
+    outcome = run_cluster_chaos(
+        ClusterChaosScenario(seed=seed, coalesce=True),
+        artifact_root=tmp_path,
+    )
+    assert_cluster_invariant(outcome)
+    assert outcome.classified.get("identical", 0) > 0
+    assert outcome.classified.get("failover", 0) > 0
     assert any(
         sums["router_ops"] > 0
         for sums in outcome.reconciliation.values()

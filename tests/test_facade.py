@@ -71,6 +71,40 @@ class TestFacade:
         )
         assert result.detail["zeta"] == pytest.approx(0.5, abs=0.01)
 
+    def test_predict_radius_grid_rows_match_per_row_predict(
+        self, predictor, clustered_points, workload
+    ):
+        grid = np.stack([workload.radii * s for s in (0.5, 1.0, 1.5)])
+        fused = predictor.predict_radius_grid(
+            clustered_points, workload, grid, seed=3
+        )
+        assert len(fused) == 3
+        for r, result in enumerate(fused):
+            solo = predictor.predict(
+                clustered_points, workload.with_radii(grid[r]),
+                method="mini", seed=3,
+            )
+            np.testing.assert_array_equal(result.per_query, solo.per_query)
+            assert result.detail["grid_row"] == r
+            assert result.detail["grid_rows"] == 3
+
+    def test_predict_radius_grid_broadcasts_scalars(
+        self, predictor, clustered_points, workload
+    ):
+        fused = predictor.predict_radius_grid(
+            clustered_points, workload, np.array([0.0, 0.4]), seed=3
+        )
+        # a (g,) grid broadcasts one radius per row; row 0 (radius 0)
+        # only counts leaves containing the query point, so counts grow
+        # monotonically with the row radius
+        assert np.all(fused[1].per_query >= fused[0].per_query)
+        solo = predictor.predict(
+            clustered_points,
+            workload.with_radii(np.full(workload.n_queries, 0.4)),
+            method="mini", seed=3,
+        )
+        np.testing.assert_array_equal(fused[1].per_query, solo.per_query)
+
     def test_topology_accessor(self, predictor, clustered_points):
         topo = predictor.topology(clustered_points.shape[0])
         assert topo.n_points == clustered_points.shape[0]

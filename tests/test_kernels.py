@@ -26,12 +26,17 @@ from repro.kernels import (
     DEFAULT_KERNEL,
     KERNEL_ENV_VAR,
     NUMBA_AVAILABLE,
+    PREFERRED_KERNEL,
+    BatchPlan,
     LeafGeometry,
     NumpyBatchedKernel,
+    as_radii_grid,
     available_kernels,
     default_kernel_name,
     get_kernel,
 )
+from repro.kernels import registry as kernel_registry
+from repro.kernels.reference import ReferenceKernel
 from repro.workload.queries import KNNWorkload, RangeWorkload
 
 FAST = ["--dataset", "TEXTURE48", "--scale", "0.05", "--queries", "10",
@@ -153,12 +158,151 @@ class TestKernelEquivalence:
         )
 
 
+class TestFusedGrid:
+    """The fused multi-radius contract: ``count_grid`` row ``r`` equals
+    ``count_knn`` at ``radii_grid[r]``, bit for bit, on every backend."""
+
+    @given(
+        st.integers(0, 10_000),
+        st.integers(1, 120),
+        st.integers(1, 6),
+        st.integers(1, 30),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rows_bit_identical_to_per_request_loop(
+        self, seed, k, d, n_queries, g
+    ):
+        geometry, queries, radii, _, _ = _random_case(seed, k, d, n_queries)
+        gen = np.random.default_rng(seed + 1)
+        # Rows scale the base radii through zero, shrunken, and inflated
+        # regimes so pruning envelopes and boundary hits all occur.
+        grid = radii[None, :] * gen.random((g, 1)) * 2.0
+        grid[gen.random((g, n_queries)) < 0.15] = 0.0
+        for name in available_kernels():
+            kernel = get_kernel(name)
+            fused = kernel.count_grid(geometry, queries, grid)
+            assert fused.shape == (g, n_queries), name
+            assert fused.dtype == np.int64, name
+            for r in range(g):
+                np.testing.assert_array_equal(
+                    fused[r], kernel.count_knn(geometry, queries, grid[r]),
+                    err_msg=f"{name} row {r}",
+                )
+
+    @given(st.integers(0, 10_000), st.integers(1, 60), st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_one_dim_grid_broadcasts_per_row_radius(self, seed, k, d):
+        """A (g,) grid means one shared radius per row."""
+        geometry, queries, _, _, _ = _random_case(seed, k, d, 7)
+        scalars = np.array([0.0, 0.2, 0.9])
+        for name in available_kernels():
+            kernel = get_kernel(name)
+            fused = kernel.count_grid(geometry, queries, scalars)
+            for r, radius in enumerate(scalars):
+                np.testing.assert_array_equal(
+                    fused[r],
+                    kernel.count_knn(
+                        geometry, queries, np.full(7, radius)
+                    ),
+                    err_msg=name,
+                )
+
+    def test_empty_geometry_and_degenerate_shapes(self):
+        for name in available_kernels():
+            kernel = get_kernel(name)
+            empty = kernel.count_grid(
+                LeafGeometry.empty(3), np.random.default_rng(0).random((4, 3)),
+                np.zeros((2, 4)),
+            )
+            assert empty.shape == (2, 4) and not empty.any()
+            no_queries = kernel.count_grid(
+                LeafGeometry.from_corners(np.zeros((2, 3)), np.ones((2, 3))),
+                np.empty((0, 3)), np.empty((5, 0)),
+            )
+            assert no_queries.shape == (5, 0)
+            no_rows = kernel.count_grid(
+                LeafGeometry.from_corners(np.zeros((2, 3)), np.ones((2, 3))),
+                np.zeros((4, 3)), np.empty((0, 4)),
+            )
+            assert no_rows.shape == (0, 4)
+
+    def test_boundary_rows_inclusive(self):
+        """dist == radius intersects in every grid row, exactly as in
+        the single-radius path."""
+        geometry = LeafGeometry.from_corners(
+            np.array([[1.0, 0.0]]), np.array([[2.0, 1.0]])
+        )
+        queries = np.array([[0.0, 0.5]])
+        grid = np.array([[1.0], [1.0 - 1e-9]])
+        for name in available_kernels():
+            fused = get_kernel(name).count_grid(geometry, queries, grid)
+            np.testing.assert_array_equal(fused, [[1], [0]], err_msg=name)
+
+
+class TestBatchPlanAndGrid:
+    def test_as_radii_grid_normalizes_and_validates(self):
+        centers = np.zeros((4, 2))
+        grid = as_radii_grid(centers, [0.1, 0.2])
+        assert grid.shape == (2, 4) and grid.dtype == np.float64
+        np.testing.assert_array_equal(grid[0], np.full(4, 0.1))
+        two_d = as_radii_grid(centers, np.arange(8.0).reshape(2, 4))
+        assert two_d.flags["C_CONTIGUOUS"]
+        with pytest.raises(ValueError):
+            as_radii_grid(centers, np.zeros((2, 3)))  # wrong q
+        with pytest.raises(ValueError):
+            as_radii_grid(centers, np.zeros((1, 2, 4)))  # 3-d
+
+    def test_for_members_split_round_trip(self):
+        plan = BatchPlan.for_members(
+            ["a", "b", "c"], [3, 0, 2], kernel="numpy_batched", n_leaves=7
+        )
+        assert plan.n_members == 3 and plan.n_queries == 5
+        fused = np.arange(5)
+        parts = plan.split(fused)
+        np.testing.assert_array_equal(parts[0], [0, 1, 2])
+        assert parts[1].shape == (0,)
+        np.testing.assert_array_equal(parts[2], [3, 4])
+        parts[0][0] = 99  # split copies: mutating a part is private
+        assert fused[0] == 0
+
+    def test_attribute_is_exact_and_proportional(self):
+        plan = BatchPlan.for_members(
+            ["a", "b", "c"], [1, 2, 3], kernel="reference", n_leaves=10
+        )
+        shares = plan.attribute(100)
+        assert sum(shares) == 100
+        assert shares == [17, 33, 50]
+        # Zero-query members never get charged unless they are alone.
+        lop = BatchPlan.for_members(["x", "y"], [0, 4],
+                                    kernel="reference", n_leaves=1)
+        assert lop.attribute(9) == [0, 9]
+
+    def test_non_contiguous_segments_rejected(self):
+        with pytest.raises(ValueError):
+            BatchPlan(kernel="reference", members=("a", "b"),
+                      segments=((0, 2), (3, 4)), n_leaves=1)
+
+
 class TestRegistry:
-    def test_default_is_batched(self, monkeypatch):
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="numba is installed here")
+    def test_default_is_batched_without_numba(self, monkeypatch):
         monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
         assert DEFAULT_KERNEL == "numpy_batched"
         assert default_kernel_name() == "numpy_batched"
         assert get_kernel().name == "numpy_batched"
+
+    def test_preferred_kernel_ladder(self, monkeypatch):
+        """Explicit env beats numba-if-importable beats numpy_batched."""
+        assert PREFERRED_KERNEL == "numba"
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        if "numba" not in kernel_registry._factories:
+            monkeypatch.setitem(
+                kernel_registry._factories, "numba", ReferenceKernel
+            )
+        assert default_kernel_name() == "numba"
+        monkeypatch.setenv(KERNEL_ENV_VAR, "reference")
+        assert default_kernel_name() == "reference"
 
     def test_env_var_resolution(self, monkeypatch):
         monkeypatch.setenv(KERNEL_ENV_VAR, "reference")

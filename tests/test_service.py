@@ -538,3 +538,116 @@ class TestPredictionService:
         service.register_tenant("t", points)
         service.stop()  # signal handlers may reach a pre-start service
         assert service.metrics()["running"] is False
+
+
+class TestBatchedPrediction:
+    """The fused warm path: ``predict_many`` / ``predict_grid`` and the
+    request coalescer are pure speed knobs -- every answer, detail dict,
+    and charged op is bit-identical to the one-request-at-a-time path."""
+
+    def _workloads(self, points, n):
+        return [
+            density_biased_knn_workload(
+                points, 6 + i, 4, np.random.default_rng(20 + i)
+            )
+            for i in range(n)
+        ]
+
+    def test_predict_many_matches_per_request(self, points, model):
+        workloads = self._workloads(points, 3)
+        fused = model.predict_many(workloads)
+        for workload, result in zip(workloads, fused):
+            solo = model.predict(workload)
+            np.testing.assert_array_equal(result.per_query, solo.per_query)
+            assert result.detail == solo.detail
+            assert result.io_cost.ops == solo.io_cost.ops
+
+    def test_predict_many_rejects_mixed_workload_types(self, points, model):
+        from repro.workload.queries import RangeWorkload
+
+        knn = self._workloads(points, 1)[0]
+        ranged = RangeWorkload(lower=points[:4] - 0.1, upper=points[:4] + 0.1)
+        with pytest.raises(InputValidationError):
+            model.predict_many([knn, ranged])
+
+    def test_predict_grid_rows_match_with_radii(self, points, model):
+        workload = self._workloads(points, 1)[0]
+        grid = np.stack([
+            workload.radii * s for s in (0.0, 0.5, 1.0, 2.0)
+        ])
+        fused = model.predict_grid(workload, grid)
+        assert len(fused) == 4
+        for r, result in enumerate(fused):
+            solo = model.predict(workload.with_radii(grid[r]))
+            np.testing.assert_array_equal(result.per_query, solo.per_query)
+            assert result.detail["grid_row"] == r
+
+    def test_coalesce_knob_validated(self):
+        with pytest.raises(InputValidationError):
+            PredictionService(coalesce=True, coalesce_window_ms=-1.0)
+        with pytest.raises(InputValidationError):
+            PredictionService(coalesce=True, coalesce_max_batch=0)
+
+    def test_coalesced_responses_byte_identical(self, points):
+        workloads = self._workloads(points, 2)
+        per_tenant = 6
+        responses = {}
+        for coalesce in (False, True):
+            service = PredictionService(
+                workers=1, max_queue=64, memory=MEMORY,
+                default_quota=TenantQuota(max_inflight=64),
+                coalesce=coalesce, coalesce_window_ms=250.0,
+            )
+            for i in range(2):
+                service.register_tenant(f"t{i}", points, fit_seed=5)
+            with service:
+                pending = [
+                    (name, service.submit(name, workloads[i]))
+                    for _ in range(per_tenant)
+                    for i, name in enumerate(("t0", "t1"))
+                ]
+                responses[coalesce] = [
+                    (name, p.result(timeout=60.0)) for name, p in pending
+                ]
+            if coalesce:
+                batching = service.metrics()["batching"]
+                assert batching["batches_dispatched"] > 0
+                assert (batching["batched_requests"]
+                        > batching["batches_dispatched"])
+            for i in range(2):
+                ledger = service.tenant(f"t{i}").ledger.snapshot()
+                assert ledger["completed"] == per_tenant
+                assert ledger["charged_ops"] == 0  # warm serves charge none
+        for (name_a, a), (name_b, b) in zip(responses[False],
+                                            responses[True]):
+            assert name_a == name_b
+            assert a.status == b.status == "ok"
+            assert a.io_ops == b.io_ops
+            assert a.result.detail == b.result.detail
+            np.testing.assert_array_equal(
+                a.result.per_query, b.result.per_query
+            )
+
+    def test_full_methods_never_fuse(self, points, workload):
+        service = PredictionService(
+            workers=1, max_queue=64, memory=MEMORY,
+            default_quota=TenantQuota(max_inflight=64),
+            coalesce=True, coalesce_window_ms=250.0,
+        )
+        service.register_tenant("t", points)
+        with service:
+            pending = [
+                service.submit("t", workload, method="resampled", seed=4)
+                for _ in range(3)
+            ]
+            answers = [p.result(timeout=120.0) for p in pending]
+        direct = service.tenant("t").predictor.predict(
+            points, workload, method="resampled", seed=4
+        )
+        for response in answers:
+            assert response.status == "ok"
+            np.testing.assert_array_equal(
+                response.result.per_query, direct.per_query
+            )
+        # governed full requests took the solo path: no warm batches
+        assert service.metrics()["batching"]["batches_dispatched"] == 0

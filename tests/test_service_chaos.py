@@ -26,6 +26,7 @@ from repro.service import (
 
 SEEDS = ([int(os.environ["CHAOS_SEED"])]
          if os.environ.get("CHAOS_SEED") else [0, 1])
+COALESCE_AXIS_OFF = os.environ.get("COALESCE") == "0"
 
 
 @pytest.fixture(autouse=True)
@@ -48,6 +49,28 @@ def test_storm_invariant_holds(seed, tmp_path):
     assert outcome.artifact_rebuilds == 1
     assert "deadline" in outcome.causes_seen
     assert "budget" in outcome.causes_seen
+
+
+@pytest.mark.skipif(COALESCE_AXIS_OFF, reason="COALESCE=0 disables the "
+                    "request-coalescing axis")
+@pytest.mark.parametrize("seed", SEEDS)
+def test_storm_invariant_holds_with_coalescing(seed, tmp_path):
+    """The same storm with the batched execution plane on: the no-hang /
+    no-lie / no-leak invariant is coalescing-independent, fused members
+    still classify byte-identical against the uncoalesced oracle, and
+    the attribution split keeps every tenant's three op sums equal."""
+    outcome = run_service_chaos(
+        ServiceChaosScenario(seed=seed, coalesce=True), artifact_dir=tmp_path
+    )
+    assert_service_invariant(outcome)
+    assert outcome.classified.get("identical", 0) > 0
+    assert outcome.classified.get("typed_error", 0) > 0
+    # the coalescer genuinely fused requests rather than degenerating
+    # into singleton batches
+    batching = outcome.batching
+    assert batching["enabled"]
+    assert batching["batches_dispatched"] > 0
+    assert batching["batched_requests"] > batching["batches_dispatched"]
 
 
 @pytest.mark.parametrize("seed", SEEDS)
